@@ -1,0 +1,277 @@
+(* The benchmark harness.
+
+   Running `dune exec bench/main.exe` does three things:
+
+   1. generates the simulated counterparts of the paper's eight traces
+      (duration controlled by DFS_SCALE / DFS_FULL; see Dfs_core.Dataset);
+   2. regenerates EVERY table and figure of the paper's evaluation, printing
+      measured values next to the published ones;
+   3. runs one bechamel micro-benchmark per table/figure, timing the
+      analysis pass that produces it, plus ablation benchmarks for the
+      design choices called out in DESIGN.md (writeback delay, cache size,
+      migration host policy, local vs. remote paging).
+
+   Use DFS_FULL=1 for full 24-hour traces (takes tens of minutes), or
+   DFS_SCALE=0.02 for a quick look. *)
+
+open Bechamel
+open Toolkit
+
+let scale () =
+  match Sys.getenv_opt "DFS_SCALE" with
+  | Some s -> float_of_string s
+  | None -> Dfs_core.Dataset.default_scale ()
+
+(* -- part 1+2: reproduce the evaluation ------------------------------------- *)
+
+let reproduce ds =
+  print_endline "==================================================================";
+  print_endline " Reproduction: Measurements of a Distributed File System (SOSP'91)";
+  print_endline "==================================================================";
+  Printf.printf " dataset: %d traces at scale %.3f\n\n" (List.length ds.Dfs_core.Dataset.runs)
+    ds.Dfs_core.Dataset.scale;
+  List.iter
+    (fun (e : Dfs_core.Experiment.t) ->
+      Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds))
+    Dfs_core.Experiment.all
+
+(* -- part 3: bechamel micro-benchmarks ---------------------------------------- *)
+
+let analysis_tests (ds : Dfs_core.Dataset.t) =
+  let run = List.hd ds.runs in
+  let trace = run.trace in
+  let stats () = List.concat_map Dfs_core.Dataset.client_cache_stats ds.runs in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    t "table1/trace-stats" (fun () -> Dfs_analysis.Trace_stats.of_trace trace);
+    t "table2/activity-10min" (fun () ->
+        Dfs_analysis.Activity.analyze ~interval:600.0 trace);
+    t "table3/access-patterns" (fun () ->
+        Dfs_analysis.Access_patterns.of_trace trace);
+    t "fig1/run-lengths" (fun () -> Dfs_analysis.Run_length.of_trace trace);
+    t "fig2/file-sizes" (fun () -> Dfs_analysis.File_size.of_trace trace);
+    t "fig3/open-times" (fun () -> Dfs_analysis.Open_time.of_trace trace);
+    t "fig4/lifetimes" (fun () -> Dfs_analysis.Lifetime.analyze trace);
+    t "table4/cache-sizes" (fun () ->
+        Dfs_analysis.Cache_stats.cache_sizes
+          (Dfs_sim.Cluster.counters run.cluster));
+    t "table5/traffic-rows" (fun () ->
+        Dfs_analysis.Cache_stats.traffic_rows
+          (Dfs_sim.Cluster.total_traffic run.cluster));
+    t "table6/effectiveness" (fun () ->
+        Dfs_analysis.Cache_stats.effectiveness (stats ()) ~migrated:false);
+    t "table7/server-traffic" (fun () ->
+        Dfs_analysis.Cache_stats.traffic_rows
+          (Dfs_sim.Cluster.total_server_traffic run.cluster));
+    t "table8/replacements" (fun () ->
+        Dfs_analysis.Cache_stats.replacements (stats ()));
+    t "table9/cleanings" (fun () -> Dfs_analysis.Cache_stats.cleanings (stats ()));
+    t "table10/consistency-replay" (fun () ->
+        Dfs_analysis.Consistency_stats.analyze trace);
+    t "table11/polling-60s" (fun () ->
+        Dfs_consistency.Polling.simulate ~interval:60.0 trace);
+    t "table12/mechanisms" (fun () ->
+        let streams = Dfs_consistency.Shared_events.extract trace in
+        ( Dfs_consistency.Sprite.simulate streams,
+          Dfs_consistency.Sprite_modified.simulate streams,
+          Dfs_consistency.Token.simulate streams ));
+  ]
+
+let run_bechamel tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"analysis" ~fmt:"%s %s" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "== bechamel: time per analysis pass ==";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+        Printf.printf "  %-42s %12.3f ms/run\n" name (est /. 1e6)
+      | _ -> Printf.printf "  %-42s (no estimate)\n" name)
+    results;
+  print_newline ()
+
+(* -- ablations ------------------------------------------------------------------ *)
+
+(* One short simulation per configuration; reports the metric DESIGN.md
+   calls out for that design choice. *)
+
+let mini_preset ?(n_clients = 10) ?(factor = 0.01) n =
+  let p = Dfs_workload.Presets.scaled (Dfs_workload.Presets.trace n) ~factor in
+  {
+    p with
+    Dfs_workload.Presets.cluster_config =
+      { p.cluster_config with Dfs_sim.Cluster.n_clients; n_servers = 1 };
+  }
+
+let ablation_writeback_delay () =
+  print_endline "== ablation: delayed-write interval vs writeback traffic ==";
+  List.iter
+    (fun delay ->
+      let p = mini_preset 1 in
+      let p =
+        {
+          p with
+          Dfs_workload.Presets.cluster_config =
+            {
+              p.cluster_config with
+              Dfs_sim.Cluster.client_config =
+                {
+                  p.cluster_config.client_config with
+                  Dfs_sim.Client.writeback_delay = delay;
+                };
+            };
+        }
+      in
+      let cluster, _ = Dfs_workload.Presets.run p in
+      let written = ref 0 and back = ref 0 and discarded = ref 0 in
+      Array.iter
+        (fun c ->
+          let s = Dfs_cache.Block_cache.stats (Dfs_sim.Client.cache c) in
+          written := !written + s.all.bytes_written;
+          back := !back + s.writeback_bytes;
+          discarded := !discarded + s.dirty_bytes_discarded)
+        (Dfs_sim.Cluster.clients cluster);
+      Printf.printf
+        "  delay %5.0fs: %5.1f%% of new bytes written back, %4.1f%% died in \
+         the cache\n"
+        delay
+        (100.0 *. float_of_int !back /. float_of_int (max 1 !written))
+        (100.0 *. float_of_int !discarded /. float_of_int (max 1 !written)))
+    [ 0.0; 5.0; 30.0; 120.0 ];
+  print_newline ()
+
+let ablation_cache_ceiling () =
+  print_endline "== ablation: cache size ceiling vs read miss ratio ==";
+  List.iter
+    (fun frac ->
+      let p = mini_preset 5 in
+      let p =
+        {
+          p with
+          Dfs_workload.Presets.cluster_config =
+            {
+              p.cluster_config with
+              Dfs_sim.Cluster.client_config =
+                {
+                  p.cluster_config.client_config with
+                  Dfs_sim.Client.max_cache_fraction = frac;
+                };
+            };
+        }
+      in
+      let cluster, _ = Dfs_workload.Presets.run p in
+      let ops = ref 0 and misses = ref 0 in
+      Array.iter
+        (fun c ->
+          let s = (Dfs_cache.Block_cache.stats (Dfs_sim.Client.cache c)).file in
+          ops := !ops + s.read_ops;
+          misses := !misses + s.read_misses)
+        (Dfs_sim.Cluster.clients cluster);
+      Printf.printf "  cache <= %4.0f%% of memory: read miss ratio %5.1f%%\n"
+        (100.0 *. frac)
+        (100.0 *. float_of_int !misses /. float_of_int (max 1 !ops)))
+    [ 0.04; 0.10; 0.20; 0.34; 0.60 ];
+  print_newline ()
+
+let ablation_migration_policy () =
+  print_endline "== ablation: migration on/off vs 10-second burst rate ==";
+  List.iter
+    (fun migration ->
+      let p = mini_preset 1 in
+      let p =
+        {
+          p with
+          Dfs_workload.Presets.params =
+            { p.params with Dfs_workload.Params.migration_enabled = migration };
+        }
+      in
+      let cluster, _ = Dfs_workload.Presets.run p in
+      let trace = Dfs_sim.Cluster.merged_trace cluster in
+      let r = Dfs_analysis.Activity.analyze ~interval:10.0 trace in
+      Printf.printf "  migration %-3s: peak 10s total %6.0f KB/s\n"
+        (if migration then "on" else "off")
+        r.peak_total_throughput)
+    [ true; false ];
+  print_newline ()
+
+let ablation_lfs_crossover ds =
+  print_endline
+    "== ablation: update-in-place vs log-structured server disk (Section 6) ==";
+  let accesses =
+    Dfs_analysis.Session.of_trace (List.hd ds.Dfs_core.Dataset.runs).trace
+  in
+  Printf.printf "  %-22s %14s %14s %8s\n" "client read-miss" "in-place (s)"
+    "log (s)" "speedup";
+  List.iter
+    (fun (miss, ip, lg) ->
+      Printf.printf "  %-22s %14.1f %14.1f %7.1fx\n"
+        (Printf.sprintf "%.0f%%" (100.0 *. miss))
+        ip lg
+        (if lg > 0.0 then ip /. lg else 0.0))
+    (Dfs_lfs.Disk_layout.crossover_table accesses ~seed:11);
+  print_endline
+    "  (as caches absorb more reads, writes dominate and the log wins — \
+     the paper's closing argument for LFS)";
+  print_newline ()
+
+let ablation_local_paging () =
+  (* Section 5.3: local disks for paging would cut server traffic by only
+     ~20%; here we measure what share of server bytes the backing files
+     actually are. *)
+  print_endline "== ablation: share of server traffic a local paging disk would remove ==";
+  let p = mini_preset 1 in
+  let cluster, _ = Dfs_workload.Presets.run p in
+  let t = Dfs_sim.Cluster.total_server_traffic cluster in
+  let backing =
+    Dfs_sim.Traffic.read_bytes t Dfs_sim.Traffic.Paging_backing
+    + Dfs_sim.Traffic.write_bytes t Dfs_sim.Traffic.Paging_backing
+  in
+  Printf.printf
+    "  backing-file traffic: %.1f%% of server bytes (paper argues ~20%% is \
+     not worth a local disk)\n\n"
+    (100.0 *. float_of_int backing /. float_of_int (max 1 (Dfs_sim.Traffic.total t)))
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let ds =
+    Dfs_core.Dataset.generate ~scale:(scale ())
+      ~on_progress:(fun msg -> Printf.eprintf "[bench] %s\n%!" msg)
+      ()
+  in
+  Printf.eprintf "[bench] dataset ready in %.1fs\n%!" (Unix.gettimeofday () -. t0);
+  reproduce ds;
+  (* Section 5.3's absolute paging rates and the server-side cache effect *)
+  (let run = List.hd ds.Dfs_core.Dataset.runs in
+   let cluster = run.Dfs_core.Dataset.cluster in
+   let paging =
+     Dfs_analysis.Paging_stats.analyze
+       ~n_clients:(Array.length (Dfs_sim.Cluster.clients cluster))
+       ~duration:run.preset.duration
+       ~raw:(Dfs_sim.Cluster.total_traffic cluster)
+       ()
+   in
+   Format.printf "=== section 5.3: absolute paging rates (trace 1) ===@.%a@.@."
+     Dfs_analysis.Paging_stats.pp paging;
+   let servers = Array.to_list (Dfs_sim.Cluster.servers cluster) in
+   Format.printf "=== table 7 footnote: the server-side cache ===@.%a@.@."
+     Dfs_analysis.Server_stats.pp
+     (Dfs_analysis.Server_stats.analyze servers));
+  print_string (Dfs_core.Claims.scorecard ds);
+  print_newline ();
+  run_bechamel (analysis_tests ds);
+  ablation_writeback_delay ();
+  ablation_cache_ceiling ();
+  ablation_migration_policy ();
+  ablation_local_paging ();
+  ablation_lfs_crossover ds;
+  Printf.eprintf "[bench] total wall time %.1fs\n%!" (Unix.gettimeofday () -. t0)

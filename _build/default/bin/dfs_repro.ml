@@ -1,0 +1,175 @@
+(* Command-line driver for the reproduction: list, run and inspect the
+   paper's experiments, generate trace files, and re-analyze them. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc =
+    "Trace length as a fraction of 24 hours (1.0 = full day). Defaults to \
+     0.05, or 1.0 when DFS_FULL=1 is set."
+  in
+  Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"FRACTION" ~doc)
+
+let traces_arg =
+  let doc = "Comma-separated trace numbers (1-8) to simulate." in
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    & info [ "traces" ] ~docv:"N,..." ~doc)
+
+let progress msg = Printf.eprintf "[dfs-repro] %s\n%!" msg
+
+let make_dataset scale traces =
+  Dfs_core.Dataset.generate ?scale ~traces ~on_progress:progress ()
+
+(* -- list ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Dfs_core.Experiment.t) ->
+        Printf.printf "%-8s %s\n         %s\n" e.id e.title e.description)
+      Dfs_core.Experiment.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List all reproducible tables and figures")
+    Term.(const run $ const ())
+
+(* -- experiment -------------------------------------------------------------- *)
+
+let experiment_cmd =
+  let ids_arg =
+    let doc = "Experiment ids (table1..table12, fig1..fig4)." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run ids scale traces =
+    let unknown =
+      List.filter (fun id -> Dfs_core.Experiment.find id = None) ids
+    in
+    if unknown <> [] then begin
+      Printf.eprintf "unknown experiment(s): %s\nvalid: %s\n"
+        (String.concat ", " unknown)
+        (String.concat ", " Dfs_core.Experiment.ids);
+      exit 1
+    end;
+    let ds = make_dataset scale traces in
+    List.iter
+      (fun id ->
+        match Dfs_core.Experiment.find id with
+        | Some e ->
+          Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds)
+        | None -> ())
+      ids
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
+    Term.(const run $ ids_arg $ scale_arg $ traces_arg)
+
+(* -- all ----------------------------------------------------------------------- *)
+
+let all_cmd =
+  let run scale traces =
+    let ds = make_dataset scale traces in
+    List.iter
+      (fun (e : Dfs_core.Experiment.t) ->
+        Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds))
+      Dfs_core.Experiment.all
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Reproduce every table and figure")
+    Term.(const run $ scale_arg $ traces_arg)
+
+(* -- facts -------------------------------------------------------------------- *)
+
+let facts_cmd =
+  let markdown_arg =
+    let doc = "Emit the scorecard as a markdown table (for EXPERIMENTS.md)." in
+    Arg.(value & flag & info [ "markdown" ] ~doc)
+  in
+  let run scale traces markdown =
+    let ds = make_dataset scale traces in
+    if markdown then print_string (Dfs_core.Claims.markdown ds)
+    else print_string (Dfs_core.Claims.scorecard ds)
+  in
+  Cmd.v
+    (Cmd.info "facts"
+       ~doc:
+         "Check the paper's headline findings (the prose claims) against           the simulation")
+    Term.(const run $ scale_arg $ traces_arg $ markdown_arg)
+
+(* -- simulate ------------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let out_arg =
+    let doc = "Directory to write per-server trace files into." in
+    Arg.(value & opt string "traces" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let trace_arg =
+    let doc = "Which of the eight trace presets to simulate." in
+    Arg.(value & opt int 1 & info [ "trace" ] ~docv:"N" ~doc)
+  in
+  let run n scale out =
+    let preset = Dfs_workload.Presets.trace n in
+    let preset =
+      match scale with
+      | Some s -> Dfs_workload.Presets.scaled preset ~factor:s
+      | None -> Dfs_workload.Presets.scaled preset ~factor:(Dfs_core.Dataset.default_scale ())
+    in
+    progress
+      (Printf.sprintf "simulating %s (%.1f h)" preset.name
+         (preset.duration /. 3600.0));
+    let cluster, _driver = Dfs_workload.Presets.run preset in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iteri
+      (fun i records ->
+        let path = Filename.concat out (Printf.sprintf "%s-server%d.trace" preset.name i) in
+        Dfs_trace.Writer.with_file path (fun w ->
+            List.iter (Dfs_trace.Writer.write w) records);
+        Printf.printf "wrote %s (%d records)\n" path (List.length records))
+      (Dfs_sim.Cluster.server_traces cluster)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate one trace preset and write per-server trace files")
+    Term.(const run $ trace_arg $ scale_arg $ out_arg)
+
+(* -- analyze --------------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let files_arg =
+    let doc = "Per-server trace files to merge and analyze." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let run files =
+    let streams =
+      List.map
+        (fun path ->
+          match Dfs_trace.Reader.of_file path with
+          | Ok records -> records
+          | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            exit 1)
+        files
+    in
+    let merged =
+      Dfs_trace.Merge.scrub ~self_users:Dfs_sim.Cluster.self_users
+        (Dfs_trace.Merge.merge streams)
+    in
+    let stats = Dfs_analysis.Trace_stats.of_trace merged in
+    Format.printf "%a@." Dfs_analysis.Trace_stats.pp stats;
+    let act600 = Dfs_analysis.Activity.analyze ~interval:600.0 merged in
+    let act10 = Dfs_analysis.Activity.analyze ~interval:10.0 merged in
+    Format.printf "%a@.%a@." Dfs_analysis.Activity.pp act600
+      Dfs_analysis.Activity.pp act10
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Merge and analyze previously written trace files")
+    Term.(const run $ files_arg)
+
+let main =
+  let doc =
+    "Reproduction of 'Measurements of a Distributed File System' (SOSP 1991)"
+  in
+  Cmd.group (Cmd.info "dfs-repro" ~doc)
+    [ list_cmd; experiment_cmd; all_cmd; facts_cmd; simulate_cmd; analyze_cmd ]
+
+let () = exit (Cmd.eval main)

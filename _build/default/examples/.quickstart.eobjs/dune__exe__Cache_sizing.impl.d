@@ -1,0 +1,1 @@
+examples/cache_sizing.ml: Array Dfs_cache Dfs_sim Dfs_util Dfs_workload List Printf

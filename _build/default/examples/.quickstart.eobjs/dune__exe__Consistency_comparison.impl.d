@@ -1,0 +1,1 @@
+examples/consistency_comparison.ml: Dfs_consistency Dfs_sim Dfs_workload List Printf

@@ -1,0 +1,1 @@
+examples/day_in_the_life.ml: Array Dfs_analysis Dfs_sim Dfs_trace Dfs_workload Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+examples/pmake_burst.ml: Array Dfs_analysis Dfs_cache Dfs_sim Dfs_trace Dfs_util Dfs_workload Hashtbl List Printf

@@ -1,0 +1,1 @@
+examples/pmake_burst.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dfs_analysis Dfs_sim Dfs_workload Format Printf

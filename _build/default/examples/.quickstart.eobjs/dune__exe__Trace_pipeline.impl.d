@@ -1,0 +1,1 @@
+examples/trace_pipeline.ml: Array Dfs_analysis Dfs_sim Dfs_trace Dfs_util Dfs_workload Filename Format Fun List Printf Sys

@@ -1,0 +1,83 @@
+(* Cache-size sweep: the BSD study predicted a 10% miss ratio for 4-MByte
+   caches, but the paper measured ~40% for Sprite's much larger caches and
+   blamed the new generation of multi-megabyte files.  This example sweeps
+   the client cache ceiling and the large-file mix to show both effects:
+   bigger caches help, but a heavy large-file tail moves the knee.
+
+   Run with:  dune exec examples/cache_sizing.exe *)
+
+module Cluster = Dfs_sim.Cluster
+module Presets = Dfs_workload.Presets
+module Params = Dfs_workload.Params
+module Dist = Dfs_util.Dist
+
+let run ~cache_mb ~heavy_tail =
+  let base = Presets.scaled (Presets.trace 5) ~factor:0.02 in
+  let params =
+    if heavy_tail then base.params
+    else
+      (* shrink every group's large-file distribution to the BSD era *)
+      {
+        base.params with
+        Params.groups =
+          List.map
+            (fun (g, (gp : Params.group_params)) ->
+              ( g,
+                {
+                  gp with
+                  Params.big_input_size =
+                    Dist.Clamped (Dist.Lognormal (log 65536.0, 0.8), 8192.0, 262144.0);
+                  big_output_size =
+                    Dist.Clamped (Dist.Lognormal (log 32768.0, 0.8), 8192.0, 131072.0);
+                } ))
+            base.params.Params.groups;
+      }
+  in
+  let mb = Dfs_util.Units.mib in
+  let preset =
+    {
+      base with
+      Presets.params;
+      cluster_config =
+        {
+          base.cluster_config with
+          Cluster.n_clients = 12;
+          n_servers = 1;
+          client_config =
+            {
+              base.cluster_config.client_config with
+              Dfs_sim.Client.max_cache_fraction =
+                float_of_int (cache_mb * mb)
+                /. float_of_int base.cluster_config.client_config.memory_bytes;
+              initial_cache_bytes = min (cache_mb * mb) (2 * mb);
+            };
+        };
+    }
+  in
+  let cluster, _ = Presets.run preset in
+  let misses = Dfs_util.Stats.create () in
+  Array.iter
+    (fun c ->
+      let s = (Dfs_cache.Block_cache.stats (Dfs_sim.Client.cache c)).file in
+      if s.read_ops > 0 then
+        Dfs_util.Stats.add misses
+          (100.0 *. float_of_int s.read_misses /. float_of_int s.read_ops))
+    (Cluster.clients cluster);
+  Dfs_util.Stats.mean misses
+
+let () =
+  Printf.printf
+    "file read miss ratio (%%) vs cache ceiling, with 1985-sized files \
+     and with 1991 multi-megabyte files:\n\n";
+  Printf.printf "  %-12s %18s %18s\n" "cache (MB)" "small files only"
+    "with large files";
+  List.iter
+    (fun cache_mb ->
+      let small = run ~cache_mb ~heavy_tail:false in
+      let large = run ~cache_mb ~heavy_tail:true in
+      Printf.printf "  %-12d %17.1f%% %17.1f%%\n" cache_mb small large)
+    [ 1; 2; 4; 8; 16 ];
+  Printf.printf
+    "\nWith 1985-style files a few megabytes of cache go a long way (the \
+     BSD prediction); the 1991 large-file mix keeps miss ratios high even \
+     for big caches — the paper's explanation for Table 6.\n"

@@ -1,0 +1,66 @@
+(* The full measurement pipeline, end to end, the way the paper's tooling
+   worked: instrumented servers write per-server trace files; the files
+   are parsed back, merged into one time-ordered stream, scrubbed of the
+   tracing infrastructure's own records, and analyzed.
+
+   Run with:  dune exec examples/trace_pipeline.exe *)
+
+module Cluster = Dfs_sim.Cluster
+
+let () =
+  let preset =
+    Dfs_workload.Presets.scaled (Dfs_workload.Presets.trace 2) ~factor:0.02
+  in
+  Printf.printf "1. simulate: %s, %.0f minutes\n%!" preset.name
+    (preset.duration /. 60.0);
+  let cluster, _ = Dfs_workload.Presets.run preset in
+
+  let dir = Filename.temp_file "dfs-traces" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      (* 2. each server's kernel log goes to its own trace file *)
+      let paths =
+        List.mapi
+          (fun i records ->
+            let path = Filename.concat dir (Printf.sprintf "server%d.trace" i) in
+            Dfs_trace.Writer.with_file path (fun w ->
+                List.iter (Dfs_trace.Writer.write w) records);
+            Printf.printf "2. wrote %s (%d records)\n" path (List.length records);
+            path)
+          (Cluster.server_traces cluster)
+      in
+      (* 3. parse them back *)
+      let streams =
+        List.map
+          (fun path ->
+            match Dfs_trace.Reader.of_file path with
+            | Ok records -> records
+            | Error e ->
+              Printf.eprintf "%s: %s\n" path e;
+              exit 1)
+          paths
+      in
+      (* 4. merge by timestamp and drop the trace daemon's and the nightly
+         backup's own records, exactly as Section 3 describes *)
+      let merged =
+        Dfs_trace.Merge.scrub ~self_users:Cluster.self_users
+          (Dfs_trace.Merge.merge streams)
+      in
+      Printf.printf "3. merged %d records (time-sorted: %b)\n"
+        (List.length merged)
+        (Dfs_trace.Merge.is_sorted merged);
+      (* 5. analyze *)
+      let stats = Dfs_analysis.Trace_stats.of_trace merged in
+      Format.printf "4. %a@." Dfs_analysis.Trace_stats.pp stats;
+      let rl = Dfs_analysis.Run_length.of_trace merged in
+      Printf.printf
+        "5. sequential runs: %d; runs under 10 KB: %.1f%%; bytes in runs \
+         over 1 MB: %.1f%%\n"
+        (Dfs_util.Cdf.count rl.by_runs)
+        (100.0 *. Dfs_util.Cdf.fraction_below rl.by_runs 10240.0)
+        (100.0 *. (1.0 -. Dfs_util.Cdf.fraction_below rl.by_bytes 1048576.0)))

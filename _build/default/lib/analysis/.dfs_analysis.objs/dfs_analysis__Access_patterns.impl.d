@@ -1,0 +1,1 @@
+lib/analysis/access_patterns.ml: List Session

@@ -1,0 +1,1 @@
+lib/analysis/activity.ml: Dfs_trace Dfs_util Float Format Hashtbl List Session

@@ -1,0 +1,1 @@
+lib/analysis/activity.mli: Dfs_trace Format

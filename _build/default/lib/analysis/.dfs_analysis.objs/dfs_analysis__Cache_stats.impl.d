@@ -1,0 +1,1 @@
+lib/analysis/cache_stats.ml: Dfs_cache Dfs_sim Dfs_util Float List Option

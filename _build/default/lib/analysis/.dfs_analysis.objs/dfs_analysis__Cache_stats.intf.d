@@ -1,0 +1,1 @@
+lib/analysis/cache_stats.mli: Dfs_cache Dfs_sim

@@ -1,0 +1,1 @@
+lib/analysis/consistency_stats.ml: Dfs_trace Hashtbl List

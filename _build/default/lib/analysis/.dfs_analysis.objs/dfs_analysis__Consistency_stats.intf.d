@@ -1,0 +1,1 @@
+lib/analysis/consistency_stats.mli: Dfs_trace

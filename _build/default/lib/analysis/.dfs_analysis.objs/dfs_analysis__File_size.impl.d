@@ -1,0 +1,1 @@
+lib/analysis/file_size.ml: Dfs_util List Session

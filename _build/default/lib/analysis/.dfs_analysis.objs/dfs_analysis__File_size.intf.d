@@ -1,0 +1,1 @@
+lib/analysis/file_size.mli: Dfs_trace Dfs_util Session

@@ -1,0 +1,1 @@
+lib/analysis/lifetime.ml: Dfs_trace Dfs_util Float List Session

@@ -1,0 +1,1 @@
+lib/analysis/lifetime.mli: Dfs_trace Dfs_util

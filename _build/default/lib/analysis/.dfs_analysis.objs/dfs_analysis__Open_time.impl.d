@@ -1,0 +1,1 @@
+lib/analysis/open_time.ml: Dfs_util List Session

@@ -1,0 +1,1 @@
+lib/analysis/open_time.mli: Dfs_trace Dfs_util Session

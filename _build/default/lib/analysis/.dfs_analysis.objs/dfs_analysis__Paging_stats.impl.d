@@ -1,0 +1,1 @@
+lib/analysis/paging_stats.ml: Dfs_sim Dfs_util Format

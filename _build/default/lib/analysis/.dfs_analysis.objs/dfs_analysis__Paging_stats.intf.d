@@ -1,0 +1,1 @@
+lib/analysis/paging_stats.mli: Dfs_sim Format

@@ -1,0 +1,1 @@
+lib/analysis/run_length.ml: Dfs_util List Session

@@ -1,0 +1,1 @@
+lib/analysis/run_length.mli: Dfs_trace Dfs_util Session

@@ -1,0 +1,1 @@
+lib/analysis/server_stats.ml: Dfs_cache Dfs_sim Format List

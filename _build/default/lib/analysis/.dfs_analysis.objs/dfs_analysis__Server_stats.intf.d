@@ -1,0 +1,1 @@
+lib/analysis/server_stats.mli: Dfs_sim Format

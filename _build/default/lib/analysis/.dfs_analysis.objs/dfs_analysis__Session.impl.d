@@ -1,0 +1,1 @@
+lib/analysis/session.ml: Dfs_trace Hashtbl List Option

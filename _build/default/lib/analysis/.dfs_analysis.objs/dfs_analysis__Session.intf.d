@@ -1,0 +1,1 @@
+lib/analysis/session.mli: Dfs_trace

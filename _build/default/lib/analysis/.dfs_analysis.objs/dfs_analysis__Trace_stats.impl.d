@@ -1,0 +1,1 @@
+lib/analysis/trace_stats.ml: Dfs_trace Format List Session

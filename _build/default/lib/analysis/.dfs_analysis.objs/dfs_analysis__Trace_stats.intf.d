@@ -1,0 +1,1 @@
+lib/analysis/trace_stats.mli: Dfs_trace Format

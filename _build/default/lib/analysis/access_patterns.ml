@@ -1,0 +1,71 @@
+type cell = { accesses : int; bytes : int }
+
+type class_report = {
+  total : cell;
+  whole_file : cell;
+  other_sequential : cell;
+  random : cell;
+}
+
+type t = {
+  read_only : class_report;
+  write_only : class_report;
+  read_write : class_report;
+  grand_total : cell;
+}
+
+let zero_cell = { accesses = 0; bytes = 0 }
+
+let zero_class =
+  {
+    total = zero_cell;
+    whole_file = zero_cell;
+    other_sequential = zero_cell;
+    random = zero_cell;
+  }
+
+let bump cell ~bytes = { accesses = cell.accesses + 1; bytes = cell.bytes + bytes }
+
+let bump_class cr ~seq ~bytes =
+  let total = bump cr.total ~bytes in
+  match (seq : Session.sequentiality) with
+  | Session.Whole_file -> { cr with total; whole_file = bump cr.whole_file ~bytes }
+  | Session.Other_sequential ->
+    { cr with total; other_sequential = bump cr.other_sequential ~bytes }
+  | Session.Random -> { cr with total; random = bump cr.random ~bytes }
+
+let analyze accesses =
+  let ro = ref zero_class and wo = ref zero_class and rw = ref zero_class in
+  let grand = ref zero_cell in
+  List.iter
+    (fun (a : Session.access) ->
+      if not a.a_is_dir then
+        match Session.usage a with
+        | None -> ()
+        | Some u ->
+          let bytes = Session.bytes a in
+          let seq = Session.sequentiality a in
+          grand := bump !grand ~bytes;
+          (match u with
+          | Session.Read_only -> ro := bump_class !ro ~seq ~bytes
+          | Session.Write_only -> wo := bump_class !wo ~seq ~bytes
+          | Session.Read_write -> rw := bump_class !rw ~seq ~bytes))
+    accesses;
+  { read_only = !ro; write_only = !wo; read_write = !rw; grand_total = !grand }
+
+let of_trace trace = analyze (Session.of_trace trace)
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let pct_accesses t cr = pct cr.total.accesses t.grand_total.accesses
+
+let pct_bytes t cr = pct cr.total.bytes t.grand_total.bytes
+
+let seq_cell cr = function
+  | Session.Whole_file -> cr.whole_file
+  | Session.Other_sequential -> cr.other_sequential
+  | Session.Random -> cr.random
+
+let seq_pct_accesses cr seq = pct (seq_cell cr seq).accesses cr.total.accesses
+
+let seq_pct_bytes cr seq = pct (seq_cell cr seq).bytes cr.total.bytes

@@ -1,0 +1,134 @@
+module Record = Dfs_trace.Record
+module Ids = Dfs_trace.Ids
+
+type report = {
+  interval : float;
+  avg_active_users : float;
+  sd_active_users : float;
+  max_active_users : int;
+  avg_user_throughput : float;
+  sd_user_throughput : float;
+  peak_user_throughput : float;
+  peak_total_throughput : float;
+}
+
+let analyze ?(migrated_only = false) ~interval trace =
+  match trace with
+  | [] ->
+    {
+      interval;
+      avg_active_users = 0.0;
+      sd_active_users = 0.0;
+      max_active_users = 0;
+      avg_user_throughput = 0.0;
+      sd_user_throughput = 0.0;
+      peak_user_throughput = 0.0;
+      peak_total_throughput = 0.0;
+    }
+  | first :: _ ->
+    let t0 = (first : Record.t).time in
+    let t_end =
+      List.fold_left (fun acc (r : Record.t) -> Float.max acc r.time) t0 trace
+    in
+    let n_buckets =
+      max 1 (1 + int_of_float ((t_end -. t0) /. interval))
+    in
+    let bucket time =
+      min (n_buckets - 1) (int_of_float ((time -. t0) /. interval))
+    in
+    (* (bucket, user) -> bytes; bucket -> active user set *)
+    let bytes_tbl : (int * int, int ref) Hashtbl.t = Hashtbl.create 4096 in
+    let active_tbl : (int, Ids.User.Set.t ref) Hashtbl.t =
+      Hashtbl.create 1024
+    in
+    let mark_active b user =
+      match Hashtbl.find_opt active_tbl b with
+      | Some s -> s := Ids.User.Set.add user !s
+      | None -> Hashtbl.replace active_tbl b (ref (Ids.User.Set.singleton user))
+    in
+    let add_bytes b user n =
+      let key = (b, Ids.User.to_int user) in
+      match Hashtbl.find_opt bytes_tbl key with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.replace bytes_tbl key (ref n)
+    in
+    let relevant (migrated : bool) = (not migrated_only) || migrated in
+    List.iter
+      (fun (r : Record.t) ->
+        if relevant r.migrated then begin
+          mark_active (bucket r.time) r.user;
+          (* shared (pass-through) transfers carry their size directly *)
+          match r.kind with
+          | Record.Shared_read { length; _ } | Record.Shared_write { length; _ }
+            ->
+            add_bytes (bucket r.time) r.user length
+          | Record.Dir_read { bytes } -> add_bytes (bucket r.time) r.user bytes
+          | Record.Open _ | Record.Close _ | Record.Reposition _
+          | Record.Delete _ | Record.Truncate _ ->
+            ()
+        end)
+      trace;
+    Session.run_boundaries trace ~f:(fun a time run ->
+        if relevant a.a_migrated && not a.a_is_dir then
+          add_bytes (bucket time) a.a_user run);
+    (* active-user statistics over every interval, empty ones included *)
+    let users_stats = Dfs_util.Stats.create () in
+    let max_active = ref 0 in
+    for b = 0 to n_buckets - 1 do
+      let n =
+        match Hashtbl.find_opt active_tbl b with
+        | Some s -> Ids.User.Set.cardinal !s
+        | None -> 0
+      in
+      if n > !max_active then max_active := n;
+      Dfs_util.Stats.add users_stats (float_of_int n)
+    done;
+    (* throughput per active user-interval *)
+    let tput_stats = Dfs_util.Stats.create () in
+    let peak_user = ref 0.0 in
+    Hashtbl.iter
+      (fun b s ->
+        Ids.User.Set.iter
+          (fun user ->
+            let bytes =
+              match Hashtbl.find_opt bytes_tbl (b, Ids.User.to_int user) with
+              | Some r -> !r
+              | None -> 0
+            in
+            let kbs = float_of_int bytes /. 1024.0 /. interval in
+            if kbs > !peak_user then peak_user := kbs;
+            Dfs_util.Stats.add tput_stats kbs)
+          !s)
+      active_tbl;
+    (* peak total throughput over intervals *)
+    let totals : (int, int ref) Hashtbl.t = Hashtbl.create 1024 in
+    Hashtbl.iter
+      (fun (b, _) r ->
+        match Hashtbl.find_opt totals b with
+        | Some acc -> acc := !acc + !r
+        | None -> Hashtbl.replace totals b (ref !r))
+      bytes_tbl;
+    let peak_total =
+      Hashtbl.fold
+        (fun _ r acc -> Float.max acc (float_of_int !r /. 1024.0 /. interval))
+        totals 0.0
+    in
+    {
+      interval;
+      avg_active_users = Dfs_util.Stats.mean users_stats;
+      sd_active_users = Dfs_util.Stats.stddev users_stats;
+      max_active_users = !max_active;
+      avg_user_throughput = Dfs_util.Stats.mean tput_stats;
+      sd_user_throughput = Dfs_util.Stats.stddev tput_stats;
+      peak_user_throughput = !peak_user;
+      peak_total_throughput = peak_total;
+    }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>interval %.0fs: active users avg %.1f (sd %.1f) max %d;@ \
+     throughput/user avg %.2f KB/s (sd %.2f) peak %.0f KB/s; peak total \
+     %.0f KB/s@]"
+    r.interval r.avg_active_users r.sd_active_users r.max_active_users
+    r.avg_user_throughput r.sd_user_throughput r.peak_user_throughput
+    r.peak_total_throughput

@@ -1,0 +1,20 @@
+type t = { by_files : Dfs_util.Cdf.t; by_bytes : Dfs_util.Cdf.t }
+
+let analyze accesses =
+  let by_files = Dfs_util.Cdf.create () in
+  let by_bytes = Dfs_util.Cdf.create () in
+  List.iter
+    (fun (a : Session.access) ->
+      if not a.a_is_dir then begin
+        let size = float_of_int a.a_size_close in
+        let transferred = Session.bytes a in
+        Dfs_util.Cdf.add by_files size;
+        if transferred > 0 then
+          Dfs_util.Cdf.add by_bytes ~weight:(float_of_int transferred) size
+      end)
+    accesses;
+  { by_files; by_bytes }
+
+let of_trace trace = analyze (Session.of_trace trace)
+
+let default_xs = Dfs_util.Cdf.log_xs ~lo:100.0 ~hi:10_485_760.0 ~per_decade:4

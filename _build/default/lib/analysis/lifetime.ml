@@ -1,0 +1,97 @@
+module Record = Dfs_trace.Record
+module Ids = Dfs_trace.Ids
+
+type t = {
+  by_files : Dfs_util.Cdf.t;
+  by_bytes : Dfs_util.Cdf.t;
+  deaths_aged : int;
+  deaths_unknown : int;
+}
+
+type write_state = { mutable oldest : float; mutable newest : float }
+
+(* Number of interpolation points when spreading a dead file's bytes over
+   the oldest..newest age range. *)
+let byte_samples = 8
+
+let analyze trace =
+  let by_files = Dfs_util.Cdf.create () in
+  let by_bytes = Dfs_util.Cdf.create () in
+  let aged = ref 0 and unknown = ref 0 in
+  let states : write_state Ids.File.Tbl.t = Ids.File.Tbl.create 1024 in
+  (* Interleave write-bearing closes with deletes/truncates in time order:
+     closes are emitted by the session scan at close time, which is also
+     their position in the record list, so a single merge suffices. *)
+  let events =
+    let accesses =
+      Session.of_trace trace
+      |> List.filter (fun (a : Session.access) ->
+             (not a.a_is_dir) && a.a_bytes_written > 0)
+      |> List.map (fun a -> (a.Session.a_close_time, `Write a))
+    in
+    let deaths =
+      List.filter_map
+        (fun (r : Record.t) ->
+          match r.kind with
+          | Record.Delete { size; is_dir = false } ->
+            Some (r.time, `Death (r.file, size))
+          | Record.Truncate { old_size } ->
+            Some (r.time, `Death (r.file, old_size))
+          | Record.Delete _ | Record.Open _ | Record.Close _
+          | Record.Reposition _ | Record.Dir_read _ | Record.Shared_read _
+          | Record.Shared_write _ ->
+            None)
+        trace
+    in
+    List.sort (fun (a, _) (b, _) -> Float.compare a b) (accesses @ deaths)
+  in
+  let record_death ~now ~file ~size =
+    match Ids.File.Tbl.find_opt states file with
+    | None -> incr unknown
+    | Some st ->
+      incr aged;
+      let age_oldest = now -. st.oldest and age_newest = now -. st.newest in
+      Dfs_util.Cdf.add by_files ((age_oldest +. age_newest) /. 2.0);
+      if size > 0 then begin
+        (* sequential-write assumption: byte at fractional offset f was
+           written at oldest + f * (newest - oldest) *)
+        let w = float_of_int size /. float_of_int byte_samples in
+        for i = 0 to byte_samples - 1 do
+          let f = (float_of_int i +. 0.5) /. float_of_int byte_samples in
+          let written = st.oldest +. (f *. (st.newest -. st.oldest)) in
+          Dfs_util.Cdf.add by_bytes ~weight:w (now -. written)
+        done
+      end;
+      Ids.File.Tbl.remove states file
+  in
+  List.iter
+    (fun (time, ev) ->
+      match ev with
+      | `Write (a : Session.access) -> (
+        let covered_whole =
+          a.a_bytes_written >= a.a_size_close && a.a_size_close > 0
+        in
+        match Ids.File.Tbl.find_opt states a.a_file with
+        | Some st ->
+          if covered_whole then begin
+            st.oldest <- a.a_open_time;
+            st.newest <- a.a_close_time
+          end
+          else st.newest <- a.a_close_time
+        | None ->
+          Ids.File.Tbl.replace states a.a_file
+            { oldest = a.a_open_time; newest = a.a_close_time })
+      | `Death (file, size) -> record_death ~now:time ~file ~size)
+    events;
+  {
+    by_files;
+    by_bytes;
+    deaths_aged = !aged;
+    deaths_unknown = !unknown;
+  }
+
+let default_xs = Dfs_util.Cdf.log_xs ~lo:1.0 ~hi:10_000_000.0 ~per_decade:3
+
+let fraction_files_under t secs = Dfs_util.Cdf.fraction_below t.by_files secs
+
+let fraction_bytes_under t secs = Dfs_util.Cdf.fraction_below t.by_bytes secs

@@ -1,0 +1,15 @@
+type t = { by_opens : Dfs_util.Cdf.t }
+
+let analyze accesses =
+  let by_opens = Dfs_util.Cdf.create () in
+  List.iter
+    (fun (a : Session.access) ->
+      if not a.a_is_dir then Dfs_util.Cdf.add by_opens (Session.duration a))
+    accesses;
+  { by_opens }
+
+let of_trace trace = analyze (Session.of_trace trace)
+
+let default_xs = Dfs_util.Cdf.log_xs ~lo:0.01 ~hi:100.0 ~per_decade:4
+
+let fraction_under t secs = Dfs_util.Cdf.fraction_below t.by_opens secs

@@ -1,0 +1,22 @@
+type t = { by_runs : Dfs_util.Cdf.t; by_bytes : Dfs_util.Cdf.t }
+
+let analyze accesses =
+  let by_runs = Dfs_util.Cdf.create () in
+  let by_bytes = Dfs_util.Cdf.create () in
+  List.iter
+    (fun (a : Session.access) ->
+      if not a.a_is_dir then
+        List.iter
+          (fun run ->
+            if run > 0 then begin
+              let r = float_of_int run in
+              Dfs_util.Cdf.add by_runs r;
+              Dfs_util.Cdf.add by_bytes ~weight:r r
+            end)
+          a.a_runs)
+    accesses;
+  { by_runs; by_bytes }
+
+let of_trace trace = analyze (Session.of_trace trace)
+
+let default_xs = Dfs_util.Cdf.log_xs ~lo:100.0 ~hi:10_485_760.0 ~per_decade:4

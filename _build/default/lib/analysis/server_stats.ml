@@ -1,0 +1,45 @@
+type t = {
+  server_read_ops : int;
+  server_read_hit_pct : float;
+  disk_reads : int;
+  disk_writes : int;
+  disk_read_mb : float;
+  disk_write_mb : float;
+  disk_read_write_ratio : float;
+}
+
+let analyze servers =
+  let ops = ref 0 and hits = ref 0 in
+  let d_reads = ref 0 and d_writes = ref 0 in
+  let d_rbytes = ref 0 and d_wbytes = ref 0 in
+  List.iter
+    (fun server ->
+      let s = (Dfs_cache.Block_cache.stats (Dfs_sim.Server.cache server)).all in
+      ops := !ops + s.read_ops;
+      hits := !hits + s.read_hits;
+      let disk = Dfs_sim.Server.disk server in
+      d_reads := !d_reads + Dfs_sim.Disk.reads disk;
+      d_writes := !d_writes + Dfs_sim.Disk.writes disk;
+      d_rbytes := !d_rbytes + Dfs_sim.Disk.bytes_read disk;
+      d_wbytes := !d_wbytes + Dfs_sim.Disk.bytes_written disk)
+    servers;
+  {
+    server_read_ops = !ops;
+    server_read_hit_pct =
+      (if !ops = 0 then 0.0
+       else 100.0 *. float_of_int !hits /. float_of_int !ops);
+    disk_reads = !d_reads;
+    disk_writes = !d_writes;
+    disk_read_mb = float_of_int !d_rbytes /. 1048576.0;
+    disk_write_mb = float_of_int !d_wbytes /. 1048576.0;
+    disk_read_write_ratio =
+      (if !d_wbytes = 0 then 0.0
+       else float_of_int !d_rbytes /. float_of_int !d_wbytes);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>server caches: %.1f%% read hits over %d ops;@ disks: %d reads \
+     (%.1f MB) vs %d writes (%.1f MB), read:write %.2f@]"
+    t.server_read_hit_pct t.server_read_ops t.disk_reads t.disk_read_mb
+    t.disk_writes t.disk_write_mb t.disk_read_write_ratio

@@ -1,0 +1,20 @@
+(** The server side of the cache hierarchy.
+
+    Table 7's caption notes that the server's own cache "would further
+    reduce the ratio of read traffic seen by the server's disk"; this
+    module reports that second-level filtering: server-cache hit ratios
+    and what actually reached the disks. *)
+
+type t = {
+  server_read_ops : int;
+  server_read_hit_pct : float;  (** server cache hit ratio *)
+  disk_reads : int;
+  disk_writes : int;
+  disk_read_mb : float;
+  disk_write_mb : float;
+  disk_read_write_ratio : float;  (** bytes read / bytes written at the disk *)
+}
+
+val analyze : Dfs_sim.Server.t list -> t
+
+val pp : Format.formatter -> t -> unit

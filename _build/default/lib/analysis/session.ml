@@ -1,0 +1,169 @@
+module Record = Dfs_trace.Record
+module Ids = Dfs_trace.Ids
+
+type access = {
+  a_user : Ids.User.t;
+  a_client : Ids.Client.t;
+  a_migrated : bool;
+  a_file : Ids.File.t;
+  a_is_dir : bool;
+  a_mode : Record.open_mode;
+  a_open_time : float;
+  a_close_time : float;
+  a_size_open : int;
+  a_size_close : int;
+  a_bytes_read : int;
+  a_bytes_written : int;
+  a_runs : int list;
+  a_repositions : int;
+}
+
+type usage = Read_only | Write_only | Read_write
+
+let usage a =
+  match (a.a_bytes_read > 0, a.a_bytes_written > 0) with
+  | true, false -> Some Read_only
+  | false, true -> Some Write_only
+  | true, true -> Some Read_write
+  | false, false -> None
+
+type sequentiality = Whole_file | Other_sequential | Random
+
+let sequentiality a =
+  match a.a_runs with
+  | [] -> Other_sequential
+  | [ run ] ->
+    (* One sequential run; whole-file when it covered the file start to
+       finish.  For reads the reference size is the size at open, for
+       writes the size at close. *)
+    let reference =
+      if a.a_bytes_written > 0 then a.a_size_close else a.a_size_open
+    in
+    if a.a_repositions = 0 && run >= reference && reference > 0 then Whole_file
+    else Other_sequential
+  | _ :: _ :: _ -> Random
+
+let bytes a = a.a_bytes_read + a.a_bytes_written
+
+let duration a = a.a_close_time -. a.a_open_time
+
+(* In-progress open handle. *)
+type pending = {
+  p_user : Ids.User.t;
+  p_client : Ids.Client.t;
+  p_migrated : bool;
+  p_file : Ids.File.t;
+  p_is_dir : bool;
+  p_mode : Record.open_mode;
+  p_open_time : float;
+  p_size_open : int;
+  mutable run_start : int;
+  mutable runs_rev : int list;
+  mutable repositions : int;
+}
+
+let handle_key (r : Record.t) =
+  ( Ids.Client.to_int r.client,
+    Ids.Process.to_int r.pid,
+    Ids.File.to_int r.file )
+
+let scan trace ~on_boundary ~on_close =
+  let open_tbl : (int * int * int, pending list) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let push key p =
+    let l = Option.value ~default:[] (Hashtbl.find_opt open_tbl key) in
+    Hashtbl.replace open_tbl key (p :: l)
+  in
+  let top key =
+    match Hashtbl.find_opt open_tbl key with
+    | Some (p :: _) -> Some p
+    | Some [] | None -> None
+  in
+  let pop key =
+    match Hashtbl.find_opt open_tbl key with
+    | Some (p :: rest) ->
+      if rest = [] then Hashtbl.remove open_tbl key
+      else Hashtbl.replace open_tbl key rest;
+      Some p
+    | Some [] | None -> None
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      match r.kind with
+      | Record.Open { mode; created = _; is_dir; size; start_pos } ->
+        push (handle_key r)
+          {
+            p_user = r.user;
+            p_client = r.client;
+            p_migrated = r.migrated;
+            p_file = r.file;
+            p_is_dir = is_dir;
+            p_mode = mode;
+            p_open_time = r.time;
+            p_size_open = size;
+            run_start = start_pos;
+            runs_rev = [];
+            repositions = 0;
+          }
+      | Record.Reposition { pos_before; pos_after } -> (
+        match top (handle_key r) with
+        | None -> ()
+        | Some p ->
+          let run = pos_before - p.run_start in
+          if run > 0 then begin
+            p.runs_rev <- run :: p.runs_rev;
+            on_boundary p r.time run
+          end;
+          p.run_start <- pos_after;
+          p.repositions <- p.repositions + 1)
+      | Record.Close { size; final_pos; bytes_read; bytes_written } -> (
+        match pop (handle_key r) with
+        | None -> ()
+        | Some p ->
+          let run = final_pos - p.run_start in
+          if run > 0 then begin
+            p.runs_rev <- run :: p.runs_rev;
+            on_boundary p r.time run
+          end;
+          on_close p r.time ~size ~bytes_read ~bytes_written)
+      | Record.Delete _ | Record.Truncate _ | Record.Dir_read _
+      | Record.Shared_read _ | Record.Shared_write _ ->
+        ())
+    trace
+
+let finish (p : pending) close_time ~size ~bytes_read ~bytes_written =
+  {
+    a_user = p.p_user;
+    a_client = p.p_client;
+    a_migrated = p.p_migrated;
+    a_file = p.p_file;
+    a_is_dir = p.p_is_dir;
+    a_mode = p.p_mode;
+    a_open_time = p.p_open_time;
+    a_close_time = close_time;
+    a_size_open = p.p_size_open;
+    a_size_close = size;
+    a_bytes_read = bytes_read;
+    a_bytes_written = bytes_written;
+    a_runs = List.rev p.runs_rev;
+    a_repositions = p.repositions;
+  }
+
+let of_trace trace =
+  let acc = ref [] in
+  scan trace
+    ~on_boundary:(fun _ _ _ -> ())
+    ~on_close:(fun p time ~size ~bytes_read ~bytes_written ->
+      acc := finish p time ~size ~bytes_read ~bytes_written :: !acc);
+  List.rev !acc
+
+let run_boundaries trace ~f =
+  scan trace
+    ~on_boundary:(fun p time run ->
+      (* expose the in-progress access; totals are placeholders *)
+      let partial =
+        finish p time ~size:p.p_size_open ~bytes_read:0 ~bytes_written:0
+      in
+      f partial time run)
+    ~on_close:(fun _ _ ~size:_ ~bytes_read:_ ~bytes_written:_ -> ())

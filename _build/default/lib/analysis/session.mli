@@ -1,0 +1,54 @@
+(** Reconstruction of per-access information from a trace.
+
+    The traces record positions at opens, closes and repositions — not
+    individual reads and writes — so, exactly as in the BSD study and the
+    paper, the byte ranges transferred are {e deduced}: every interval
+    between two consecutive position-defining events is one sequential
+    run.  An {e access} is one open-use-close episode of one file by one
+    process. *)
+
+type access = {
+  a_user : Dfs_trace.Ids.User.t;
+  a_client : Dfs_trace.Ids.Client.t;
+  a_migrated : bool;
+  a_file : Dfs_trace.Ids.File.t;
+  a_is_dir : bool;
+  a_mode : Dfs_trace.Record.open_mode;  (** the mode the file was opened in *)
+  a_open_time : float;
+  a_close_time : float;
+  a_size_open : int;  (** file size at open *)
+  a_size_close : int;  (** file size at close *)
+  a_bytes_read : int;
+  a_bytes_written : int;
+  a_runs : int list;  (** sequential run lengths, in event order *)
+  a_repositions : int;
+}
+
+type usage = Read_only | Write_only | Read_write
+(** Actual usage during the access (not the open mode). *)
+
+val usage : access -> usage option
+(** [None] when the access transferred no bytes. *)
+
+type sequentiality = Whole_file | Other_sequential | Random
+
+val sequentiality : access -> sequentiality
+(** Whole-file: the entire file was transferred in one run from start to
+    finish; other-sequential: a single sequential run; random: anything
+    else. *)
+
+val bytes : access -> int
+
+val duration : access -> float
+
+val of_trace : Dfs_trace.Record.t list -> access list
+(** Replay the trace and return completed accesses in close-time order.
+    Opens with no matching close (trace cut off) are dropped, as are
+    closes with no matching open. *)
+
+val run_boundaries :
+  Dfs_trace.Record.t list -> f:(access -> float -> int -> unit) -> unit
+(** Lower-level interface for interval analyses: invokes [f access time
+    run_bytes] at each run boundary (reposition or close), attributing the
+    run's bytes at the moment they are known.  [access] is the in-progress
+    access (its totals may be incomplete at callback time). *)

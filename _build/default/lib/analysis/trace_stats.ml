@@ -1,0 +1,85 @@
+module Record = Dfs_trace.Record
+module Ids = Dfs_trace.Ids
+
+type t = {
+  duration_hours : float;
+  different_users : int;
+  users_of_migration : int;
+  mbytes_read_files : float;
+  mbytes_written_files : float;
+  mbytes_read_dirs : float;
+  open_events : int;
+  close_events : int;
+  reposition_events : int;
+  delete_events : int;
+  truncate_events : int;
+  shared_read_events : int;
+  shared_write_events : int;
+}
+
+let mb bytes = float_of_int bytes /. 1048576.0
+
+let of_trace trace =
+  let users = ref Ids.User.Set.empty in
+  let migration_users = ref Ids.User.Set.empty in
+  let opens = ref 0
+  and closes = ref 0
+  and seeks = ref 0
+  and deletes = ref 0
+  and truncates = ref 0
+  and sreads = ref 0
+  and swrites = ref 0 in
+  let dir_bytes = ref 0 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  (* Regular-file byte totals come from the access reconstruction so that
+     directory closes are excluded. *)
+  let read_bytes = ref 0 and written_bytes = ref 0 in
+  List.iter
+    (fun (a : Session.access) ->
+      if not a.a_is_dir then begin
+        read_bytes := !read_bytes + a.a_bytes_read;
+        written_bytes := !written_bytes + a.a_bytes_written
+      end)
+    (Session.of_trace trace);
+  List.iter
+    (fun (r : Record.t) ->
+      users := Ids.User.Set.add r.user !users;
+      if r.migrated then migration_users := Ids.User.Set.add r.user !migration_users;
+      if r.time < !t_min then t_min := r.time;
+      if r.time > !t_max then t_max := r.time;
+      match r.kind with
+      | Record.Open _ -> incr opens
+      | Record.Close _ -> incr closes
+      | Record.Reposition _ -> incr seeks
+      | Record.Delete _ -> incr deletes
+      | Record.Truncate _ -> incr truncates
+      | Record.Dir_read { bytes } -> dir_bytes := !dir_bytes + bytes
+      | Record.Shared_read _ -> incr sreads
+      | Record.Shared_write _ -> incr swrites)
+    trace;
+  {
+    duration_hours =
+      (if !t_max > !t_min then (!t_max -. !t_min) /. 3600.0 else 0.0);
+    different_users = Ids.User.Set.cardinal !users;
+    users_of_migration = Ids.User.Set.cardinal !migration_users;
+    mbytes_read_files = mb !read_bytes;
+    mbytes_written_files = mb !written_bytes;
+    mbytes_read_dirs = mb !dir_bytes;
+    open_events = !opens;
+    close_events = !closes;
+    reposition_events = !seeks;
+    delete_events = !deletes;
+    truncate_events = !truncates;
+    shared_read_events = !sreads;
+    shared_write_events = !swrites;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>duration: %.1f h; users: %d (%d w/ migration);@ files: %.1f MB \
+     read, %.1f MB written; dirs: %.1f MB read;@ events: %d open %d close \
+     %d seek %d delete %d truncate %d sread %d swrite@]"
+    t.duration_hours t.different_users t.users_of_migration
+    t.mbytes_read_files t.mbytes_written_files t.mbytes_read_dirs
+    t.open_events t.close_events t.reposition_events t.delete_events
+    t.truncate_events t.shared_read_events t.shared_write_events

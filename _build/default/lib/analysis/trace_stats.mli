@@ -1,0 +1,24 @@
+(** Table 1: overall trace statistics. *)
+
+type t = {
+  duration_hours : float;
+  different_users : int;
+  users_of_migration : int;
+  mbytes_read_files : float;
+  mbytes_written_files : float;
+  mbytes_read_dirs : float;
+  open_events : int;
+  close_events : int;
+  reposition_events : int;
+  delete_events : int;
+  truncate_events : int;
+  shared_read_events : int;
+  shared_write_events : int;
+}
+
+val of_trace : Dfs_trace.Record.t list -> t
+(** Event counts straight off the records; megabytes read/written come
+    from the per-access totals carried on closes of regular files
+    (directory data is counted separately, from directory-read records). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cache/block_cache.ml: Dfs_trace Dfs_util Hashtbl List Option

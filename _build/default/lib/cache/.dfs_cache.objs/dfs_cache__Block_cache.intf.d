@@ -1,0 +1,1 @@
+lib/cache/block_cache.mli: Dfs_trace Dfs_util

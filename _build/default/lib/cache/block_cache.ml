@@ -1,0 +1,428 @@
+module File = Dfs_trace.Ids.File
+
+type clean_reason =
+  | Clean_delay
+  | Clean_fsync
+  | Clean_recall
+  | Clean_vm
+  | Clean_eviction
+
+let clean_reason_name = function
+  | Clean_delay -> "30-second delay"
+  | Clean_fsync -> "write-through requested by application"
+  | Clean_recall -> "server recall"
+  | Clean_vm -> "virtual memory page"
+  | Clean_eviction -> "replacement of dirty block"
+
+type replace_reason = Replace_for_block | Replace_to_vm
+
+type traffic_class = Class_file | Class_paging
+
+type config = {
+  block_size : int;
+  writeback_delay : float;
+  capacity_blocks : int;
+  min_capacity_blocks : int;
+}
+
+let default_config =
+  {
+    block_size = Dfs_util.Units.block_size;
+    writeback_delay = 30.0;
+    capacity_blocks = 512;
+    min_capacity_blocks = 128;
+  }
+
+type backend = {
+  fetch :
+    cls:traffic_class -> file:File.t -> index:int -> bytes:int -> unit;
+  writeback :
+    file:File.t -> index:int -> bytes:int -> reason:clean_reason -> unit;
+}
+
+type block = {
+  b_file : File.t;
+  b_index : int;
+  mutable dirty : bool;
+  mutable dirtied_at : float;  (* first dirtied since last clean *)
+  mutable last_write : float;
+  mutable last_ref : float;
+  mutable dirty_high : int;  (* writeback extent, from the block start *)
+}
+
+module Key = struct
+  type t = int * int
+
+  let equal (a1, a2) (b1, b2) = a1 = b1 && a2 = b2
+
+  let hash = Hashtbl.hash
+end
+
+module L = Dfs_util.Lru.Make (Key)
+
+type class_stats = {
+  mutable read_ops : int;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable bytes_read : int;
+  mutable bytes_fetched : int;
+  mutable write_ops : int;
+  mutable write_fetches : int;
+  mutable write_fetch_bytes : int;
+  mutable bytes_written : int;
+}
+
+let fresh_class_stats () =
+  {
+    read_ops = 0;
+    read_hits = 0;
+    read_misses = 0;
+    bytes_read = 0;
+    bytes_fetched = 0;
+    write_ops = 0;
+    write_fetches = 0;
+    write_fetch_bytes = 0;
+    bytes_written = 0;
+  }
+
+type stats = {
+  all : class_stats;
+  file : class_stats;
+  paging : class_stats;
+  migrated : class_stats;
+  mutable writeback_bytes : int;
+  mutable dirty_bytes_discarded : int;
+  cleanings : (clean_reason * Dfs_util.Stats.t) list;
+  replacements : (replace_reason * Dfs_util.Stats.t) list;
+}
+
+type t = {
+  cfg : config;
+  backend : backend;
+  lru : block L.t;
+  files : (int, (int, block) Hashtbl.t) Hashtbl.t;
+  dirty_files : (int, int) Hashtbl.t;  (* file -> dirty block count *)
+  mutable capacity : int;
+  mutable dirty_count : int;
+  stats : stats;
+}
+
+let create ?(config = default_config) backend =
+  {
+    cfg = config;
+    backend;
+    lru = L.create ();
+    files = Hashtbl.create 256;
+    dirty_files = Hashtbl.create 64;
+    capacity = max 1 config.capacity_blocks;
+    dirty_count = 0;
+    stats =
+      {
+        all = fresh_class_stats ();
+        file = fresh_class_stats ();
+        paging = fresh_class_stats ();
+        migrated = fresh_class_stats ();
+        writeback_bytes = 0;
+        dirty_bytes_discarded = 0;
+        cleanings =
+          List.map
+            (fun r -> (r, Dfs_util.Stats.create ()))
+            [ Clean_delay; Clean_fsync; Clean_recall; Clean_vm; Clean_eviction ];
+        replacements =
+          List.map
+            (fun r -> (r, Dfs_util.Stats.create ()))
+            [ Replace_for_block; Replace_to_vm ];
+      };
+  }
+
+let config t = t.cfg
+
+let capacity t = t.capacity
+
+let size t = L.length t.lru
+
+let resident_bytes t = size t * t.cfg.block_size
+
+let stats t = t.stats
+
+let dirty_blocks t = t.dirty_count
+
+(* -- internal bookkeeping ------------------------------------------------ *)
+
+let file_tbl t file =
+  let fid = File.to_int file in
+  match Hashtbl.find_opt t.files fid with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.replace t.files fid tbl;
+    tbl
+
+let note_dirty t b =
+  if not b.dirty then begin
+    b.dirty <- true;
+    t.dirty_count <- t.dirty_count + 1;
+    let fid = File.to_int b.b_file in
+    let n = Option.value ~default:0 (Hashtbl.find_opt t.dirty_files fid) in
+    Hashtbl.replace t.dirty_files fid (n + 1)
+  end
+
+let note_clean t b =
+  if b.dirty then begin
+    b.dirty <- false;
+    b.dirty_high <- 0;
+    t.dirty_count <- t.dirty_count - 1;
+    let fid = File.to_int b.b_file in
+    match Hashtbl.find_opt t.dirty_files fid with
+    | Some n when n > 1 -> Hashtbl.replace t.dirty_files fid (n - 1)
+    | Some _ -> Hashtbl.remove t.dirty_files fid
+    | None -> assert false
+  end
+
+let cleaning_stat t reason = List.assoc reason t.stats.cleanings
+
+let replacement_stat t reason = List.assoc reason t.stats.replacements
+
+let clean_block t ~now b ~reason =
+  if b.dirty then begin
+    let bytes = b.dirty_high in
+    t.backend.writeback ~file:b.b_file ~index:b.b_index ~bytes ~reason;
+    t.stats.writeback_bytes <- t.stats.writeback_bytes + bytes;
+    Dfs_util.Stats.add (cleaning_stat t reason) (now -. b.last_write);
+    note_clean t b
+  end
+
+let drop_block t b ~discard_dirty =
+  if b.dirty then begin
+    if discard_dirty then
+      t.stats.dirty_bytes_discarded <-
+        t.stats.dirty_bytes_discarded + b.dirty_high;
+    note_clean t b
+  end;
+  let fid = File.to_int b.b_file in
+  (match Hashtbl.find_opt t.files fid with
+  | Some tbl ->
+    Hashtbl.remove tbl b.b_index;
+    if Hashtbl.length tbl = 0 then Hashtbl.remove t.files fid
+  | None -> assert false);
+  ignore (L.remove t.lru (fid, b.b_index))
+
+let evict_one t ~now ~reason =
+  match L.pop_lru t.lru with
+  | None -> false
+  | Some (_, b) ->
+    (* A dirty victim must reach the server before its page is reused. *)
+    (match reason with
+    | Replace_to_vm -> clean_block t ~now b ~reason:Clean_vm
+    | Replace_for_block -> clean_block t ~now b ~reason:Clean_eviction);
+    Dfs_util.Stats.add (replacement_stat t reason) (now -. b.last_ref);
+    let fid = File.to_int b.b_file in
+    (match Hashtbl.find_opt t.files fid with
+    | Some tbl ->
+      Hashtbl.remove tbl b.b_index;
+      if Hashtbl.length tbl = 0 then Hashtbl.remove t.files fid
+    | None -> assert false);
+    true
+
+let insert_block t ~now ~file ~index =
+  while L.length t.lru >= t.capacity do
+    if not (evict_one t ~now ~reason:Replace_for_block) then
+      (* capacity is >= 1 and the LRU is non-empty whenever size >= capacity *)
+      assert false
+  done;
+  let b =
+    {
+      b_file = file;
+      b_index = index;
+      dirty = false;
+      dirtied_at = now;
+      last_write = now;
+      last_ref = now;
+      dirty_high = 0;
+    }
+  in
+  Hashtbl.replace (file_tbl t file) index b;
+  L.add t.lru (File.to_int file, index) b;
+  b
+
+let find_block t ~file ~index =
+  match Hashtbl.find_opt t.files (File.to_int file) with
+  | None -> None
+  | Some tbl -> Hashtbl.find_opt tbl index
+
+let touch t b ~now =
+  b.last_ref <- now;
+  ignore (L.use t.lru (File.to_int b.b_file, b.b_index))
+
+(* -- stats helpers ------------------------------------------------------- *)
+
+let class_targets t ~cls ~migrated =
+  let base =
+    match cls with Class_file -> t.stats.file | Class_paging -> t.stats.paging
+  in
+  if migrated then [ t.stats.all; base; t.stats.migrated ]
+  else [ t.stats.all; base ]
+
+(* -- data path ----------------------------------------------------------- *)
+
+(* Iterate the blocks overlapped by [off, off+len), calling
+   [f ~index ~lo ~hi] with the within-block byte range. *)
+let iter_blocks t ~off ~len f =
+  if len > 0 then begin
+    let bs = t.cfg.block_size in
+    let first = off / bs and last = (off + len - 1) / bs in
+    for index = first to last do
+      let block_start = index * bs in
+      let lo = max off block_start - block_start in
+      let hi = min (off + len) (block_start + bs) - block_start in
+      f ~index ~lo ~hi
+    done
+  end
+
+let read t ~now ~cls ~migrated ~file ~file_size ~off ~len =
+  let targets = class_targets t ~cls ~migrated in
+  iter_blocks t ~off ~len (fun ~index ~lo ~hi ->
+      let wanted = hi - lo in
+      List.iter
+        (fun s ->
+          s.read_ops <- s.read_ops + 1;
+          s.bytes_read <- s.bytes_read + wanted)
+        targets;
+      match find_block t ~file ~index with
+      | Some b ->
+        List.iter (fun s -> s.read_hits <- s.read_hits + 1) targets;
+        touch t b ~now
+      | None ->
+        let block_start = index * t.cfg.block_size in
+        let avail = max 0 (min t.cfg.block_size (file_size - block_start)) in
+        t.backend.fetch ~cls ~file ~index ~bytes:avail;
+        List.iter
+          (fun s ->
+            s.read_misses <- s.read_misses + 1;
+            s.bytes_fetched <- s.bytes_fetched + avail)
+          targets;
+        let b = insert_block t ~now ~file ~index in
+        touch t b ~now)
+
+let write t ~now ~cls ~migrated ~file ~file_size ~off ~len =
+  let targets = class_targets t ~cls ~migrated in
+  iter_blocks t ~off ~len (fun ~index ~lo ~hi ->
+      let written = hi - lo in
+      List.iter
+        (fun s ->
+          s.write_ops <- s.write_ops + 1;
+          s.bytes_written <- s.bytes_written + written)
+        targets;
+      let b =
+        match find_block t ~file ~index with
+        | Some b -> b
+        | None ->
+          let block_start = index * t.cfg.block_size in
+          let existing =
+            max 0 (min t.cfg.block_size (file_size - block_start))
+          in
+          (* A partial write of a non-resident block that already holds
+             data must fetch the block first (a "write fetch"); writes
+             covering all existing data need no fetch. *)
+          if lo > 0 && existing > 0 && block_start < file_size then begin
+            t.backend.fetch ~cls ~file ~index ~bytes:existing;
+            List.iter
+              (fun s ->
+                s.write_fetches <- s.write_fetches + 1;
+                s.write_fetch_bytes <- s.write_fetch_bytes + existing)
+              targets
+          end
+          else if lo = 0 && hi < existing then begin
+            (* overwrite of the block's head only: the tail must survive *)
+            t.backend.fetch ~cls ~file ~index ~bytes:existing;
+            List.iter
+              (fun s ->
+                s.write_fetches <- s.write_fetches + 1;
+                s.write_fetch_bytes <- s.write_fetch_bytes + existing)
+              targets
+          end;
+          insert_block t ~now ~file ~index
+      in
+      if not b.dirty then b.dirtied_at <- now;
+      note_dirty t b;
+      b.last_write <- now;
+      (* Writebacks cover the block from its start to the end of the new
+         data — the append behaviour the paper blames for writeback-traffic
+         variance. *)
+      b.dirty_high <- max b.dirty_high hi;
+      touch t b ~now)
+
+let blocks_of_file t file =
+  match Hashtbl.find_opt t.files (File.to_int file) with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun _ b acc -> b :: acc) tbl []
+
+let clean_file t ~now ~file ~reason =
+  List.iter
+    (fun b -> clean_block t ~now b ~reason)
+    (blocks_of_file t file)
+
+let fsync t ~now ~file = clean_file t ~now ~file ~reason:Clean_fsync
+
+let recall t ~now ~file = clean_file t ~now ~file ~reason:Clean_recall
+
+let invalidate t ~now ~file =
+  ignore now;
+  List.iter (fun b -> drop_block t b ~discard_dirty:true) (blocks_of_file t file)
+
+let flush_and_invalidate t ~now ~file =
+  clean_file t ~now ~file ~reason:Clean_recall;
+  invalidate t ~now ~file
+
+let delete t ~now ~file = invalidate t ~now ~file
+
+let tick t ~now =
+  (* Any file with a block dirty for [writeback_delay] has ALL its dirty
+     blocks written back — Sprite's policy. *)
+  let expired =
+    Hashtbl.fold
+      (fun fid _ acc ->
+        let file = File.of_int fid in
+        let has_expired =
+          List.exists
+            (fun b ->
+              b.dirty && now -. b.dirtied_at >= t.cfg.writeback_delay)
+            (blocks_of_file t file)
+        in
+        if has_expired then file :: acc else acc)
+      t.dirty_files []
+  in
+  List.iter
+    (fun file -> clean_file t ~now ~file ~reason:Clean_delay)
+    expired
+
+let set_capacity t ~now blocks =
+  let blocks = max t.cfg.min_capacity_blocks blocks in
+  t.capacity <- max 1 blocks;
+  while L.length t.lru > t.capacity do
+    if not (evict_one t ~now ~reason:Replace_to_vm) then assert false
+  done
+
+let check_invariants t =
+  let indexed =
+    Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.files 0
+  in
+  assert (indexed = L.length t.lru);
+  assert (L.length t.lru <= t.capacity);
+  let dirty = ref 0 in
+  Hashtbl.iter
+    (fun _ tbl -> Hashtbl.iter (fun _ b -> if b.dirty then incr dirty) tbl)
+    t.files;
+  assert (!dirty = t.dirty_count);
+  let per_file_dirty = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun fid tbl ->
+      let n =
+        Hashtbl.fold (fun _ b acc -> if b.dirty then acc + 1 else acc) tbl 0
+      in
+      if n > 0 then Hashtbl.replace per_file_dirty fid n)
+    t.files;
+  assert (Hashtbl.length per_file_dirty = Hashtbl.length t.dirty_files);
+  Hashtbl.iter
+    (fun fid n -> assert (Hashtbl.find_opt per_file_dirty fid = Some n))
+    t.dirty_files

@@ -1,0 +1,1 @@
+lib/consistency/client_cache_sim.mli:

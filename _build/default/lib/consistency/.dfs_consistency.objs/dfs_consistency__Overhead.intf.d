@@ -1,0 +1,1 @@
+lib/consistency/overhead.mli:

@@ -1,0 +1,1 @@
+lib/consistency/polling.ml: Dfs_trace Hashtbl List

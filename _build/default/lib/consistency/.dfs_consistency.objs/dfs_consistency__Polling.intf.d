@@ -1,0 +1,1 @@
+lib/consistency/polling.mli: Dfs_trace

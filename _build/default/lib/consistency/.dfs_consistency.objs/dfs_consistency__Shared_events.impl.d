@@ -1,0 +1,1 @@
+lib/consistency/shared_events.ml: Dfs_trace Hashtbl List

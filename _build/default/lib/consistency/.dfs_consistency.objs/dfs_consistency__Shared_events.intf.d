@@ -1,0 +1,1 @@
+lib/consistency/shared_events.mli: Dfs_trace

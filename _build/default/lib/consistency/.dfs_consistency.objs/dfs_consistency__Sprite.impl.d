@@ -1,0 +1,1 @@
+lib/consistency/sprite.ml: List Overhead Shared_events

@@ -1,0 +1,1 @@
+lib/consistency/sprite.mli: Overhead Shared_events

@@ -1,0 +1,1 @@
+lib/consistency/sprite_modified.ml: Client_cache_sim List Overhead Shared_events

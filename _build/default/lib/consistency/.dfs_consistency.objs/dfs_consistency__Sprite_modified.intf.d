@@ -1,0 +1,1 @@
+lib/consistency/sprite_modified.mli: Overhead Shared_events

@@ -1,0 +1,1 @@
+lib/consistency/token.mli: Overhead Shared_events

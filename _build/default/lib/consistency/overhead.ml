@@ -1,0 +1,33 @@
+type result = { bytes_transferred : int; rpcs : int }
+
+let zero = { bytes_transferred = 0; rpcs = 0 }
+
+let add r ~bytes ~rpcs =
+  { bytes_transferred = r.bytes_transferred + bytes; rpcs = r.rpcs + rpcs }
+
+type ratios = { bytes_ratio : float; rpc_ratio : float }
+
+let ratios ~demand_bytes ~demand_requests result =
+  {
+    bytes_ratio =
+      (if demand_bytes = 0 then 0.0
+       else float_of_int result.bytes_transferred /. float_of_int demand_bytes);
+    rpc_ratio =
+      (if demand_requests = 0 then 0.0
+       else float_of_int result.rpcs /. float_of_int demand_requests);
+  }
+
+let block_size = Dfs_util.Units.block_size
+
+let blocks_in_range ~off ~len f =
+  if len > 0 then begin
+    let first = off / block_size and last = (off + len - 1) / block_size in
+    for i = first to last do
+      f i
+    done
+  end
+
+let is_partial_block ~off ~len ~index =
+  let block_start = index * block_size in
+  let lo = max off block_start and hi = min (off + len) (block_start + block_size) in
+  hi - lo < block_size

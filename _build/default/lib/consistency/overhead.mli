@@ -1,0 +1,27 @@
+(** Common accounting for the consistency-mechanism simulations of
+    Table 12.
+
+    Each mechanism is charged the bytes it moves between clients and the
+    server and the remote procedure calls it issues, and is compared with
+    the application demand: the bytes and requests the applications
+    actually made to write-shared files.  The current Sprite mechanism
+    transfers exactly the demand. *)
+
+type result = { bytes_transferred : int; rpcs : int }
+
+val zero : result
+
+val add : result -> bytes:int -> rpcs:int -> result
+
+type ratios = { bytes_ratio : float; rpc_ratio : float }
+
+val ratios : demand_bytes:int -> demand_requests:int -> result -> ratios
+
+val block_size : int
+(** 4 KBytes, the cache block size used by all three simulations. *)
+
+val blocks_in_range : off:int -> len:int -> (int -> unit) -> unit
+(** Iterate the indices of the blocks overlapped by [off, off+len). *)
+
+val is_partial_block : off:int -> len:int -> index:int -> bool
+(** True when the request covers only part of block [index]. *)

@@ -1,0 +1,157 @@
+module Record = Dfs_trace.Record
+module Ids = Dfs_trace.Ids
+
+type report = {
+  interval : float;
+  duration_hours : float;
+  errors : int;
+  errors_per_hour : float;
+  users_seen : int;
+  users_affected : int;
+  file_opens : int;
+  opens_with_error : int;
+  migrated_opens : int;
+  migrated_opens_with_error : int;
+  affected_user_ids : Ids.User.Set.t;
+  seen_user_ids : Ids.User.Set.t;
+}
+
+type entry = { mutable seen : int; mutable last_check : float }
+
+type file_state = { mutable version : int; mutable last_writer : int }
+
+let simulate ~interval trace =
+  let files : file_state Ids.File.Tbl.t = Ids.File.Tbl.create 1024 in
+  let cache : (int * int, entry) Hashtbl.t = Hashtbl.create 4096 in
+  (* (client, file) -> entry *)
+  let users = ref Ids.User.Set.empty in
+  let affected = ref Ids.User.Set.empty in
+  let errors = ref 0
+  and file_opens = ref 0
+  and opens_with_error = ref 0
+  and migrated_opens = ref 0
+  and migrated_opens_with_error = ref 0 in
+  let t_min = ref infinity and t_max = ref neg_infinity in
+  let file_state file =
+    match Ids.File.Tbl.find_opt files file with
+    | Some st -> st
+    | None ->
+      let st = { version = 0; last_writer = -1 } in
+      Ids.File.Tbl.replace files file st;
+      st
+  in
+  let publish ~client file =
+    let st = file_state file in
+    st.version <- st.version + 1;
+    st.last_writer <- client;
+    (* the writer's own cache holds the new data *)
+    let key = (client, Ids.File.to_int file) in
+    match Hashtbl.find_opt cache key with
+    | Some e -> e.seen <- st.version
+    | None -> ()
+  in
+  (* Returns true when this access read stale data. *)
+  let read ~now ~client file =
+    let st = file_state file in
+    let key = (client, Ids.File.to_int file) in
+    match Hashtbl.find_opt cache key with
+    | None ->
+      Hashtbl.replace cache key { seen = st.version; last_check = now };
+      false
+    | Some e ->
+      if now -. e.last_check >= interval then begin
+        e.seen <- st.version;
+        e.last_check <- now;
+        false
+      end
+      else if e.seen < st.version && st.last_writer <> client then true
+      else false
+  in
+  (* the close record carries no mode; pair through handles *)
+  let handles : (int * int * int, bool list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let handle_key (r : Record.t) =
+    ( Ids.Client.to_int r.client,
+      Ids.Process.to_int r.pid,
+      Ids.File.to_int r.file )
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      users := Ids.User.Set.add r.user !users;
+      if r.time < !t_min then t_min := r.time;
+      if r.time > !t_max then t_max := r.time;
+      let client = Ids.Client.to_int r.client in
+      match r.kind with
+      | Record.Open { mode; is_dir = false; _ } ->
+        incr file_opens;
+        if r.migrated then incr migrated_opens;
+        let reads =
+          match mode with
+          | Record.Read_only | Record.Read_write -> true
+          | Record.Write_only -> false
+        in
+        let stale = if reads then read ~now:r.time ~client r.file else false in
+        if stale then begin
+          incr errors;
+          incr opens_with_error;
+          if r.migrated then incr migrated_opens_with_error;
+          affected := Ids.User.Set.add r.user !affected
+        end;
+        let l =
+          match Hashtbl.find_opt handles (handle_key r) with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace handles (handle_key r) l;
+            l
+        in
+        l := reads :: !l
+      | Record.Close { bytes_written; _ } -> (
+        match Hashtbl.find_opt handles (handle_key r) with
+        | Some ({ contents = _ :: rest } as l) ->
+          l := rest;
+          if rest = [] then Hashtbl.remove handles (handle_key r);
+          if bytes_written > 0 then publish ~client r.file
+        | Some { contents = [] } | None ->
+          if bytes_written > 0 then publish ~client r.file)
+      | Record.Shared_read _ ->
+        if read ~now:r.time ~client r.file then begin
+          incr errors;
+          affected := Ids.User.Set.add r.user !affected
+        end
+      | Record.Shared_write _ -> publish ~client r.file
+      | Record.Delete _ ->
+        Ids.File.Tbl.remove files r.file
+      | Record.Open _ | Record.Reposition _ | Record.Truncate _
+      | Record.Dir_read _ ->
+        ())
+    trace;
+  let duration_hours =
+    if !t_max > !t_min then (!t_max -. !t_min) /. 3600.0 else 0.0
+  in
+  {
+    interval;
+    duration_hours;
+    errors = !errors;
+    errors_per_hour =
+      (if duration_hours > 0.0 then float_of_int !errors /. duration_hours
+       else 0.0);
+    users_seen = Ids.User.Set.cardinal !users;
+    users_affected = Ids.User.Set.cardinal !affected;
+    file_opens = !file_opens;
+    opens_with_error = !opens_with_error;
+    migrated_opens = !migrated_opens;
+    migrated_opens_with_error = !migrated_opens_with_error;
+    affected_user_ids = !affected;
+    seen_user_ids = !users;
+  }
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let pct_users_affected r = pct r.users_affected r.users_seen
+
+let pct_opens_with_error r = pct r.opens_with_error r.file_opens
+
+let pct_migrated_opens_with_error r =
+  pct r.migrated_opens_with_error r.migrated_opens

@@ -1,0 +1,105 @@
+module Record = Dfs_trace.Record
+module Ids = Dfs_trace.Ids
+
+type event =
+  | Open of { client : int; writer : bool }
+  | Close of { client : int; writer : bool }
+  | Read of { client : int; off : int; len : int }
+  | Write of { client : int; off : int; len : int }
+
+type timed = { time : float; ev : event }
+
+type stream = {
+  file : Ids.File.t;
+  events : timed list;
+  requested_bytes : int;
+  requests : int;
+}
+
+let is_writer = function
+  | Record.Write_only | Record.Read_write -> true
+  | Record.Read_only -> false
+
+(* The close record does not carry the open mode; recover it from the
+   handle's matching open, tracked per (client, pid, file). *)
+let extract trace =
+  let shared_files = ref Ids.File.Set.empty in
+  List.iter
+    (fun (r : Record.t) ->
+      match r.kind with
+      | Record.Shared_read _ | Record.Shared_write _ ->
+        shared_files := Ids.File.Set.add r.file !shared_files
+      | _ -> ())
+    trace;
+  let handle_modes : (int * int * int, Record.open_mode list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let handle_key (r : Record.t) =
+    ( Ids.Client.to_int r.client,
+      Ids.Process.to_int r.pid,
+      Ids.File.to_int r.file )
+  in
+  let per_file : timed list ref Ids.File.Tbl.t = Ids.File.Tbl.create 64 in
+  let emit (r : Record.t) ev =
+    let l =
+      match Ids.File.Tbl.find_opt per_file r.file with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Ids.File.Tbl.replace per_file r.file l;
+        l
+    in
+    l := { time = r.time; ev } :: !l
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      if Ids.File.Set.mem r.file !shared_files then begin
+        let client = Ids.Client.to_int r.client in
+        match r.kind with
+        | Record.Open { mode; is_dir = false; _ } ->
+          let modes =
+            match Hashtbl.find_opt handle_modes (handle_key r) with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.replace handle_modes (handle_key r) l;
+              l
+          in
+          modes := mode :: !modes;
+          emit r (Open { client; writer = is_writer mode })
+        | Record.Close _ -> (
+          match Hashtbl.find_opt handle_modes (handle_key r) with
+          | Some ({ contents = mode :: rest } as modes) ->
+            modes := rest;
+            if rest = [] then Hashtbl.remove handle_modes (handle_key r);
+            emit r (Close { client; writer = is_writer mode })
+          | Some { contents = [] } | None -> ())
+        | Record.Shared_read { offset; length } ->
+          emit r (Read { client; off = offset; len = length })
+        | Record.Shared_write { offset; length } ->
+          emit r (Write { client; off = offset; len = length })
+        | Record.Open _ | Record.Reposition _ | Record.Delete _
+        | Record.Truncate _ | Record.Dir_read _ ->
+          ()
+      end)
+    trace;
+  Ids.File.Tbl.fold
+    (fun file events acc ->
+      let events = List.rev !events in
+      let requested_bytes, requests =
+        List.fold_left
+          (fun (b, n) { ev; _ } ->
+            match ev with
+            | Read { len; _ } | Write { len; _ } -> (b + len, n + 1)
+            | Open _ | Close _ -> (b, n))
+          (0, 0) events
+      in
+      { file; events; requested_bytes; requests } :: acc)
+    per_file []
+  |> List.sort (fun a b -> Ids.File.compare a.file b.file)
+
+let total_requested streams =
+  List.fold_left (fun acc s -> acc + s.requested_bytes) 0 streams
+
+let total_requests streams =
+  List.fold_left (fun acc s -> acc + s.requests) 0 streams

@@ -1,0 +1,5 @@
+let simulate streams =
+  List.fold_left
+    (fun acc (s : Shared_events.stream) ->
+      Overhead.add acc ~bytes:s.requested_bytes ~rpcs:s.requests)
+    Overhead.zero streams

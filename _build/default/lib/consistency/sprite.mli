@@ -1,0 +1,7 @@
+(** The current Sprite mechanism (Section 5.5): while a file undergoes
+    concurrent write-sharing, client caching is disabled until every
+    client has closed it, and each application request passes through to
+    the server individually — so Sprite transfers exactly the bytes the
+    applications request, with one RPC per request. *)
+
+val simulate : Shared_events.stream list -> Overhead.result

@@ -1,0 +1,93 @@
+module E = Shared_events
+
+type opener = { client : int; mutable count : int; mutable writers : int }
+
+let writeback_delay = 30.0
+
+let simulate streams =
+  let result = ref Overhead.zero in
+  let charge ~bytes ~rpcs = result := Overhead.add !result ~bytes ~rpcs in
+  List.iter
+    (fun (s : E.stream) ->
+      let caches = Client_cache_sim.create () in
+      let openers : opener list ref = ref [] in
+      let sharing () =
+        List.length !openers >= 2
+        && List.exists (fun o -> o.writers > 0) !openers
+      in
+      let flush_all ~now =
+        List.iter
+          (fun client ->
+            let n, bytes = Client_cache_sim.flush_dirty caches ~client ~now () in
+            if n > 0 then charge ~bytes ~rpcs:n)
+          (Client_cache_sim.clients caches)
+      in
+      let flush_expired ~now ~client =
+        let n, bytes =
+          Client_cache_sim.flush_dirty caches ~client
+            ~older_than:writeback_delay ~now ()
+        in
+        if n > 0 then charge ~bytes ~rpcs:n
+      in
+      List.iter
+        (fun { E.time = now; ev } ->
+          match ev with
+          | E.Open { client; writer } ->
+            let was_sharing = sharing () in
+            (match List.find_opt (fun o -> o.client = client) !openers with
+            | Some o ->
+              o.count <- o.count + 1;
+              if writer then o.writers <- o.writers + 1
+            | None ->
+              openers :=
+                { client; count = 1; writers = (if writer then 1 else 0) }
+                :: !openers);
+            if (not was_sharing) && sharing () then begin
+              (* sharing (re)starts: flush and invalidate everywhere *)
+              flush_all ~now;
+              List.iter
+                (fun client -> Client_cache_sim.invalidate_client caches ~client)
+                (Client_cache_sim.clients caches)
+            end
+          | E.Close { client; writer } -> (
+            match List.find_opt (fun o -> o.client = client) !openers with
+            | Some o ->
+              o.count <- o.count - 1;
+              if writer then o.writers <- max 0 (o.writers - 1);
+              if o.count <= 0 then
+                openers := List.filter (fun o' -> o'.client <> client) !openers
+            | None -> ())
+          | E.Read { client; off; len } ->
+            flush_expired ~now ~client;
+            if sharing () then (* uncacheable: pass through *)
+              charge ~bytes:len ~rpcs:1
+            else
+              Overhead.blocks_in_range ~off ~len (fun index ->
+                  if not (Client_cache_sim.mem caches ~client ~index) then begin
+                    charge ~bytes:Overhead.block_size ~rpcs:1;
+                    Client_cache_sim.insert_clean caches ~client ~index
+                  end)
+          | E.Write { client; off; len } ->
+            flush_expired ~now ~client;
+            if sharing () then charge ~bytes:len ~rpcs:1
+            else
+              Overhead.blocks_in_range ~off ~len (fun index ->
+                  if
+                    (not (Client_cache_sim.mem caches ~client ~index))
+                    && Overhead.is_partial_block ~off ~len ~index
+                  then
+                    (* write fetch *)
+                    charge ~bytes:Overhead.block_size ~rpcs:1;
+                  let block_start = index * Overhead.block_size in
+                  let lo = max off block_start in
+                  let hi = min (off + len) (block_start + Overhead.block_size) in
+                  Client_cache_sim.insert_dirty caches ~client ~index
+                    ~bytes:(hi - lo) ~now))
+        s.events;
+      (match s.events with
+      | [] -> ()
+      | evs ->
+        let last = (List.nth evs (List.length evs - 1)).E.time in
+        flush_all ~now:(last +. writeback_delay)))
+    streams;
+  !result

@@ -1,0 +1,8 @@
+(** The modified Sprite mechanism: identical to Sprite except that a file
+    becomes cacheable again as soon as enough clients close it to end the
+    concurrent write-sharing (Sprite proper waits until {e every} client
+    has closed it).  While cacheable, reads miss into whole-block fetches
+    and writes are delayed 30 seconds; when sharing resumes, every
+    client's dirty blocks are flushed and caches are invalidated. *)
+
+val simulate : Shared_events.stream list -> Overhead.result

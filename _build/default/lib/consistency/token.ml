@@ -1,0 +1,111 @@
+module E = Shared_events
+
+type token_state =
+  | No_token
+  | Readers of int list  (* client ids *)
+  | Writer of int
+
+let writeback_delay = 30.0
+
+let simulate streams =
+  let result = ref Overhead.zero in
+  let charge ~bytes ~rpcs = result := Overhead.add !result ~bytes ~rpcs in
+  List.iter
+    (fun (s : E.stream) ->
+      let caches = Client_cache_sim.create () in
+      let token = ref No_token in
+      let flush_and_drop ~now client =
+        (* write-token recall: the dirty data rides along with the recall
+           reply, so the bytes are charged but the recall is 1 RPC *)
+        let _, bytes = Client_cache_sim.flush_dirty caches ~client ~now () in
+        Client_cache_sim.invalidate_client caches ~client;
+        charge ~bytes ~rpcs:1
+      in
+      let flush_expired ~now ~client =
+        let n, bytes =
+          Client_cache_sim.flush_dirty caches ~client
+            ~older_than:writeback_delay ~now ()
+        in
+        if n > 0 then charge ~bytes ~rpcs:n
+      in
+      let acquire_read ~now client =
+        match !token with
+        | No_token ->
+          token := Readers [ client ];
+          charge ~bytes:0 ~rpcs:1
+        | Readers rs ->
+          if not (List.mem client rs) then begin
+            token := Readers (client :: rs);
+            charge ~bytes:0 ~rpcs:1
+          end
+        | Writer w ->
+          if w <> client then begin
+            (* recall the write token (flushes w's dirty data) and grant a
+               read token to both *)
+            flush_and_drop ~now w;
+            token := Readers [ client; w ];
+            charge ~bytes:0 ~rpcs:1
+          end
+      in
+      let acquire_write ~now client =
+        match !token with
+        | No_token ->
+          token := Writer client;
+          charge ~bytes:0 ~rpcs:1
+        | Writer w ->
+          if w <> client then begin
+            flush_and_drop ~now w;
+            token := Writer client;
+            charge ~bytes:0 ~rpcs:1
+          end
+        | Readers rs ->
+          (* invalidate every other reader's cache: one callback each *)
+          let others = List.filter (fun r -> r <> client) rs in
+          List.iter
+            (fun r ->
+              Client_cache_sim.invalidate_client caches ~client:r;
+              charge ~bytes:0 ~rpcs:1)
+            others;
+          token := Writer client;
+          if not (List.mem client rs) then charge ~bytes:0 ~rpcs:1
+      in
+      List.iter
+        (fun { E.time = now; ev } ->
+          match ev with
+          | E.Open _ | E.Close _ -> ()
+          | E.Read { client; off; len } ->
+            flush_expired ~now ~client;
+            acquire_read ~now client;
+            Overhead.blocks_in_range ~off ~len (fun index ->
+                if not (Client_cache_sim.mem caches ~client ~index) then begin
+                  charge ~bytes:Overhead.block_size ~rpcs:1;
+                  Client_cache_sim.insert_clean caches ~client ~index
+                end)
+          | E.Write { client; off; len } ->
+            flush_expired ~now ~client;
+            acquire_write ~now client;
+            Overhead.blocks_in_range ~off ~len (fun index ->
+                if
+                  (not (Client_cache_sim.mem caches ~client ~index))
+                  && Overhead.is_partial_block ~off ~len ~index
+                then charge ~bytes:Overhead.block_size ~rpcs:1;
+                let block_start = index * Overhead.block_size in
+                let lo = max off block_start in
+                let hi = min (off + len) (block_start + Overhead.block_size) in
+                Client_cache_sim.insert_dirty caches ~client ~index
+                  ~bytes:(hi - lo) ~now))
+        s.events;
+      (match s.events with
+      | [] -> ()
+      | evs ->
+        let last = (List.nth evs (List.length evs - 1)).E.time in
+        List.iter
+          (fun client ->
+            let n, bytes =
+              Client_cache_sim.flush_dirty caches ~client
+                ~now:(last +. writeback_delay) ()
+            in
+            if n > 0 then charge ~bytes ~rpcs:n)
+          (Client_cache_sim.clients caches)))
+    streams;
+  !result

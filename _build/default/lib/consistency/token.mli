@@ -1,0 +1,11 @@
+(** The token-based mechanism of Locus/Echo/DEcorum: a file is always
+    cacheable on at least one client.  A client must hold a read-only or
+    read-write token to access the file; the server guarantees a single
+    write token or any number of read tokens.  Conflicting requests recall
+    outstanding tokens (write-token recalls flush the holder's dirty
+    blocks; the recall RPC piggybacks the dirty data, as the paper's
+    simulation assumes).  Fine-grained sharing makes tokens ping-pong and
+    whole cache blocks get re-fetched — the source of the high variance
+    the paper observed. *)
+
+val simulate : Shared_events.stream list -> Overhead.result

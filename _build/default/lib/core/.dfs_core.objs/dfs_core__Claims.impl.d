@@ -1,0 +1,1 @@
+lib/core/claims.ml: Buffer Dataset Dfs_analysis Dfs_consistency Dfs_sim Dfs_util List Printf

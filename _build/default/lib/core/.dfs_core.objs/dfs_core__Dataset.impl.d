@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Dfs_cache Dfs_sim Dfs_trace Dfs_workload List Printf Sys

@@ -1,0 +1,1 @@
+lib/core/dataset.mli: Dfs_cache Dfs_sim Dfs_trace Dfs_workload

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Dataset Dfs_analysis Dfs_consistency Dfs_sim Dfs_trace Dfs_util Float List Paper Printf String

@@ -1,0 +1,54 @@
+module Presets = Dfs_workload.Presets
+
+type run = {
+  preset : Presets.preset;
+  cluster : Dfs_sim.Cluster.t;
+  driver : Dfs_workload.Driver.t;
+  trace : Dfs_trace.Record.t list;
+}
+
+type t = { scale : float; runs : run list }
+
+let default_scale () =
+  match Sys.getenv_opt "DFS_FULL" with
+  | Some ("1" | "true" | "yes") -> 1.0
+  | Some _ | None -> 0.05
+
+let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+    ?(on_progress = fun _ -> ()) () =
+  let scale = match scale with Some s -> s | None -> default_scale () in
+  let runs =
+    List.map
+      (fun n ->
+        let preset = Presets.scaled (Presets.trace n) ~factor:scale in
+        on_progress (Printf.sprintf "simulating %s (%.1f h)" preset.name
+                       (preset.duration /. 3600.0));
+        let cluster, driver = Presets.run preset in
+        let trace = Dfs_sim.Cluster.merged_trace cluster in
+        { preset; cluster; driver; trace })
+      traces
+  in
+  { scale; runs }
+
+let client_cache_stats run =
+  Array.to_list
+    (Array.map
+       (fun c -> Dfs_cache.Block_cache.stats (Dfs_sim.Client.cache c))
+       (Dfs_sim.Cluster.clients run.cluster))
+
+let merged_counters t =
+  let merged = Dfs_sim.Counters.create () in
+  (* Runs all start at time 0 and reuse client ids; shift each run far
+     apart in time so the windowed size-change analysis never straddles
+     two runs. *)
+  List.iteri
+    (fun i run ->
+      let offset = float_of_int i *. 1.0e7 in
+      List.iter
+        (fun (s : Dfs_sim.Counters.sample) ->
+          Dfs_sim.Counters.record merged { s with time = s.time +. offset })
+        (Dfs_sim.Counters.samples (Dfs_sim.Cluster.counters run.cluster)))
+    t.runs;
+  merged
+
+let traces t = List.map (fun r -> r.trace) t.runs

@@ -1,0 +1,33 @@
+(** A generated dataset: the simulated counterparts of the paper's eight
+    24-hour traces plus the finished clusters (whose caches, counters and
+    traffic taps the cache analyses read).
+
+    Generating all eight full-length traces takes a few minutes; [scale]
+    shrinks each trace's duration (0.1 ~ 2.4 busy daytime hours), which
+    preserves rates and distributions while shrinking absolute counts. *)
+
+type run = {
+  preset : Dfs_workload.Presets.preset;
+  cluster : Dfs_sim.Cluster.t;  (** finished run *)
+  driver : Dfs_workload.Driver.t;
+  trace : Dfs_trace.Record.t list;  (** merged, scrubbed, time-ordered *)
+}
+
+type t = { scale : float; runs : run list }
+
+val generate :
+  ?scale:float -> ?traces:int list -> ?on_progress:(string -> unit) -> unit -> t
+(** [traces] selects which of the eight presets to run (default: all).
+    [scale] defaults to 1.0 (full 24-hour traces). *)
+
+val default_scale : unit -> float
+(** 1.0 when the environment variable [DFS_FULL] is set, else 0.05 —
+    enough for stable shapes while keeping the whole suite fast. *)
+
+val client_cache_stats : run -> Dfs_cache.Block_cache.stats list
+
+val merged_counters : t -> Dfs_sim.Counters.t
+(** All runs' counter samples concatenated (Table 4 uses every machine
+    and day). *)
+
+val traces : t -> Dfs_trace.Record.t list list

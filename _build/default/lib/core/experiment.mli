@@ -1,0 +1,19 @@
+(** The experiment registry: one entry per table and figure of the
+    paper's evaluation.  Each experiment consumes a generated
+    {!Dataset.t} and renders a report that prints the measured values
+    next to the paper's (with min-max across the eight traces where the
+    paper reports them). *)
+
+type t = {
+  id : string;  (** "table1".."table12", "fig1".."fig4" *)
+  title : string;
+  description : string;
+  run : Dataset.t -> string;
+}
+
+val all : t list
+(** In paper order: tables 1-3, figures 1-4, tables 4-12. *)
+
+val find : string -> t option
+
+val ids : string list

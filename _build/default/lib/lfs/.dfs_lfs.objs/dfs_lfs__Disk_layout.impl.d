@@ -1,0 +1,1 @@
+lib/lfs/disk_layout.ml: Dfs_analysis Dfs_trace Dfs_util List

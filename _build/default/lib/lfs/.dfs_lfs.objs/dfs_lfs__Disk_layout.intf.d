@@ -1,0 +1,1 @@
+lib/lfs/disk_layout.mli: Dfs_analysis

@@ -1,0 +1,1 @@
+lib/sim/client.ml: Cred Dfs_cache Dfs_trace Dfs_util Dfs_vm Engine Fs_state Fun Lazy List Network Server Traffic

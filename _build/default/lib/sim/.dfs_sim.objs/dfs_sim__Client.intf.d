@@ -1,0 +1,1 @@
+lib/sim/client.mli: Cred Dfs_cache Dfs_trace Dfs_vm Engine Fs_state Server Traffic

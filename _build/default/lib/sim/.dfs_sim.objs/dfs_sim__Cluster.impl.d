@@ -1,0 +1,1 @@
+lib/sim/cluster.ml: Array Client Counters Cred Dfs_cache Dfs_trace Dfs_util Dfs_vm Engine Fs_state List Network Server Traffic

@@ -1,0 +1,1 @@
+lib/sim/cluster.mli: Client Counters Dfs_trace Dfs_util Engine Fs_state Network Server Traffic

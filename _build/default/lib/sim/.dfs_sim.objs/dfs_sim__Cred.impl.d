@@ -1,0 +1,1 @@
+lib/sim/cred.ml: Dfs_trace Format

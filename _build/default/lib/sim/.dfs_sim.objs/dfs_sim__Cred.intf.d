@@ -1,0 +1,1 @@
+lib/sim/cred.mli: Dfs_trace Format

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Dfs_util Effect Float Fun Int

@@ -1,0 +1,1 @@
+lib/sim/fs_state.ml: Array Dfs_trace Dfs_util

@@ -1,0 +1,1 @@
+lib/sim/fs_state.mli: Dfs_trace Dfs_util

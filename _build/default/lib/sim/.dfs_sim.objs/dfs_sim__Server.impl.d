@@ -1,0 +1,1 @@
+lib/sim/server.ml: Cred Dfs_cache Dfs_trace Dfs_util Disk Fs_state Lazy List Network Traffic

@@ -1,0 +1,1 @@
+lib/sim/server.mli: Cred Dfs_cache Dfs_trace Disk Fs_state Network Traffic

@@ -1,0 +1,245 @@
+module Ids = Dfs_trace.Ids
+module Record = Dfs_trace.Record
+module Bc = Dfs_cache.Block_cache
+
+type config = {
+  n_clients : int;
+  n_servers : int;
+  seed : int;
+  client_config : Client.config;
+  client_memory_choices : int list;
+  server_config : Server.config;
+  network_config : Network.config;
+  daemon_interval : float;
+  memory_adjust_interval : float;
+  counter_interval : float;
+  simulate_infrastructure : bool;
+}
+
+let default_config =
+  {
+    n_clients = 40;
+    n_servers = 4;
+    seed = 42;
+    client_config = Client.default_config;
+    client_memory_choices =
+      [ 24 * Dfs_util.Units.mib; 24 * Dfs_util.Units.mib; 32 * Dfs_util.Units.mib ];
+    server_config = Server.default_config;
+    network_config = Network.default_config;
+    daemon_interval = 5.0;
+    memory_adjust_interval = 10.0;
+    counter_interval = 60.0;
+    simulate_infrastructure = true;
+  }
+
+let daemon_user = Ids.User.of_int 9000
+
+let backup_user = Ids.User.of_int 9001
+
+let self_users = Ids.User.Set.of_list [ daemon_user; backup_user ]
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  fs : Fs_state.t;
+  network : Network.t;
+  rng : Dfs_util.Rng.t;
+  servers : Server.t array;
+  clients : Client.t array;
+  counters : Counters.t;
+  logs : Record.t list ref array;  (* newest first, one per server *)
+  mutable next_infra_pid : int;
+}
+
+let cfg t = t.cfg
+
+let engine t = t.engine
+
+let fs t = t.fs
+
+let network t = t.network
+
+let rng t = t.rng
+
+let clients t = t.clients
+
+let servers t = t.servers
+
+let client t i = t.clients.(i)
+
+let counters t = t.counters
+
+(* -- infrastructure traffic (to be scrubbed, as in the paper) ------------- *)
+
+let infra_cred t ~user ~client =
+  let pid = Ids.Process.of_int (900000 + t.next_infra_pid) in
+  t.next_infra_pid <- t.next_infra_pid + 1;
+  Cred.make ~user ~pid ~client ~migrated:false
+
+let emit_infra t ~server_idx (record : Record.t) =
+  t.logs.(server_idx) := record :: !(t.logs.(server_idx))
+
+let log_infra_access t ~server_idx ~cred ~file ~size ~mode ~bytes_read
+    ~bytes_written =
+  let now = Engine.now t.engine in
+  let base kind =
+    {
+      Record.time = now;
+      server = Ids.Server.of_int server_idx;
+      client = (cred : Cred.t).client;
+      user = cred.user;
+      pid = cred.pid;
+      migrated = false;
+      file;
+      kind;
+    }
+  in
+  emit_infra t ~server_idx
+    (base (Record.Open { mode; created = false; is_dir = false; size; start_pos = 0 }));
+  emit_infra t ~server_idx
+    (base
+       (Record.Close
+          { size = max size bytes_written; final_pos = max bytes_read bytes_written;
+            bytes_read; bytes_written }))
+
+(* The trace-collection daemon: every minute it appends the in-kernel log
+   to that server's trace file. *)
+let trace_daemon_step t =
+  if t.cfg.simulate_infrastructure then
+    Array.iteri
+      (fun i _server ->
+        let cred =
+          infra_cred t ~user:daemon_user ~client:(Ids.Client.of_int 0)
+        in
+        let file = Ids.File.of_int (800000 + i) in
+        let chunk = 32 * 1024 in
+        log_infra_access t ~server_idx:i ~cred ~file ~size:(chunk * 10)
+          ~mode:Record.Write_only ~bytes_read:0 ~bytes_written:chunk)
+      t.servers
+
+(* The nightly tape backup: reads a swath of live files through the
+   server (it does not go through client caches). *)
+let backup_step t =
+  if t.cfg.simulate_infrastructure then begin
+    let now = Engine.now t.engine in
+    let scanned = ref 0 in
+    let limit = 500 in
+    let total = Fs_state.total_files t.fs in
+    let stride = max 1 (total / limit) in
+    let i = ref 0 in
+    while !i < total && !scanned < limit do
+      (match Fs_state.find t.fs (Ids.File.of_int !i) with
+      | Some info when info.exists && not info.is_dir && info.size > 0 ->
+        incr scanned;
+        let server_idx = Ids.Server.to_int info.server in
+        let server = t.servers.(server_idx) in
+        let cred =
+          infra_cred t ~user:backup_user ~client:(Ids.Client.of_int 0)
+        in
+        (* server-side read: warms/pollutes the server cache only *)
+        Bc.read (Server.cache server) ~now ~cls:Bc.Class_file ~migrated:false
+          ~file:info.id ~file_size:info.size ~off:0 ~len:info.size;
+        log_infra_access t ~server_idx ~cred ~file:info.id ~size:info.size
+          ~mode:Record.Read_only ~bytes_read:info.size ~bytes_written:0
+      | Some _ | None -> ());
+      i := !i + stride
+    done
+  end
+
+(* -- assembly -------------------------------------------------------------- *)
+
+let create cfg =
+  assert (cfg.n_clients >= 1 && cfg.n_servers >= 1);
+  let engine = Engine.create () in
+  let rng = Dfs_util.Rng.create cfg.seed in
+  let fs = Fs_state.create ~n_servers:cfg.n_servers ~rng:(Dfs_util.Rng.split rng) () in
+  let network = Network.create ~config:cfg.network_config () in
+  let logs = Array.init cfg.n_servers (fun _ -> ref []) in
+  let servers =
+    Array.init cfg.n_servers (fun i ->
+        Server.create ~id:(Ids.Server.of_int i) ~config:cfg.server_config ~fs
+          ~network
+          ~log:(fun r -> logs.(i) := r :: !(logs.(i)))
+          ())
+  in
+  let server_of sid = servers.(Ids.Server.to_int sid) in
+  let mem_choices = Array.of_list cfg.client_memory_choices in
+  let clients =
+    Array.init cfg.n_clients (fun i ->
+        (* deterministic round-robin over the memory sizes, so a given
+           client index has the same memory in every preset *)
+        let memory_bytes =
+          if Array.length mem_choices = 0 then cfg.client_config.memory_bytes
+          else mem_choices.(i mod Array.length mem_choices)
+        in
+        Client.create ~engine ~id:(Ids.Client.of_int i) ~fs ~server_of
+          ~paging_server:servers.(0)
+          ~config:{ cfg.client_config with memory_bytes }
+          ())
+  in
+  Array.iter
+    (fun c ->
+      let hooks = Client.hooks c in
+      Array.iter (fun s -> Server.register_client s (Client.id c) hooks) servers)
+    clients;
+  let t =
+    {
+      cfg;
+      engine;
+      fs;
+      network;
+      rng;
+      servers;
+      clients;
+      counters = Counters.create ();
+      logs;
+      next_infra_pid = 0;
+    }
+  in
+  (* housekeeping daemons *)
+  Engine.every engine ~interval:cfg.daemon_interval (fun () ->
+      let now = Engine.now engine in
+      Array.iter (fun c -> Client.tick c ~now) clients;
+      Array.iter (fun s -> Server.tick s ~now) servers);
+  Engine.every engine ~interval:cfg.memory_adjust_interval (fun () ->
+      let now = Engine.now engine in
+      Array.iter (fun c -> Client.adjust_memory c ~now) clients);
+  Engine.every engine ~interval:cfg.counter_interval (fun () ->
+      let now = Engine.now engine in
+      Array.iter
+        (fun c ->
+          Counters.record t.counters
+            {
+              Counters.time = now;
+              client = Client.id c;
+              cache_bytes = Client.cache_bytes c;
+              cache_capacity_bytes =
+                Bc.capacity (Client.cache c) * Dfs_util.Units.block_size;
+              vm_pages =
+                Dfs_vm.Vm.demand_pages (Client.vm c) ~now;
+              active = Client.take_activity c;
+              rebooted = false;
+            })
+        clients);
+  Engine.every engine ~interval:60.0 (fun () -> trace_daemon_step t);
+  (* nightly backup at 02:00 each simulated day *)
+  Engine.every engine ~interval:86400.0 ~start:7200.0 (fun () -> backup_step t);
+  t
+
+let run t ~until = Engine.run_until t.engine until
+
+let server_traces t =
+  Array.to_list (Array.map (fun l -> List.rev !l) t.logs)
+
+let merged_trace t =
+  Dfs_trace.Merge.scrub ~self_users (Dfs_trace.Merge.merge (server_traces t))
+
+let total_traffic t =
+  Array.fold_left
+    (fun acc c -> Traffic.merge acc (Client.traffic c))
+    (Traffic.create ()) t.clients
+
+let total_server_traffic t =
+  Array.fold_left
+    (fun acc s -> Traffic.merge acc (Server.traffic s))
+    (Traffic.create ()) t.servers

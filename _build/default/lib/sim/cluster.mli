@@ -1,0 +1,68 @@
+(** Assembly of the whole measured system: ~40 diskless clients, 4 file
+    servers, the shared Ethernet, per-server trace logs, the kernel
+    counter sampler, and the housekeeping daemons (5-second delayed-write
+    scans, memory arbitration, counter sampling, the trace-collection
+    daemon and the nightly backup whose records get scrubbed from the
+    merged trace exactly as in Section 3 of the paper). *)
+
+type config = {
+  n_clients : int;
+  n_servers : int;
+  seed : int;
+  client_config : Client.config;
+  client_memory_choices : int list;
+      (** physical memory per client is drawn from these (bytes) *)
+  server_config : Server.config;
+  network_config : Network.config;
+  daemon_interval : float;  (** delayed-write scan period; Sprite: 5 s *)
+  memory_adjust_interval : float;
+  counter_interval : float;  (** kernel-counter sampling period *)
+  simulate_infrastructure : bool;
+      (** emit trace-daemon and nightly-backup records (to be scrubbed) *)
+}
+
+val default_config : config
+
+val daemon_user : Dfs_trace.Ids.User.t
+(** Reserved identity of the trace-collection daemon. *)
+
+val backup_user : Dfs_trace.Ids.User.t
+(** Reserved identity of the nightly tape backup. *)
+
+val self_users : Dfs_trace.Ids.User.Set.t
+
+type t
+
+val create : config -> t
+
+val cfg : t -> config
+
+val engine : t -> Engine.t
+
+val fs : t -> Fs_state.t
+
+val network : t -> Network.t
+
+val rng : t -> Dfs_util.Rng.t
+(** The root generator; split it for workload streams. *)
+
+val clients : t -> Client.t array
+
+val servers : t -> Server.t array
+
+val client : t -> int -> Client.t
+
+val counters : t -> Counters.t
+
+val run : t -> until:float -> unit
+
+val server_traces : t -> Dfs_trace.Record.t list list
+(** Per-server logs in time order (as collected, before merging). *)
+
+val merged_trace : t -> Dfs_trace.Record.t list
+(** The merged, scrubbed, time-ordered trace the analyses consume. *)
+
+val total_traffic : t -> Traffic.t
+(** Sum of all clients' raw traffic taps. *)
+
+val total_server_traffic : t -> Traffic.t

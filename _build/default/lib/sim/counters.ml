@@ -1,0 +1,33 @@
+module Client = Dfs_trace.Ids.Client
+
+type sample = {
+  time : float;
+  client : Client.t;
+  cache_bytes : int;
+  cache_capacity_bytes : int;
+  vm_pages : int;
+  active : bool;
+  rebooted : bool;
+}
+
+type t = { mutable rev_samples : sample list; mutable count : int }
+
+let create () = { rev_samples = []; count = 0 }
+
+let record t s =
+  t.rev_samples <- s :: t.rev_samples;
+  t.count <- t.count + 1
+
+let samples t = List.rev t.rev_samples
+
+let count t = t.count
+
+let by_client t =
+  let tbl = Client.Tbl.create 64 in
+  List.iter
+    (fun s ->
+      let l = Option.value ~default:[] (Client.Tbl.find_opt tbl s.client) in
+      Client.Tbl.replace tbl s.client (s :: l))
+    t.rev_samples;
+  Client.Tbl.fold (fun c l acc -> (c, l) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Client.compare a b)

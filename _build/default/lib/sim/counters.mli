@@ -1,0 +1,32 @@
+(** The kernel-counter methodology of Section 3: each workstation's kernel
+    keeps counters (cache size, traffic, ages...) that a user-level
+    process samples at regular intervals; the per-client files are
+    post-processed into the statistics of Section 5.
+
+    This module stores the periodic samples; the instantaneous cache
+    statistics live in {!Dfs_cache.Block_cache.stats} and are read at the
+    end of a run. *)
+
+type sample = {
+  time : float;
+  client : Dfs_trace.Ids.Client.t;
+  cache_bytes : int;  (** resident cache size *)
+  cache_capacity_bytes : int;  (** current block budget *)
+  vm_pages : int;  (** VM demand at sample time *)
+  active : bool;  (** any user activity since the previous sample *)
+  rebooted : bool;  (** machine rebooted during the interval *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> sample -> unit
+
+val samples : t -> sample list
+(** Chronological. *)
+
+val count : t -> int
+
+val by_client : t -> (Dfs_trace.Ids.Client.t * sample list) list
+(** Samples grouped per client, each list chronological. *)

@@ -1,0 +1,37 @@
+type config = { access_time : float; transfer_rate : float }
+
+let default_config = { access_time = 0.025; transfer_rate = 1.5e6 }
+
+type t = {
+  cfg : config;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create ?(config = default_config) () =
+  { cfg = config; reads = 0; writes = 0; bytes_read = 0; bytes_written = 0 }
+
+let service t bytes =
+  t.cfg.access_time +. (float_of_int bytes /. t.cfg.transfer_rate)
+
+let read t ~bytes =
+  assert (bytes >= 0);
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + bytes;
+  service t bytes
+
+let write t ~bytes =
+  assert (bytes >= 0);
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + bytes;
+  service t bytes
+
+let reads t = t.reads
+
+let writes t = t.writes
+
+let bytes_read t = t.bytes_read
+
+let bytes_written t = t.bytes_written

@@ -1,0 +1,108 @@
+type event = {
+  time : float;
+  seq : int;  (* FIFO tie-break for simultaneous events *)
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+module Event_order = struct
+  type t = event
+
+  let compare a b =
+    let c = Float.compare a.time b.time in
+    if c <> 0 then c else Int.compare a.seq b.seq
+end
+
+module H = Dfs_util.Heap.Make (Event_order)
+
+type t = { heap : H.t; mutable clock : float; mutable next_seq : int }
+
+type handle = event
+
+let create () = { heap = H.create (); clock = 0.0; next_seq = 0 }
+
+let now t = t.clock
+
+let schedule t ~at action =
+  assert (at >= t.clock);
+  let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  H.push t.heap ev;
+  ev
+
+let schedule_in t ~delay action =
+  assert (delay >= 0.0);
+  schedule t ~at:(t.clock +. delay) action
+
+let cancel ev = ev.cancelled <- true
+
+let every t ~interval ?start action =
+  assert (interval > 0.0);
+  let first = match start with Some s -> s | None -> t.clock +. interval in
+  let rec fire () =
+    action ();
+    ignore (schedule_in t ~delay:interval fire)
+  in
+  ignore (schedule t ~at:first fire)
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match H.peek t.heap with
+    | None -> continue := false
+    | Some ev when ev.time > horizon -> continue := false
+    | Some _ ->
+      let ev = H.pop_exn t.heap in
+      if not ev.cancelled then begin
+        t.clock <- ev.time;
+        ev.action ()
+      end
+  done;
+  if horizon > t.clock then t.clock <- horizon
+
+let pending t = H.length t.heap
+
+(* -- processes via effects ------------------------------------------------ *)
+
+type _ Effect.t += Sleep : (t * float) -> unit Effect.t
+
+(* [sleep] needs the engine; it is passed through a per-process environment
+   installed by [spawn] in a stack discipline, so nested engines (used by
+   some tests) stay isolated. *)
+let current_engine : t option ref = ref None
+
+let sleep d =
+  match !current_engine with
+  | None -> invalid_arg "Engine.sleep: called outside a spawned process"
+  | Some eng -> Effect.perform (Sleep (eng, Float.max 0.0 d))
+
+let spawn t ?at f =
+  let open Effect.Deep in
+  let run () =
+    let saved = !current_engine in
+    current_engine := Some t;
+    Fun.protect
+      ~finally:(fun () -> current_engine := saved)
+      (fun () ->
+        match_with f ()
+          {
+            retc = (fun () -> ());
+            exnc = raise;
+            effc =
+              (fun (type a) (eff : a Effect.t) ->
+                match eff with
+                | Sleep (eng, d) ->
+                  Some
+                    (fun (k : (a, _) continuation) ->
+                      ignore
+                        (schedule_in eng ~delay:d (fun () ->
+                             let saved = !current_engine in
+                             current_engine := Some eng;
+                             Fun.protect
+                               ~finally:(fun () -> current_engine := saved)
+                               (fun () -> continue k ()))))
+                | _ -> None);
+          })
+  in
+  let at = match at with Some a -> a | None -> t.clock in
+  ignore (schedule t ~at run)

@@ -1,0 +1,47 @@
+(** Discrete-event simulation engine.
+
+    A single event queue ordered by simulated time drives the whole
+    cluster.  Besides plain callback scheduling, the engine runs
+    {e processes}: ordinary OCaml functions that suspend themselves with
+    {!sleep}, implemented with OCaml 5 effect handlers so that workload
+    models read as straight-line code. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time, seconds. *)
+
+type handle
+(** A scheduled event; can be cancelled. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** Requires [at >= now t]. *)
+
+val schedule_in : t -> delay:float -> (unit -> unit) -> handle
+(** Requires [delay >= 0]. *)
+
+val cancel : handle -> unit
+(** Idempotent; a cancelled event's callback never runs. *)
+
+val every : t -> interval:float -> ?start:float -> (unit -> unit) -> unit
+(** Periodic callback, first firing at [start] (default: [interval] from
+    now). The callback keeps firing for as long as the simulation runs. *)
+
+val run_until : t -> float -> unit
+(** Execute events in time order until the queue is empty or the next
+    event is later than the given horizon. Time is left at the horizon. *)
+
+val pending : t -> int
+
+(** {1 Processes} *)
+
+val spawn : t -> ?at:float -> (unit -> unit) -> unit
+(** Start a process at the given time (default: now).  Inside the process
+    body, {!sleep} suspends execution in simulated time. *)
+
+val sleep : float -> unit
+(** Suspend the calling process for the given number of simulated seconds.
+    Must be called (transitively) from a {!spawn}ed function.  Negative
+    durations are treated as zero. *)

@@ -1,0 +1,101 @@
+module File = Dfs_trace.Ids.File
+module Server = Dfs_trace.Ids.Server
+
+type file_info = {
+  id : File.t;
+  server : Server.t;
+  is_dir : bool;
+  mutable size : int;
+  mutable exists : bool;
+  mutable created_at : float;
+  mutable version : int;
+}
+
+type t = {
+  n_servers : int;
+  server_weights : float array;
+  rng : Dfs_util.Rng.t;
+  files : file_info File.Tbl.t;
+  mutable next_id : int;
+  mutable live : int;
+}
+
+let default_weights n =
+  (* Most traffic is handled by a single server (the measured cluster's
+     Sun 4); the remainder spreads evenly. *)
+  if n = 1 then [| 1.0 |]
+  else Array.init n (fun i -> if i = 0 then 0.7 else 0.3 /. float_of_int (n - 1))
+
+let create ~n_servers ?server_weights ~rng () =
+  assert (n_servers >= 1);
+  let server_weights =
+    match server_weights with
+    | Some w ->
+      assert (Array.length w = n_servers);
+      w
+    | None -> default_weights n_servers
+  in
+  {
+    n_servers;
+    server_weights;
+    rng;
+    files = File.Tbl.create 4096;
+    next_id = 0;
+    live = 0;
+  }
+
+let n_servers t = t.n_servers
+
+let pick_server t =
+  let choices =
+    Array.to_list
+      (Array.mapi (fun i w -> (Server.of_int i, w)) t.server_weights)
+  in
+  Dfs_util.Rng.pick_weighted t.rng choices
+
+let create_file t ~now ?(dir = false) ?(size = 0) () =
+  let id = File.of_int t.next_id in
+  t.next_id <- t.next_id + 1;
+  let info =
+    {
+      id;
+      server = pick_server t;
+      is_dir = dir;
+      size;
+      exists = true;
+      created_at = now;
+      version = 0;
+    }
+  in
+  File.Tbl.replace t.files id info;
+  t.live <- t.live + 1;
+  info
+
+let find t id = File.Tbl.find_opt t.files id
+
+let find_exn t id =
+  match find t id with
+  | Some info -> info
+  | None -> invalid_arg "Fs_state.find_exn: unknown file"
+
+let delete t id =
+  match find t id with
+  | Some info when info.exists ->
+    info.exists <- false;
+    info.size <- 0;
+    t.live <- t.live - 1
+  | Some _ | None -> ()
+
+let recreate t ~now id =
+  let info = find_exn t id in
+  if not info.exists then begin
+    info.exists <- true;
+    t.live <- t.live + 1
+  end;
+  info.size <- 0;
+  info.created_at <- now;
+  info.version <- info.version + 1
+
+let live_files t = t.live
+
+let total_files t = File.Tbl.length t.files

@@ -1,0 +1,43 @@
+(** Authoritative file-system metadata: the single shared hierarchy all
+    clients see (Sprite provides a single-system image with no local
+    disks).  Files are spread across the file servers; most of the load
+    lands on one server, as in the measured cluster. *)
+
+type file_info = {
+  id : Dfs_trace.Ids.File.t;
+  server : Dfs_trace.Ids.Server.t;
+  is_dir : bool;
+  mutable size : int;
+  mutable exists : bool;
+  mutable created_at : float;
+  mutable version : int;
+      (** bumped on every write-open; clients use it to flush stale blocks *)
+}
+
+type t
+
+val create :
+  n_servers:int -> ?server_weights:float array -> rng:Dfs_util.Rng.t -> unit -> t
+(** [server_weights] biases file placement (default: 70% of files on
+    server 0, the rest spread evenly, echoing the measured cluster). *)
+
+val n_servers : t -> int
+
+val create_file :
+  t -> now:float -> ?dir:bool -> ?size:int -> unit -> file_info
+(** Allocate a fresh file id, place it on a server, and return its info. *)
+
+val find : t -> Dfs_trace.Ids.File.t -> file_info option
+
+val find_exn : t -> Dfs_trace.Ids.File.t -> file_info
+
+val delete : t -> Dfs_trace.Ids.File.t -> unit
+(** Marks the file non-existent; its id is never reused. *)
+
+val recreate : t -> now:float -> Dfs_trace.Ids.File.t -> unit
+(** An open with O_CREAT of a previously deleted path may reuse the info;
+    resets size to zero and stamps a new creation time. *)
+
+val live_files : t -> int
+
+val total_files : t -> int

@@ -1,0 +1,34 @@
+type config = { bandwidth : float; rpc_latency : float }
+
+let default_config = { bandwidth = 1.25e6; rpc_latency = 0.002 }
+
+type t = {
+  cfg : config;
+  counts : (string, int) Hashtbl.t;
+  mutable rpcs : int;
+  mutable bytes : int;
+}
+
+let create ?(config = default_config) () =
+  { cfg = config; counts = Hashtbl.create 16; rpcs = 0; bytes = 0 }
+
+let config t = t.cfg
+
+let rpc t ~kind ~bytes =
+  assert (bytes >= 0);
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.counts kind) in
+  Hashtbl.replace t.counts kind (n + 1);
+  t.rpcs <- t.rpcs + 1;
+  t.bytes <- t.bytes + bytes;
+  t.cfg.rpc_latency +. (float_of_int bytes /. t.cfg.bandwidth)
+
+let rpc_count t ~kind =
+  Option.value ~default:0 (Hashtbl.find_opt t.counts kind)
+
+let total_rpcs t = t.rpcs
+
+let total_bytes t = t.bytes
+
+let utilization t ~elapsed =
+  if elapsed <= 0.0 then 0.0
+  else float_of_int t.bytes /. (t.cfg.bandwidth *. elapsed)

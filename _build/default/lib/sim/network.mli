@@ -1,0 +1,32 @@
+(** The shared Ethernet between clients and servers.
+
+    Models a 10 Mbit/s medium: a per-RPC latency plus serialization time,
+    and running totals used for the paper's utilization observations
+    (e.g. "40 workstations collectively generate about 4% of an
+    Ethernet's bandwidth in paging traffic"). *)
+
+type t
+
+type config = {
+  bandwidth : float;  (** bytes per second; Ethernet: 1.25e6 *)
+  rpc_latency : float;  (** per-RPC round-trip overhead, seconds *)
+}
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+val rpc : t -> kind:string -> bytes:int -> float
+(** Account one remote procedure call carrying [bytes] of data; returns
+    the time it occupies the medium (latency + serialization). *)
+
+val rpc_count : t -> kind:string -> int
+
+val total_rpcs : t -> int
+
+val total_bytes : t -> int
+
+val utilization : t -> elapsed:float -> float
+(** Fraction of the medium's capacity used over [elapsed] seconds. *)

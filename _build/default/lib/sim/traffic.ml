@@ -1,0 +1,65 @@
+type category =
+  | File_data
+  | Shared
+  | Directory
+  | Paging_cached
+  | Paging_backing
+  | Other
+
+let all_categories =
+  [ File_data; Shared; Directory; Paging_cached; Paging_backing; Other ]
+
+let category_name = function
+  | File_data -> "file data"
+  | Shared -> "write-shared"
+  | Directory -> "directory"
+  | Paging_cached -> "paging (cacheable)"
+  | Paging_backing -> "paging (backing)"
+  | Other -> "other"
+
+let cacheable = function
+  | File_data | Paging_cached -> true
+  | Shared | Directory | Paging_backing | Other -> false
+
+let index = function
+  | File_data -> 0
+  | Shared -> 1
+  | Directory -> 2
+  | Paging_cached -> 3
+  | Paging_backing -> 4
+  | Other -> 5
+
+let n_categories = 6
+
+type t = { reads : int array; writes : int array }
+
+let create () =
+  { reads = Array.make n_categories 0; writes = Array.make n_categories 0 }
+
+let add_read t cat bytes =
+  assert (bytes >= 0);
+  let i = index cat in
+  t.reads.(i) <- t.reads.(i) + bytes
+
+let add_write t cat bytes =
+  assert (bytes >= 0);
+  let i = index cat in
+  t.writes.(i) <- t.writes.(i) + bytes
+
+let read_bytes t cat = t.reads.(index cat)
+
+let write_bytes t cat = t.writes.(index cat)
+
+let sum arr = Array.fold_left ( + ) 0 arr
+
+let total_read t = sum t.reads
+
+let total_write t = sum t.writes
+
+let total t = total_read t + total_write t
+
+let merge a b =
+  {
+    reads = Array.init n_categories (fun i -> a.reads.(i) + b.reads.(i));
+    writes = Array.init n_categories (fun i -> a.writes.(i) + b.writes.(i));
+  }

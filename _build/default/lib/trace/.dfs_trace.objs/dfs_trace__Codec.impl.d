@@ -1,0 +1,1 @@
+lib/trace/codec.ml: Buffer Ids Printf Record Result String

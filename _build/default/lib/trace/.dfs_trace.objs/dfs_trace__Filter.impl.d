@@ -1,0 +1,1 @@
+lib/trace/filter.ml: Hashtbl Ids List Option Record

@@ -1,0 +1,1 @@
+lib/trace/id.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/trace/id.mli: Format Hashtbl Map Set

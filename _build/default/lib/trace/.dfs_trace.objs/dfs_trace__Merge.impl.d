@@ -1,0 +1,1 @@
+lib/trace/merge.ml: Dfs_util Ids List Record

@@ -1,0 +1,1 @@
+lib/trace/merge.mli: Ids Record

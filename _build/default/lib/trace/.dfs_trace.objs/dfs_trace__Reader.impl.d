@@ -1,0 +1,1 @@
+lib/trace/reader.ml: Codec Fun List Printf Result Seq String

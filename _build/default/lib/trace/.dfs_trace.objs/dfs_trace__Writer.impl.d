@@ -1,0 +1,1 @@
+lib/trace/writer.ml: Buffer Codec Fun Stdlib

@@ -1,0 +1,15 @@
+(** Line-oriented trace encoding.
+
+    One record per line, tab-separated:
+    {v time server client user pid migrated file kind <kind fields...> v}
+    A trace file begins with a header line identifying the format version,
+    so readers can reject files written by incompatible versions. *)
+
+val header : string
+(** The version header line (without newline). *)
+
+val encode : Record.t -> string
+(** One line, without the trailing newline. *)
+
+val decode : string -> (Record.t, string) result
+(** Parse one line. The error string describes the first problem found. *)

@@ -1,0 +1,58 @@
+let by_time ~lo ~hi records =
+  List.filter (fun (r : Record.t) -> r.time >= lo && r.time < hi) records
+
+let by_users users records =
+  List.filter (fun (r : Record.t) -> Ids.User.Set.mem r.user users) records
+
+let excluding_users users records =
+  List.filter
+    (fun (r : Record.t) -> not (Ids.User.Set.mem r.user users))
+    records
+
+let migrated_only records =
+  List.filter (fun (r : Record.t) -> r.migrated) records
+
+(* Open handles are identified by (client, pid, file); that triple is how
+   the analyses pair closes and repositions with their opens as well. *)
+module Handle = struct
+  type t = int * int * int
+
+  let of_record (r : Record.t) =
+    ( Ids.Client.to_int r.client,
+      Ids.Process.to_int r.pid,
+      Ids.File.to_int r.file )
+end
+
+let files_only records =
+  let dir_handles : (Handle.t, int) Hashtbl.t = Hashtbl.create 64 in
+  (* A handle may be opened more than once concurrently by the same pid in
+     pathological traces; keep a depth count so nested dir opens balance. *)
+  let keep (r : Record.t) =
+    let h = Handle.of_record r in
+    match r.kind with
+    | Open { is_dir; _ } ->
+      if is_dir then begin
+        let depth = Option.value ~default:0 (Hashtbl.find_opt dir_handles h) in
+        Hashtbl.replace dir_handles h (depth + 1);
+        false
+      end
+      else true
+    | Close _ -> (
+      match Hashtbl.find_opt dir_handles h with
+      | Some depth ->
+        if depth <= 1 then Hashtbl.remove dir_handles h
+        else Hashtbl.replace dir_handles h (depth - 1);
+        false
+      | None -> true)
+    | Reposition _ -> not (Hashtbl.mem dir_handles h)
+    | Delete { is_dir; _ } -> not is_dir
+    | Dir_read _ -> false
+    | Truncate _ | Shared_read _ | Shared_write _ -> true
+  in
+  List.filter keep records
+
+let duration = function
+  | [] | [ _ ] -> 0.0
+  | first :: _ as records ->
+    let last = List.fold_left (fun _ r -> r) first records in
+    (last : Record.t).time -. (first : Record.t).time

@@ -1,0 +1,24 @@
+(** Trace filters used by the analyses.
+
+    The paper reprocesses traces under various exclusions (e.g. "ignoring
+    all accesses from the kernel development group", excluding swap files);
+    these combinators express such passes. *)
+
+val by_time : lo:float -> hi:float -> Record.t list -> Record.t list
+(** Keep records with [lo <= time < hi]. *)
+
+val by_users : Ids.User.Set.t -> Record.t list -> Record.t list
+(** Keep only records from the given users. *)
+
+val excluding_users : Ids.User.Set.t -> Record.t list -> Record.t list
+
+val migrated_only : Record.t list -> Record.t list
+
+val files_only : Record.t list -> Record.t list
+(** Drop directory opens/deletes and directory-read records, keeping only
+    accesses to regular files.  Closes and repositions of directory opens
+    are dropped too (matched by open state). *)
+
+val duration : Record.t list -> float
+(** Time span covered by a (sorted) trace: last time - first time;
+    0 for traces with fewer than two records. *)

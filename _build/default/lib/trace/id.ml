@@ -1,0 +1,57 @@
+module type S = sig
+  type t
+
+  val of_int : int -> t
+
+  val to_int : t -> int
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+
+  module Tbl : Hashtbl.S with type key = t
+
+  module Set : Set.S with type elt = t
+
+  module Map : Map.S with type key = t
+end
+
+module Make (Tag : sig
+  val name : string
+end) : S = struct
+  type t = int
+
+  let of_int i =
+    assert (i >= 0);
+    i
+
+  let to_int i = i
+
+  let equal = Int.equal
+
+  let compare = Int.compare
+
+  let hash = Hashtbl.hash
+
+  let pp ppf i = Format.fprintf ppf "%s%d" Tag.name i
+
+  module Key = struct
+    type nonrec t = t
+
+    let equal = equal
+
+    let hash = hash
+
+    let compare = compare
+  end
+
+  module Tbl = Hashtbl.Make (Key)
+
+  module Set = Set.Make (Key)
+
+  module Map = Map.Make (Key)
+end

@@ -1,0 +1,32 @@
+(** Distinct integer-backed identifier types.
+
+    The simulator juggles users, clients, servers, processes and files;
+    giving each its own abstract id type prevents the classic bug of
+    indexing one table with another's id. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  (** Requires a non-negative integer. *)
+
+  val to_int : t -> int
+
+  val equal : t -> t -> bool
+
+  val compare : t -> t -> int
+
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+
+  module Tbl : Hashtbl.S with type key = t
+
+  module Set : Set.S with type elt = t
+
+  module Map : Map.S with type key = t
+end
+
+module Make (Tag : sig
+  val name : string
+end) : S

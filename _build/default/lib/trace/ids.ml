@@ -1,0 +1,19 @@
+module User = Id.Make (struct
+  let name = "user"
+end)
+
+module Client = Id.Make (struct
+  let name = "client"
+end)
+
+module Server = Id.Make (struct
+  let name = "server"
+end)
+
+module Process = Id.Make (struct
+  let name = "pid"
+end)
+
+module File = Id.Make (struct
+  let name = "file"
+end)

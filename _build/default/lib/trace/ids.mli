@@ -1,0 +1,7 @@
+(** The identifier namespaces used throughout the system. *)
+
+module User : Id.S
+module Client : Id.S
+module Server : Id.S
+module Process : Id.S
+module File : Id.S

@@ -1,0 +1,30 @@
+module Cursor = struct
+  type t = Record.t * Record.t list
+
+  let compare (a, _) (b, _) = Record.compare_time a b
+end
+
+module H = Dfs_util.Heap.Make (Cursor)
+
+let merge streams =
+  let heap = H.create () in
+  List.iter
+    (function [] -> () | r :: rest -> H.push heap (r, rest))
+    streams;
+  let rec go acc =
+    match H.pop heap with
+    | None -> List.rev acc
+    | Some (r, rest) ->
+      (match rest with [] -> () | r' :: rest' -> H.push heap (r', rest'));
+      go (r :: acc)
+  in
+  go []
+
+let scrub ~self_users records =
+  List.filter
+    (fun (r : Record.t) -> not (Ids.User.Set.mem r.user self_users))
+    records
+
+let rec is_sorted = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> (a : Record.t).time <= b.time && is_sorted rest

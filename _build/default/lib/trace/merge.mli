@@ -1,0 +1,17 @@
+(** Merging the per-server traces into one time-ordered stream.
+
+    Mirrors Section 3 of the paper: "the traces included enough timing
+    information to merge the traces from the different servers into a
+    single ordered list of records", after removing the records caused by
+    writing the trace files themselves and by the nightly backup. *)
+
+val merge : Record.t list list -> Record.t list
+(** K-way merge of per-server traces, each already sorted by time.
+    Ties are broken by server id, so the result is deterministic. *)
+
+val scrub : self_users:Ids.User.Set.t -> Record.t list -> Record.t list
+(** Drop records belonging to infrastructure users (the trace-collection
+    daemon, the nightly backup). *)
+
+val is_sorted : Record.t list -> bool
+(** True when records are in non-decreasing time order. *)

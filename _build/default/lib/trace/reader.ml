@@ -1,0 +1,46 @@
+let parse_lines lines ~init ~f =
+  (* [lines] is a Seq of raw lines including the header. *)
+  match lines () with
+  | Seq.Nil -> Error "empty trace"
+  | Seq.Cons (first, rest) ->
+    if not (String.equal first Codec.header) then
+      Error (Printf.sprintf "bad trace header %S" first)
+    else begin
+      let acc = ref init and line_no = ref 1 and err = ref None in
+      (try
+         Seq.iter
+           (fun line ->
+             incr line_no;
+             if not (String.equal line "") then
+               match Codec.decode line with
+               | Ok r -> acc := f !acc r
+               | Error e ->
+                 err := Some (Printf.sprintf "line %d: %s" !line_no e);
+                 raise Exit)
+           rest
+       with Exit -> ());
+      match !err with Some e -> Error e | None -> Ok !acc
+    end
+
+let lines_of_string s = String.split_on_char '\n' s |> List.to_seq
+
+let of_string s =
+  Result.map List.rev
+    (parse_lines (lines_of_string s) ~init:[] ~f:(fun acc r -> r :: acc))
+
+let lines_of_channel ic =
+  let rec next () =
+    match input_line ic with
+    | line -> Seq.Cons (line, next)
+    | exception End_of_file -> Seq.Nil
+  in
+  next
+
+let fold_file path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse_lines (lines_of_channel ic) ~init ~f)
+
+let of_file path =
+  Result.map List.rev (fold_file path ~init:[] ~f:(fun acc r -> r :: acc))

@@ -1,0 +1,13 @@
+(** Trace parsing.
+
+    Readers check the version header and report the first malformed line
+    with its line number. *)
+
+val of_string : string -> (Record.t list, string) result
+(** Parse a whole trace held in memory. *)
+
+val of_file : string -> (Record.t list, string) result
+
+val fold_file :
+  string -> init:'a -> f:('a -> Record.t -> 'a) -> ('a, string) result
+(** Streaming fold over a trace file; does not hold records in memory. *)

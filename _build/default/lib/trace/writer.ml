@@ -1,0 +1,44 @@
+type t = {
+  emit : string -> unit;
+  do_flush : unit -> unit;
+  mutable count : int;
+  mutable wrote_header : bool;
+}
+
+let make emit do_flush = { emit; do_flush; count = 0; wrote_header = false }
+
+let to_buffer buf =
+  make
+    (fun s ->
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n')
+    (fun () -> ())
+
+let to_channel oc =
+  make
+    (fun s ->
+      output_string oc s;
+      output_char oc '\n')
+    (fun () -> Stdlib.flush oc)
+
+let write t r =
+  if not t.wrote_header then begin
+    t.emit Codec.header;
+    t.wrote_header <- true
+  end;
+  t.emit (Codec.encode r);
+  t.count <- t.count + 1
+
+let count t = t.count
+
+let flush t = t.do_flush ()
+
+let with_file path f =
+  let oc = open_out path in
+  let t = to_channel oc in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let result = f t in
+      flush t;
+      result)

@@ -1,0 +1,22 @@
+(** Trace sinks.
+
+    Each simulated file server writes its own trace (the paper gathered
+    traces on the four servers only); a writer prepends the format header
+    and encodes one record per line. *)
+
+type t
+
+val to_buffer : Buffer.t -> t
+
+val to_channel : out_channel -> t
+
+val write : t -> Record.t -> unit
+
+val count : t -> int
+(** Number of records written so far. *)
+
+val flush : t -> unit
+
+val with_file : string -> (t -> 'a) -> 'a
+(** [with_file path f] opens [path], runs [f], and closes the file even if
+    [f] raises. *)

@@ -1,0 +1,89 @@
+type t = {
+  mutable items : (float * float) list;  (* unsorted (value, weight) *)
+  mutable sorted : (float * float) array option;  (* cache, invalidated on add *)
+  mutable prefix : float array option;  (* cumulative weights over [sorted] *)
+  mutable count : int;
+  mutable total_weight : float;
+}
+
+let create () =
+  { items = []; sorted = None; prefix = None; count = 0; total_weight = 0.0 }
+
+let add t ?(weight = 1.0) v =
+  t.items <- (v, weight) :: t.items;
+  t.sorted <- None;
+  t.prefix <- None;
+  t.count <- t.count + 1;
+  t.total_weight <- t.total_weight +. weight
+
+let count t = t.count
+
+let total_weight t = t.total_weight
+
+let ensure_sorted t =
+  match t.sorted with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list t.items in
+    Array.sort (fun (a, _) (b, _) -> Float.compare a b) arr;
+    t.sorted <- Some arr;
+    arr
+
+let ensure_prefix t =
+  match t.prefix with
+  | Some p -> p
+  | None ->
+    let arr = ensure_sorted t in
+    let p = Array.make (Array.length arr) 0.0 in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i (_, w) ->
+        acc := !acc +. w;
+        p.(i) <- !acc)
+      arr;
+    t.prefix <- Some p;
+    p
+
+let fraction_below t x =
+  if t.total_weight = 0.0 then 0.0
+  else begin
+    let arr = ensure_sorted t in
+    let prefix = ensure_prefix t in
+    (* binary search for the last index with value <= x *)
+    let n = Array.length arr in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst arr.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    if !lo = 0 then 0.0 else prefix.(!lo - 1) /. t.total_weight
+  end
+
+let quantile t p =
+  assert (p >= 0.0 && p <= 1.0);
+  let arr = ensure_sorted t in
+  let prefix = ensure_prefix t in
+  let n = Array.length arr in
+  assert (n > 0);
+  let target = p *. t.total_weight in
+  (* first index whose cumulative weight reaches the target *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if prefix.(mid) >= target then hi := mid else lo := mid + 1
+  done;
+  fst arr.(!lo)
+
+let median t = quantile t 0.5
+
+let series t ~xs = Array.map (fun x -> (x, fraction_below t x)) xs
+
+let log_xs ~lo ~hi ~per_decade =
+  assert (lo > 0.0 && hi > lo && per_decade > 0);
+  let step = 10.0 ** (1.0 /. float_of_int per_decade) in
+  let rec go acc x =
+    if x > hi *. 1.0001 then List.rev acc else go (x :: acc) (x *. step)
+  in
+  Array.of_list (go [] lo)
+
+let samples t = ensure_sorted t

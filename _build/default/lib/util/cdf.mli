@@ -1,0 +1,40 @@
+(** Weighted empirical cumulative distributions.
+
+    Figures 1-4 of the paper are CDFs, most of them in two weightings
+    (e.g. "by number of runs" and "by bytes transferred").  A {!t} is
+    built by adding [(value, weight)] samples; evaluation and quantiles
+    interpolate over the sorted sample set. *)
+
+type t
+
+val create : unit -> t
+(** Fresh, empty accumulator. *)
+
+val add : t -> ?weight:float -> float -> unit
+(** [add t ~weight v] records sample [v]; [weight] defaults to 1. *)
+
+val count : t -> int
+(** Number of samples added. *)
+
+val total_weight : t -> float
+
+val fraction_below : t -> float -> float
+(** [fraction_below t x] is the weighted fraction of samples [<= x];
+    0 when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] is the smallest sample value [v] with
+    [fraction_below t v >= p]. Requires a non-empty CDF and [0 <= p <= 1]. *)
+
+val median : t -> float
+
+val series : t -> xs:float array -> (float * float) array
+(** [series t ~xs] evaluates the CDF at each of [xs], returning
+    [(x, fraction_below x)] pairs — the printable form of a figure. *)
+
+val log_xs : lo:float -> hi:float -> per_decade:int -> float array
+(** Logarithmically spaced evaluation points, for byte- and
+    second-scaled axes. Requires [0 < lo < hi]. *)
+
+val samples : t -> (float * float) array
+(** Sorted (value, weight) pairs; exposed for tests and custom reports. *)

@@ -1,0 +1,34 @@
+(** Binary min-heaps, the priority queue behind the event engine and the
+    k-way trace merge. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val push : t -> Elt.t -> unit
+
+  val peek : t -> Elt.t option
+  (** Smallest element, without removing it. *)
+
+  val pop : t -> Elt.t option
+  (** Remove and return the smallest element. *)
+
+  val pop_exn : t -> Elt.t
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val clear : t -> unit
+
+  val to_sorted_list : t -> Elt.t list
+  (** Drains the heap. *)
+end

@@ -1,0 +1,94 @@
+module Make (Key : Hashtbl.HashedType) = struct
+  module H = Hashtbl.Make (Key)
+
+  type 'a node = {
+    key : Key.t;
+    mutable value : 'a;
+    mutable prev : 'a node option;  (* towards LRU end *)
+    mutable next : 'a node option;  (* towards MRU end *)
+  }
+
+  type 'a t = {
+    table : 'a node H.t;
+    mutable head : 'a node option;  (* least recently used *)
+    mutable tail : 'a node option;  (* most recently used *)
+  }
+
+  let create () = { table = H.create 256; head = None; tail = None }
+
+  let length t = H.length t.table
+
+  let mem t k = H.mem t.table k
+
+  let find t k = match H.find_opt t.table k with Some n -> Some n.value | None -> None
+
+  let unlink t node =
+    (match node.prev with
+    | Some p -> p.next <- node.next
+    | None -> t.head <- node.next);
+    (match node.next with
+    | Some n -> n.prev <- node.prev
+    | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let append t node =
+    node.prev <- t.tail;
+    node.next <- None;
+    (match t.tail with Some old -> old.next <- Some node | None -> t.head <- Some node);
+    t.tail <- Some node
+
+  let use t k =
+    match H.find_opt t.table k with
+    | None -> None
+    | Some node ->
+      unlink t node;
+      append t node;
+      Some node.value
+
+  let add t k v =
+    match H.find_opt t.table k with
+    | Some node ->
+      node.value <- v;
+      unlink t node;
+      append t node
+    | None ->
+      let node = { key = k; value = v; prev = None; next = None } in
+      H.replace t.table k node;
+      append t node
+
+  let remove t k =
+    match H.find_opt t.table k with
+    | None -> None
+    | Some node ->
+      unlink t node;
+      H.remove t.table k;
+      Some node.value
+
+  let lru t = match t.head with Some n -> Some (n.key, n.value) | None -> None
+
+  let pop_lru t =
+    match t.head with
+    | None -> None
+    | Some node ->
+      unlink t node;
+      H.remove t.table node.key;
+      Some (node.key, node.value)
+
+  let iter t f =
+    let rec go = function
+      | None -> ()
+      | Some node ->
+        let next = node.next in
+        f node.key node.value;
+        go next
+    in
+    go t.head
+
+  let fold t ~init ~f =
+    let acc = ref init in
+    iter t (fun k v -> acc := f !acc k v);
+    !acc
+
+  let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+end

@@ -1,0 +1,39 @@
+(** A keyed LRU list with O(1) touch/insert/remove, used by the block
+    caches.  Capacity is managed by the caller (Sprite caches change size
+    dynamically), so this structure only maintains recency order. *)
+
+module Make (Key : Hashtbl.HashedType) : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val length : 'a t -> int
+
+  val mem : 'a t -> Key.t -> bool
+
+  val find : 'a t -> Key.t -> 'a option
+  (** Lookup without changing recency. *)
+
+  val use : 'a t -> Key.t -> 'a option
+  (** Lookup and mark most-recently-used. *)
+
+  val add : 'a t -> Key.t -> 'a -> unit
+  (** Insert as most-recently-used. Replaces any existing binding. *)
+
+  val remove : 'a t -> Key.t -> 'a option
+
+  val lru : 'a t -> (Key.t * 'a) option
+  (** Least-recently-used entry, without removing it. *)
+
+  val pop_lru : 'a t -> (Key.t * 'a) option
+  (** Remove and return the least-recently-used entry. *)
+
+  val iter : 'a t -> (Key.t -> 'a -> unit) -> unit
+  (** Iterate from least- to most-recently-used. It is not safe to mutate
+      the structure during iteration. *)
+
+  val fold : 'a t -> init:'b -> f:('b -> Key.t -> 'a -> 'b) -> 'b
+
+  val to_list : 'a t -> (Key.t * 'a) list
+  (** LRU-first snapshot. *)
+end

@@ -1,0 +1,23 @@
+(** Byte and time unit constants and formatting.
+
+    Sizes are [int] bytes; simulated time is [float] seconds since the
+    start of the simulation (the paper's traces also use relative time). *)
+
+val kib : int
+val mib : int
+val block_size : int
+(** 4 KBytes — Sprite's cache block size. *)
+
+val blocks_of_bytes : int -> int
+(** Number of [block_size] blocks needed to hold the given byte count
+    (ceiling division; 0 bytes -> 0 blocks). *)
+
+val minutes : float -> float
+(** [minutes x] is [x] minutes in seconds. *)
+
+val hours : float -> float
+
+val pp_bytes : Format.formatter -> int -> unit
+
+val pp_duration : Format.formatter -> float -> unit
+(** "2h 14m 3s" style. *)

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Dfs_trace Dfs_util Float Int List

@@ -1,0 +1,1 @@
+lib/workload/apps.ml: Array Dfs_sim Dfs_trace Dfs_util Float Fun List Migration Namespace Option Params

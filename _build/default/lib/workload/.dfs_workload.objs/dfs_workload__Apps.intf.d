@@ -1,0 +1,1 @@
+lib/workload/apps.mli: Dfs_sim Dfs_trace Dfs_util Migration Namespace Params

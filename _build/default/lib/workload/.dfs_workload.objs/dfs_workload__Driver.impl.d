@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Apps Array Dfs_sim Dfs_trace Dfs_util Float List Migration Namespace Params

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Apps Dfs_sim Dfs_util Migration Namespace Params

@@ -1,0 +1,1 @@
+lib/workload/migration.ml: Array Dfs_trace Dfs_util List Option

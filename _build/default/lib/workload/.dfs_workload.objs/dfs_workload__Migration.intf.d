@@ -1,0 +1,1 @@
+lib/workload/migration.mli: Dfs_trace Dfs_util

@@ -1,0 +1,1 @@
+lib/workload/namespace.ml: Array Dfs_sim Dfs_trace Dfs_util Hashtbl List Params

@@ -1,0 +1,1 @@
+lib/workload/namespace.mli: Dfs_sim Dfs_trace Dfs_util Params

@@ -1,0 +1,1 @@
+lib/workload/params.ml: Dfs_util List

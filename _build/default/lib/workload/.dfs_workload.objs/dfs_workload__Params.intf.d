@@ -1,0 +1,1 @@
+lib/workload/params.mli: Dfs_util

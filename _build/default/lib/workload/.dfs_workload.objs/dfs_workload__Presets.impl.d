@@ -1,0 +1,1 @@
+lib/workload/presets.ml: Apps Dfs_sim Dfs_util Driver List Params Printf

@@ -1,0 +1,1 @@
+lib/workload/presets.mli: Dfs_sim Driver Params

@@ -1,0 +1,34 @@
+(** Process-migration support: pmake's idle-host selection.
+
+    Sprite offloads jobs to idle workstations; the selection policy
+    "tends to reuse the same hosts over and over again", which the paper
+    credits for migrated processes' unusually good cache hit ratios.
+    This board tracks per-host load and per-user host history, and also
+    allocates process ids for the whole workload. *)
+
+type t
+
+val create : n_clients:int -> unit -> t
+
+val fresh_pid : t -> Dfs_trace.Ids.Process.t
+
+val note_home_activity : t -> host:int -> now:float -> unit
+(** The console user did something; the host is not idle for a while. *)
+
+val pick_host :
+  t ->
+  rng:Dfs_util.Rng.t ->
+  user:Dfs_trace.Ids.User.t ->
+  home:int ->
+  now:float ->
+  int option
+(** An idle host for a migrated job: prefers hosts this user used before
+    (reuse), avoids the home machine, hosts with recent console activity,
+    and hosts already running two or more migrated jobs.  [None] when no
+    host qualifies (the job then runs at home, unmigrated). *)
+
+val job_started : t -> host:int -> unit
+
+val job_finished : t -> host:int -> unit
+
+val migrated_load : t -> host:int -> int

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Dfs_cache Dfs_trace Dfs_util Gen List QCheck QCheck_alcotest

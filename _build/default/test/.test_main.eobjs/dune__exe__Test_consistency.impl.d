@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Dfs_consistency Dfs_trace Dfs_util Fun List Overhead Polling Shared_events Sprite Sprite_modified Token

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dfs_analysis Dfs_cache Dfs_core Dfs_sim Dfs_trace Dfs_workload Filename Float Fun Lazy List Option Printf String Sys

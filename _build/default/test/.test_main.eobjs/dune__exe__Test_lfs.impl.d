@@ -1,0 +1,1 @@
+test/test_lfs.ml: Alcotest Dfs_analysis Dfs_lfs Dfs_trace Dfs_util List

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_cache Test_consistency Test_integration Test_lfs Test_sim Test_trace Test_util Test_vm Test_workload

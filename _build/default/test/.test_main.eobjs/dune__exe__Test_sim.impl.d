@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Client Counters Cred Dfs_cache Dfs_sim Dfs_trace Dfs_util Disk Engine Fs_state List Network Server Traffic

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Buffer Codec Dfs_trace Filename Filter Float Fun Gen Ids List Merge QCheck QCheck_alcotest Reader Record String Sys Writer

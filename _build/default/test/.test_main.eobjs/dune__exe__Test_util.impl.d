@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cdf Chart Dfs_util Dist Float Fun Gen Hashtbl Heap Int List Lru QCheck QCheck_alcotest Rng Stats String Table Units

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Dfs_trace Dfs_util Dfs_vm Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Apps Array Dfs_analysis Dfs_sim Dfs_trace Dfs_util Dfs_workload Driver List Migration Namespace Params Presets

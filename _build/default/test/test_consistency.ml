@@ -1,0 +1,388 @@
+(* Tests for Dfs_consistency: shared-event extraction, the three mechanism
+   simulations (Table 12), and the polling stale-data simulation (Table 11). *)
+
+open Dfs_consistency
+module Record = Dfs_trace.Record
+module Ids = Dfs_trace.Ids
+
+let bs = Dfs_util.Units.block_size
+
+let mk ?(time = 0.0) ?(client = 0) ?(user = 0) ?(pid = 0) ?(migrated = false)
+    ?(file = 0) kind =
+  {
+    Record.time;
+    server = Ids.Server.of_int 0;
+    client = Ids.Client.of_int client;
+    user = Ids.User.of_int user;
+    pid = Ids.Process.of_int pid;
+    migrated;
+    file = Ids.File.of_int file;
+    kind;
+  }
+
+let op ?time ?client ?user ?pid ?file ?(mode = Record.Read_only) () =
+  mk ?time ?client ?user ?pid ?file
+    (Record.Open { mode; created = false; is_dir = false; size = 0; start_pos = 0 })
+
+let cl ?time ?client ?user ?pid ?file ?(bytes_written = 0) () =
+  mk ?time ?client ?user ?pid ?file
+    (Record.Close { size = 0; final_pos = 0; bytes_read = 0; bytes_written })
+
+let sread ?time ?client ?user ?pid ?file ~off ~len () =
+  mk ?time ?client ?user ?pid ?file (Record.Shared_read { offset = off; length = len })
+
+let swrite ?time ?client ?user ?pid ?file ~off ~len () =
+  mk ?time ?client ?user ?pid ?file (Record.Shared_write { offset = off; length = len })
+
+(* A canonical write-sharing episode on file 1: client 0 holds it open for
+   writing, client 1 reads it concurrently. *)
+let sharing_trace =
+  [
+    op ~time:0.0 ~client:0 ~pid:1 ~file:1 ~mode:Record.Write_only ();
+    op ~time:1.0 ~client:1 ~pid:2 ~file:1 ~mode:Record.Read_only ();
+    swrite ~time:2.0 ~client:0 ~pid:1 ~file:1 ~off:0 ~len:100 ();
+    sread ~time:3.0 ~client:1 ~pid:2 ~file:1 ~off:0 ~len:100 ();
+    swrite ~time:4.0 ~client:0 ~pid:1 ~file:1 ~off:100 ~len:100 ();
+    sread ~time:5.0 ~client:1 ~pid:2 ~file:1 ~off:100 ~len:100 ();
+    cl ~time:6.0 ~client:1 ~pid:2 ~file:1 ();
+    cl ~time:7.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:200 ();
+  ]
+
+(* -- shared event extraction ------------------------------------------------------ *)
+
+let test_extract_stream () =
+  match Shared_events.extract sharing_trace with
+  | [ s ] ->
+    Alcotest.(check int) "file id" 1 (Ids.File.to_int s.file);
+    Alcotest.(check int) "requested bytes" 400 s.requested_bytes;
+    Alcotest.(check int) "requests" 4 s.requests;
+    Alcotest.(check int) "events incl opens/closes" 8 (List.length s.events);
+    Alcotest.(check int) "totals" 400 (Shared_events.total_requested [ s ]);
+    Alcotest.(check int) "total reqs" 4 (Shared_events.total_requests [ s ])
+  | l -> Alcotest.failf "expected 1 stream, got %d" (List.length l)
+
+let test_extract_ignores_unshared_files () =
+  let trace =
+    [
+      op ~time:0.0 ~client:0 ~pid:1 ~file:5 ();
+      cl ~time:1.0 ~client:0 ~pid:1 ~file:5 ();
+    ]
+  in
+  Alcotest.(check int) "no streams" 0 (List.length (Shared_events.extract trace))
+
+let test_extract_writer_flag_from_open () =
+  match Shared_events.extract sharing_trace with
+  | [ s ] ->
+    let opens =
+      List.filter_map
+        (fun { Shared_events.ev; _ } ->
+          match ev with
+          | Shared_events.Open { client; writer } -> Some (client, writer)
+          | _ -> None)
+        s.events
+    in
+    Alcotest.(check (list (pair int bool))) "writer flags"
+      [ (0, true); (1, false) ] opens
+  | _ -> Alcotest.fail "one stream"
+
+(* -- Sprite baseline ---------------------------------------------------------------- *)
+
+let test_sprite_exact_demand () =
+  let streams = Shared_events.extract sharing_trace in
+  let r = Sprite.simulate streams in
+  Alcotest.(check int) "bytes = demand" 400 r.Overhead.bytes_transferred;
+  Alcotest.(check int) "rpcs = requests" 4 r.Overhead.rpcs;
+  let ratios = Overhead.ratios ~demand_bytes:400 ~demand_requests:4 r in
+  Alcotest.(check (float 1e-9)) "bytes ratio 1" 1.0 ratios.bytes_ratio;
+  Alcotest.(check (float 1e-9)) "rpc ratio 1" 1.0 ratios.rpc_ratio
+
+(* -- modified Sprite ------------------------------------------------------------------ *)
+
+let test_modified_same_as_sprite_while_sharing () =
+  (* every request in sharing_trace happens while both clients hold the
+     file, so the modified scheme also passes everything through *)
+  let streams = Shared_events.extract sharing_trace in
+  let r = Sprite_modified.simulate streams in
+  Alcotest.(check int) "bytes equal demand during sharing" 400
+    r.Overhead.bytes_transferred
+
+let test_modified_caches_after_sharing_ends () =
+  (* after the reader closes, Sprite keeps the file uncacheable (events are
+     still logged) but the modified scheme lets the writer cache: repeated
+     small writes to one block cost one write-fetch at most and a single
+     delayed writeback, instead of passing every write through *)
+  let tail_writes =
+    List.concat_map
+      (fun i ->
+        [ swrite ~time:(7.0 +. float_of_int i) ~client:0 ~pid:1 ~file:1
+            ~off:(i * 10) ~len:10 () ])
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  let trace =
+    [
+      op ~time:0.0 ~client:0 ~pid:1 ~file:1 ~mode:Record.Write_only ();
+      op ~time:1.0 ~client:1 ~pid:2 ~file:1 ~mode:Record.Read_only ();
+      sread ~time:2.0 ~client:1 ~pid:2 ~file:1 ~off:0 ~len:100 ();
+      cl ~time:6.0 ~client:1 ~pid:2 ~file:1 ();
+    ]
+    @ tail_writes
+    @ [ cl ~time:100.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:100 () ]
+  in
+  let streams = Shared_events.extract trace in
+  let sprite = Sprite.simulate streams in
+  let modified = Sprite_modified.simulate streams in
+  (* demand: 100 read + 100 written; sprite moves exactly 200 bytes in 11
+     RPCs; modified: the read passes through (sharing active), the writes
+     coalesce into block-level dirtiness flushed once *)
+  Alcotest.(check int) "sprite bytes" 200 sprite.Overhead.bytes_transferred;
+  Alcotest.(check bool) "modified fewer RPCs" true
+    (modified.Overhead.rpcs < sprite.Overhead.rpcs)
+
+let test_modified_flushes_on_resharing () =
+  (* writer caches dirty data after sharing ends; when a new reader opens
+     (sharing again), the dirty blocks are flushed *)
+  let trace =
+    [
+      op ~time:0.0 ~client:0 ~pid:1 ~file:1 ~mode:Record.Write_only ();
+      op ~time:1.0 ~client:1 ~pid:2 ~file:1 ~mode:Record.Read_only ();
+      cl ~time:2.0 ~client:1 ~pid:2 ~file:1 ();
+      (* alone now: cacheable write *)
+      swrite ~time:3.0 ~client:0 ~pid:1 ~file:1 ~off:0 ~len:50 ();
+      (* reader returns: sharing resumes; dirty data must be flushed *)
+      op ~time:4.0 ~client:1 ~pid:3 ~file:1 ~mode:Record.Read_only ();
+      sread ~time:5.0 ~client:1 ~pid:3 ~file:1 ~off:0 ~len:50 ();
+      cl ~time:6.0 ~client:1 ~pid:3 ~file:1 ();
+      cl ~time:7.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:50 ();
+    ]
+  in
+  let streams = Shared_events.extract trace in
+  let r = Sprite_modified.simulate streams in
+  (* the cached write (50 dirty bytes) is flushed at the sharing
+     transition, and the pass-through read moves 50 more *)
+  Alcotest.(check bool) "flush happened" true (r.Overhead.bytes_transferred >= 100)
+
+(* -- token --------------------------------------------------------------------------- *)
+
+let test_token_caching_wins_on_rereads () =
+  (* one writer writes once; a reader re-reads the same range many times.
+     Sprite passes every re-read through; the token scheme caches. *)
+  let rereads =
+    List.map
+      (fun i -> sread ~time:(10.0 +. float_of_int i) ~client:1 ~pid:2 ~file:1 ~off:0 ~len:bs ())
+      (List.init 10 Fun.id)
+  in
+  let trace =
+    [
+      op ~time:0.0 ~client:0 ~pid:1 ~file:1 ~mode:Record.Write_only ();
+      op ~time:1.0 ~client:1 ~pid:2 ~file:1 ~mode:Record.Read_only ();
+      swrite ~time:2.0 ~client:0 ~pid:1 ~file:1 ~off:0 ~len:bs ();
+    ]
+    @ rereads
+    @ [
+        cl ~time:30.0 ~client:1 ~pid:2 ~file:1 ();
+        cl ~time:31.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:bs ();
+      ]
+  in
+  let streams = Shared_events.extract trace in
+  let sprite = Sprite.simulate streams in
+  let token = Token.simulate streams in
+  Alcotest.(check bool) "token moves fewer bytes than sprite" true
+    (token.Overhead.bytes_transferred < sprite.Overhead.bytes_transferred)
+
+let test_token_pingpong_costs () =
+  (* writer and reader alternate on the same block: the token bounces and
+     whole blocks are re-fetched — worse than Sprite's pass-through *)
+  let ops =
+    List.concat_map
+      (fun i ->
+        let t = 2.0 +. (2.0 *. float_of_int i) in
+        [
+          swrite ~time:t ~client:0 ~pid:1 ~file:1 ~off:0 ~len:16 ();
+          sread ~time:(t +. 1.0) ~client:1 ~pid:2 ~file:1 ~off:0 ~len:16 ();
+        ])
+      (List.init 10 Fun.id)
+  in
+  let trace =
+    [
+      op ~time:0.0 ~client:0 ~pid:1 ~file:1 ~mode:Record.Write_only ();
+      op ~time:1.0 ~client:1 ~pid:2 ~file:1 ~mode:Record.Read_only ();
+    ]
+    @ ops
+    @ [
+        cl ~time:60.0 ~client:1 ~pid:2 ~file:1 ();
+        cl ~time:61.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:160 ();
+      ]
+  in
+  let streams = Shared_events.extract trace in
+  let sprite = Sprite.simulate streams in
+  let token = Token.simulate streams in
+  Alcotest.(check bool) "fine-grained sharing hurts the token scheme" true
+    (token.Overhead.bytes_transferred > sprite.Overhead.bytes_transferred)
+
+let test_token_single_client_cheap () =
+  (* a single client doing everything needs one token and caches *)
+  let trace =
+    [
+      op ~time:0.0 ~client:0 ~pid:1 ~file:1 ~mode:Record.Write_only ();
+      swrite ~time:1.0 ~client:0 ~pid:1 ~file:1 ~off:0 ~len:bs ();
+      sread ~time:2.0 ~client:0 ~pid:1 ~file:1 ~off:0 ~len:bs ();
+      sread ~time:3.0 ~client:0 ~pid:1 ~file:1 ~off:0 ~len:bs ();
+      cl ~time:4.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:bs ();
+    ]
+  in
+  let streams = Shared_events.extract trace in
+  let token = Token.simulate streams in
+  (* 1 write token + maybe a read-token upgrade + final flush; reads hit *)
+  Alcotest.(check bool) "few RPCs" true (token.Overhead.rpcs <= 4)
+
+(* -- polling (Table 11) ----------------------------------------------------------------- *)
+
+let publish ~t ~client ~file ~user =
+  [
+    op ~time:t ~client ~user ~pid:(client + 10) ~file ~mode:Record.Write_only ();
+    cl ~time:(t +. 0.5) ~client ~user ~pid:(client + 10) ~file ~bytes_written:10 ();
+  ]
+
+let read_open ~t ~client ~file ~user =
+  [
+    op ~time:t ~client ~user ~pid:(client + 20) ~file ~mode:Record.Read_only ();
+    cl ~time:(t +. 0.1) ~client ~user ~pid:(client + 20) ~file ();
+  ]
+
+let test_polling_stale_read_detected () =
+  let trace =
+    (* client 1 reads at t=10 (caches), client 0 writes at t=20, client 1
+       re-reads at t=40 — inside the 60 s validity window: stale *)
+    publish ~t:0.0 ~client:0 ~file:1 ~user:0
+    @ read_open ~t:10.0 ~client:1 ~file:1 ~user:1
+    @ publish ~t:20.0 ~client:0 ~file:1 ~user:0
+    @ read_open ~t:40.0 ~client:1 ~file:1 ~user:1
+  in
+  let r = Polling.simulate ~interval:60.0 trace in
+  Alcotest.(check int) "one error" 1 r.errors;
+  Alcotest.(check int) "one user affected" 1 r.users_affected;
+  Alcotest.(check int) "open error counted" 1 r.opens_with_error
+
+let test_polling_refresh_prevents_error () =
+  let trace =
+    publish ~t:0.0 ~client:0 ~file:1 ~user:0
+    @ read_open ~t:10.0 ~client:1 ~file:1 ~user:1
+    @ publish ~t:20.0 ~client:0 ~file:1 ~user:0
+    (* re-read AFTER the window expires: client revalidates *)
+    @ read_open ~t:80.0 ~client:1 ~file:1 ~user:1
+  in
+  let r = Polling.simulate ~interval:60.0 trace in
+  Alcotest.(check int) "no error" 0 r.errors
+
+let test_polling_short_interval_fewer_errors () =
+  let trace =
+    publish ~t:0.0 ~client:0 ~file:1 ~user:0
+    @ read_open ~t:10.0 ~client:1 ~file:1 ~user:1
+    @ publish ~t:20.0 ~client:0 ~file:1 ~user:0
+    @ read_open ~t:40.0 ~client:1 ~file:1 ~user:1
+  in
+  let r60 = Polling.simulate ~interval:60.0 trace in
+  let r3 = Polling.simulate ~interval:3.0 trace in
+  Alcotest.(check int) "60s errs" 1 r60.errors;
+  Alcotest.(check int) "3s errs" 0 r3.errors
+
+let test_polling_own_writes_never_stale () =
+  let trace =
+    read_open ~t:0.0 ~client:0 ~file:1 ~user:0
+    @ publish ~t:5.0 ~client:0 ~file:1 ~user:0
+    @ read_open ~t:10.0 ~client:0 ~file:1 ~user:0
+  in
+  let r = Polling.simulate ~interval:60.0 trace in
+  Alcotest.(check int) "own writes visible" 0 r.errors
+
+let test_polling_shared_reads_checked () =
+  let trace =
+    [
+      op ~time:0.0 ~client:1 ~user:1 ~pid:2 ~file:1 ~mode:Record.Read_only ();
+      sread ~time:1.0 ~client:1 ~user:1 ~pid:2 ~file:1 ~off:0 ~len:10 ();
+      swrite ~time:2.0 ~client:0 ~user:0 ~pid:1 ~file:1 ~off:0 ~len:10 ();
+      sread ~time:3.0 ~client:1 ~user:1 ~pid:2 ~file:1 ~off:0 ~len:10 ();
+      cl ~time:4.0 ~client:1 ~user:1 ~pid:2 ~file:1 ();
+    ]
+  in
+  let r = Polling.simulate ~interval:60.0 trace in
+  Alcotest.(check int) "stale fine-grained read" 1 r.errors
+
+let test_polling_migrated_accounting () =
+  let trace =
+    publish ~t:0.0 ~client:0 ~file:1 ~user:0
+    @ [
+        op ~time:10.0 ~client:1 ~user:1 ~pid:30 ~file:1 ~mode:Record.Read_only ();
+        cl ~time:10.1 ~client:1 ~user:1 ~pid:30 ~file:1 ();
+      ]
+    @ publish ~t:20.0 ~client:0 ~file:1 ~user:0
+    @ [
+        mk ~time:40.0 ~client:1 ~user:1 ~pid:31 ~migrated:true ~file:1
+          (Record.Open
+             { mode = Record.Read_only; created = false; is_dir = false;
+               size = 0; start_pos = 0 });
+        mk ~time:40.1 ~client:1 ~user:1 ~pid:31 ~migrated:true ~file:1
+          (Record.Close { size = 0; final_pos = 0; bytes_read = 0; bytes_written = 0 });
+      ]
+  in
+  let r = Polling.simulate ~interval:60.0 trace in
+  Alcotest.(check int) "migrated open error" 1 r.migrated_opens_with_error;
+  Alcotest.(check int) "migrated opens" 1 r.migrated_opens
+
+let test_polling_delete_resets () =
+  let trace =
+    publish ~t:0.0 ~client:0 ~file:1 ~user:0
+    @ read_open ~t:5.0 ~client:1 ~file:1 ~user:1
+    @ [ mk ~time:6.0 ~client:0 ~file:1 (Record.Delete { size = 10; is_dir = false }) ]
+    @ publish ~t:7.0 ~client:0 ~file:1 ~user:0
+    @ read_open ~t:8.0 ~client:1 ~file:1 ~user:1
+  in
+  (* after deletion the file state restarts; the version counter resets,
+     so the re-read may or may not be flagged — the simulation must at
+     least not crash and keep counts consistent *)
+  let r = Polling.simulate ~interval:60.0 trace in
+  Alcotest.(check bool) "errors bounded by opens" true
+    (r.opens_with_error <= r.file_opens)
+
+(* -- overhead helpers --------------------------------------------------------------------- *)
+
+let test_blocks_in_range () =
+  let collect off len =
+    let acc = ref [] in
+    Overhead.blocks_in_range ~off ~len (fun i -> acc := i :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "within one block" [ 0 ] (collect 0 100);
+  Alcotest.(check (list int)) "spans two" [ 0; 1 ] (collect (bs - 10) 20);
+  Alcotest.(check (list int)) "empty" [] (collect 50 0)
+
+let test_is_partial_block () =
+  Alcotest.(check bool) "full block not partial" false
+    (Overhead.is_partial_block ~off:0 ~len:bs ~index:0);
+  Alcotest.(check bool) "small write partial" true
+    (Overhead.is_partial_block ~off:10 ~len:100 ~index:0);
+  Alcotest.(check bool) "tail of long write partial" true
+    (Overhead.is_partial_block ~off:0 ~len:(bs + 10) ~index:1)
+
+let suite =
+  [
+    ("extract stream", `Quick, test_extract_stream);
+    ("extract ignores unshared", `Quick, test_extract_ignores_unshared_files);
+    ("extract writer flags", `Quick, test_extract_writer_flag_from_open);
+    ("sprite = exact demand", `Quick, test_sprite_exact_demand);
+    ("modified = sprite while sharing", `Quick, test_modified_same_as_sprite_while_sharing);
+    ("modified caches after sharing", `Quick, test_modified_caches_after_sharing_ends);
+    ("modified flushes on resharing", `Quick, test_modified_flushes_on_resharing);
+    ("token wins on rereads", `Quick, test_token_caching_wins_on_rereads);
+    ("token ping-pong costs", `Quick, test_token_pingpong_costs);
+    ("token single client cheap", `Quick, test_token_single_client_cheap);
+    ("polling stale read detected", `Quick, test_polling_stale_read_detected);
+    ("polling refresh prevents error", `Quick, test_polling_refresh_prevents_error);
+    ("polling 3s fewer errors", `Quick, test_polling_short_interval_fewer_errors);
+    ("polling own writes never stale", `Quick, test_polling_own_writes_never_stale);
+    ("polling shared reads checked", `Quick, test_polling_shared_reads_checked);
+    ("polling migrated accounting", `Quick, test_polling_migrated_accounting);
+    ("polling delete resets", `Quick, test_polling_delete_resets);
+    ("blocks_in_range", `Quick, test_blocks_in_range);
+    ("is_partial_block", `Quick, test_is_partial_block);
+  ]

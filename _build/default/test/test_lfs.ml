@@ -1,0 +1,150 @@
+(* Tests for the log-structured vs update-in-place disk-layout models. *)
+
+open Dfs_lfs.Disk_layout
+
+let p = default_params
+
+let test_in_place_sequential_cheap () =
+  let ops = List.init 10 (fun b -> Read { file = 1; block = b }) in
+  let r = in_place ops in
+  (* one seek then pure transfers *)
+  Alcotest.(check (float 1e-9)) "one seek"
+    (p.seek_time +. (10.0 *. p.transfer_time))
+    r.total_time;
+  Alcotest.(check int) "reads" 10 r.reads
+
+let test_in_place_random_seeks () =
+  let ops = List.init 10 (fun b -> Read { file = 1; block = b * 7 }) in
+  let r = in_place ops in
+  Alcotest.(check (float 1e-9)) "seek per op"
+    (10.0 *. (p.seek_time +. p.transfer_time))
+    r.total_time
+
+let test_in_place_write_costs_same_as_read () =
+  let reads = in_place (List.init 5 (fun b -> Read { file = 1; block = b * 3 })) in
+  let writes = in_place (List.init 5 (fun b -> Write { file = 1; block = b * 3 })) in
+  Alcotest.(check (float 1e-9)) "symmetric" reads.total_time writes.total_time;
+  Alcotest.(check (float 1e-9)) "read time in read field" reads.total_time
+    reads.read_time;
+  Alcotest.(check (float 1e-9)) "write time in write field" writes.total_time
+    writes.write_time
+
+let test_log_batches_random_writes () =
+  (* scattered small writes: in-place pays a seek each; the log amortizes
+     one seek per segment *)
+  let ops = List.init 256 (fun i -> Write { file = i; block = (i * 13) mod 97 }) in
+  let ip = in_place ops in
+  let lg = log_structured ops in
+  Alcotest.(check bool) "log much cheaper for random writes" true
+    (lg.total_time < ip.total_time /. 2.0)
+
+let test_log_flushes_partial_segment () =
+  let ops = [ Write { file = 1; block = 0 } ] in
+  let r = log_structured ops in
+  Alcotest.(check bool) "partial segment still written" true
+    (r.write_time > 0.0);
+  Alcotest.(check int) "one write" 1 r.writes
+
+let test_log_reads_not_free () =
+  let ops = List.init 10 (fun b -> Read { file = 1; block = b * 5 }) in
+  let r = log_structured ops in
+  Alcotest.(check bool) "reads seek" true
+    (r.read_time >= 10.0 *. p.transfer_time)
+
+let test_cleaning_overhead_charged () =
+  let ops = List.init p.segment_blocks (fun i -> Write { file = 1; block = i }) in
+  let cheap =
+    log_structured ~params:{ p with cleaning_overhead = 0.0 } ops
+  in
+  let dear = log_structured ~params:{ p with cleaning_overhead = 1.0 } ops in
+  Alcotest.(check (float 1e-9)) "cleaner doubles write cost"
+    (2.0 *. cheap.write_time) dear.write_time
+
+let test_empty_stream () =
+  let r = log_structured [] in
+  Alcotest.(check int) "no ops" 0 r.ops;
+  Alcotest.(check (float 1e-9)) "no time" 0.0 r.total_time
+
+(* workload derivation + the crossover claim *)
+
+let mk_access ~file ~bytes_read ~bytes_written : Dfs_analysis.Session.access =
+  {
+    a_user = Dfs_trace.Ids.User.of_int 0;
+    a_client = Dfs_trace.Ids.Client.of_int 0;
+    a_migrated = false;
+    a_file = Dfs_trace.Ids.File.of_int file;
+    a_is_dir = false;
+    a_mode = Dfs_trace.Record.Read_write;
+    a_open_time = 0.0;
+    a_close_time = 1.0;
+    a_size_open = bytes_read;
+    a_size_close = max bytes_read bytes_written;
+    a_bytes_read = bytes_read;
+    a_bytes_written = bytes_written;
+    a_runs = [];
+    a_repositions = 0;
+  }
+
+let bs = Dfs_util.Units.block_size
+
+let test_workload_derivation () =
+  let accesses = [ mk_access ~file:1 ~bytes_read:(10 * bs) ~bytes_written:(5 * bs) ] in
+  let all_reads = workload_of_accesses ~read_miss_ratio:1.0 ~seed:1 accesses in
+  let reads =
+    List.length (List.filter (function Read _ -> true | Write _ -> false) all_reads)
+  in
+  Alcotest.(check int) "all read blocks at miss=1" 10 reads;
+  let none = workload_of_accesses ~read_miss_ratio:0.0 ~seed:1 accesses in
+  Alcotest.(check int) "no reads at miss=0" 0
+    (List.length (List.filter (function Read _ -> true | Write _ -> false) none))
+
+let test_workload_deterministic () =
+  let accesses = [ mk_access ~file:1 ~bytes_read:(40 * bs) ~bytes_written:(10 * bs) ] in
+  let a = workload_of_accesses ~seed:42 accesses in
+  let b = workload_of_accesses ~seed:42 accesses in
+  Alcotest.(check bool) "same seed, same ops" true (a = b)
+
+let test_metadata_ops_added () =
+  let accesses = [ mk_access ~file:1 ~bytes_read:0 ~bytes_written:(2 * bs) ] in
+  let with_md = workload_of_accesses ~read_miss_ratio:0.0 ~seed:3 accesses in
+  let without =
+    workload_of_accesses ~read_miss_ratio:0.0 ~metadata:false ~seed:3 accesses
+  in
+  Alcotest.(check int) "two metadata writes added"
+    (List.length without + 2)
+    (List.length with_md)
+
+let test_crossover_as_hit_ratios_improve () =
+  (* a write-heavy future: as the client caches absorb more reads, the
+     log layout's advantage must grow — the paper's section 6 argument *)
+  let accesses =
+    List.init 60 (fun i ->
+        mk_access ~file:i ~bytes_read:(30 * bs) ~bytes_written:(10 * bs))
+  in
+  let table = crossover_table accesses ~seed:7 in
+  let advantage = List.map (fun (_, ip, lg) -> ip /. lg) table in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 0.05 && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "log advantage grows as misses fall" true
+    (non_decreasing advantage);
+  (* and at very high hit ratios the log clearly wins *)
+  let _, ip, lg = List.nth table (List.length table - 1) in
+  Alcotest.(check bool) "log wins when writes dominate" true (lg < ip)
+
+let suite =
+  [
+    ("in-place sequential cheap", `Quick, test_in_place_sequential_cheap);
+    ("in-place random seeks", `Quick, test_in_place_random_seeks);
+    ("in-place read/write symmetric", `Quick, test_in_place_write_costs_same_as_read);
+    ("log batches random writes", `Quick, test_log_batches_random_writes);
+    ("log flushes partial segment", `Quick, test_log_flushes_partial_segment);
+    ("log reads not free", `Quick, test_log_reads_not_free);
+    ("cleaning overhead charged", `Quick, test_cleaning_overhead_charged);
+    ("empty stream", `Quick, test_empty_stream);
+    ("workload derivation", `Quick, test_workload_derivation);
+    ("workload deterministic", `Quick, test_workload_deterministic);
+    ("metadata ops added", `Quick, test_metadata_ops_added);
+    ("crossover as hit ratios improve", `Quick, test_crossover_as_hit_ratios_improve);
+  ]

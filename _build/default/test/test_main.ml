@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "dfs-repro"
+    [
+      ("util", Test_util.suite);
+      ("trace", Test_trace.suite);
+      ("cache", Test_cache.suite);
+      ("vm", Test_vm.suite);
+      ("sim", Test_sim.suite);
+      ("workload", Test_workload.suite);
+      ("analysis", Test_analysis.suite);
+      ("consistency", Test_consistency.suite);
+      ("lfs", Test_lfs.suite);
+      ("integration", Test_integration.suite);
+    ]

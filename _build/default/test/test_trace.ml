@@ -1,0 +1,321 @@
+(* Tests for Dfs_trace: ids, records, codec, writer/reader, merge, filter. *)
+
+open Dfs_trace
+
+let mk ?(time = 0.0) ?(server = 0) ?(client = 0) ?(user = 0) ?(pid = 0)
+    ?(migrated = false) ?(file = 0) kind =
+  {
+    Record.time;
+    server = Ids.Server.of_int server;
+    client = Ids.Client.of_int client;
+    user = Ids.User.of_int user;
+    pid = Ids.Process.of_int pid;
+    migrated;
+    file = Ids.File.of_int file;
+    kind;
+  }
+
+let sample_kinds =
+  [
+    Record.Open
+      { mode = Record.Read_only; created = false; is_dir = false; size = 123; start_pos = 0 };
+    Record.Open
+      { mode = Record.Write_only; created = true; is_dir = false; size = 0; start_pos = 0 };
+    Record.Open
+      { mode = Record.Read_write; created = false; is_dir = true; size = 640; start_pos = 64 };
+    Record.Close { size = 1000; final_pos = 1000; bytes_read = 500; bytes_written = 500 };
+    Record.Reposition { pos_before = 10; pos_after = 999 };
+    Record.Delete { size = 42; is_dir = false };
+    Record.Delete { size = 0; is_dir = true };
+    Record.Truncate { old_size = 4096 };
+    Record.Dir_read { bytes = 320 };
+    Record.Shared_read { offset = 4096; length = 256 };
+    Record.Shared_write { offset = 0; length = 64 };
+  ]
+
+(* -- ids -------------------------------------------------------------------- *)
+
+let test_ids_roundtrip () =
+  let u = Ids.User.of_int 7 in
+  Alcotest.(check int) "roundtrip" 7 (Ids.User.to_int u);
+  Alcotest.(check bool) "equal" true (Ids.User.equal u (Ids.User.of_int 7));
+  Alcotest.(check bool) "not equal" false (Ids.User.equal u (Ids.User.of_int 8))
+
+let test_ids_collections () =
+  let s = Ids.File.Set.of_list (List.map Ids.File.of_int [ 1; 2; 2; 3 ]) in
+  Alcotest.(check int) "set dedups" 3 (Ids.File.Set.cardinal s);
+  let tbl = Ids.Client.Tbl.create 4 in
+  Ids.Client.Tbl.replace tbl (Ids.Client.of_int 5) "x";
+  Alcotest.(check (option string)) "tbl find" (Some "x")
+    (Ids.Client.Tbl.find_opt tbl (Ids.Client.of_int 5))
+
+(* -- record ----------------------------------------------------------------- *)
+
+let test_record_compare_time () =
+  let a = mk ~time:1.0 (Record.Dir_read { bytes = 1 }) in
+  let b = mk ~time:2.0 (Record.Dir_read { bytes = 1 }) in
+  Alcotest.(check bool) "a before b" true (Record.compare_time a b < 0);
+  let c = mk ~time:1.0 ~server:1 (Record.Dir_read { bytes = 1 }) in
+  Alcotest.(check bool) "tie broken by server" true (Record.compare_time a c < 0)
+
+let test_record_kind_names () =
+  let names = List.map Record.kind_name sample_kinds in
+  Alcotest.(check int) "all named" (List.length sample_kinds)
+    (List.length (List.filter (fun n -> String.length n > 0) names))
+
+(* -- codec ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip_all_kinds () =
+  List.iteri
+    (fun i kind ->
+      let r =
+        mk ~time:(float_of_int i *. 1.5) ~server:(i mod 4) ~client:i ~user:(i * 2)
+          ~pid:(i * 3) ~migrated:(i mod 2 = 0) ~file:(i * 10) kind
+      in
+      match Codec.decode (Codec.encode r) with
+      | Ok r' -> Alcotest.(check bool) "roundtrip" true (Record.equal r r')
+      | Error e -> Alcotest.failf "decode failed: %s" e)
+    sample_kinds
+
+let test_codec_bad_input () =
+  let bad l =
+    match Codec.decode l with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "garbage" true (bad "hello world");
+  Alcotest.(check bool) "bad kind" true
+    (bad "1.0\t0\t0\t0\t0\t0\t0\tnope\t1\t2");
+  Alcotest.(check bool) "bad int" true
+    (bad "1.0\t0\t0\t0\t0\t0\t0\tdirread\txyz");
+  Alcotest.(check bool) "wrong field count" true
+    (bad "1.0\t0\t0\t0\t0\t0\t0\tseek\t5")
+
+(* -- writer / reader ----------------------------------------------------------- *)
+
+let records_for_io =
+  List.mapi (fun i kind -> mk ~time:(float_of_int i) ~file:i kind) sample_kinds
+
+let test_writer_reader_buffer () =
+  let buf = Buffer.create 256 in
+  let w = Writer.to_buffer buf in
+  List.iter (Writer.write w) records_for_io;
+  Alcotest.(check int) "count" (List.length records_for_io) (Writer.count w);
+  match Reader.of_string (Buffer.contents buf) with
+  | Ok rs ->
+    Alcotest.(check int) "all read back" (List.length records_for_io)
+      (List.length rs);
+    List.iter2
+      (fun a b -> Alcotest.(check bool) "record equal" true (Record.equal a b))
+      records_for_io rs
+  | Error e -> Alcotest.failf "reader failed: %s" e
+
+let test_reader_rejects_bad_header () =
+  match Reader.of_string "#not-a-trace\n" with
+  | Ok _ -> Alcotest.fail "accepted bad header"
+  | Error e ->
+    Alcotest.(check bool) "mentions header" true
+      (String.length e > 0)
+
+let test_reader_reports_line () =
+  let buf = Buffer.create 64 in
+  let w = Writer.to_buffer buf in
+  Writer.write w (List.hd records_for_io);
+  Buffer.add_string buf "garbage line\n";
+  match Reader.of_string (Buffer.contents buf) with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error e ->
+    Alcotest.(check bool) "line number present" true
+      (String.length e >= 6 && String.sub e 0 4 = "line")
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "dfs" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Writer.with_file path (fun w -> List.iter (Writer.write w) records_for_io);
+      match Reader.of_file path with
+      | Ok rs ->
+        Alcotest.(check int) "file roundtrip" (List.length records_for_io)
+          (List.length rs)
+      | Error e -> Alcotest.failf "read back failed: %s" e)
+
+let test_fold_file_streaming () =
+  let path = Filename.temp_file "dfs" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Writer.with_file path (fun w -> List.iter (Writer.write w) records_for_io);
+      match Reader.fold_file path ~init:0 ~f:(fun acc _ -> acc + 1) with
+      | Ok n -> Alcotest.(check int) "fold count" (List.length records_for_io) n
+      | Error e -> Alcotest.failf "fold failed: %s" e)
+
+(* -- merge ----------------------------------------------------------------------- *)
+
+let test_merge_two_streams () =
+  let s0 = [ mk ~time:1.0 ~server:0 (Record.Dir_read { bytes = 1 });
+             mk ~time:3.0 ~server:0 (Record.Dir_read { bytes = 1 }) ] in
+  let s1 = [ mk ~time:2.0 ~server:1 (Record.Dir_read { bytes = 1 });
+             mk ~time:4.0 ~server:1 (Record.Dir_read { bytes = 1 }) ] in
+  let merged = Merge.merge [ s0; s1 ] in
+  Alcotest.(check (list (float 0.0))) "interleaved"
+    [ 1.0; 2.0; 3.0; 4.0 ]
+    (List.map (fun (r : Record.t) -> r.time) merged);
+  Alcotest.(check bool) "sorted" true (Merge.is_sorted merged)
+
+let test_merge_tie_break () =
+  let a = mk ~time:1.0 ~server:1 (Record.Dir_read { bytes = 1 }) in
+  let b = mk ~time:1.0 ~server:0 (Record.Dir_read { bytes = 2 }) in
+  let merged = Merge.merge [ [ a ]; [ b ] ] in
+  (* server 0 first on equal timestamps *)
+  match merged with
+  | [ first; second ] ->
+    Alcotest.(check int) "server 0 first" 0 (Ids.Server.to_int first.server);
+    Alcotest.(check int) "server 1 second" 1 (Ids.Server.to_int second.server)
+  | _ -> Alcotest.fail "wrong length"
+
+let test_merge_empty_streams () =
+  Alcotest.(check int) "no streams" 0 (List.length (Merge.merge []));
+  Alcotest.(check int) "empty streams" 0 (List.length (Merge.merge [ []; [] ]))
+
+let test_scrub () =
+  let daemon = 9000 in
+  let records =
+    [
+      mk ~time:1.0 ~user:1 (Record.Dir_read { bytes = 1 });
+      mk ~time:2.0 ~user:daemon (Record.Dir_read { bytes = 1 });
+      mk ~time:3.0 ~user:2 (Record.Dir_read { bytes = 1 });
+    ]
+  in
+  let scrubbed =
+    Merge.scrub
+      ~self_users:(Ids.User.Set.singleton (Ids.User.of_int daemon))
+      records
+  in
+  Alcotest.(check int) "daemon removed" 2 (List.length scrubbed);
+  Alcotest.(check bool) "others kept" true
+    (List.for_all
+       (fun (r : Record.t) -> Ids.User.to_int r.user <> daemon)
+       scrubbed)
+
+(* -- filter ---------------------------------------------------------------------- *)
+
+let test_filter_by_time () =
+  let rs =
+    List.map (fun t -> mk ~time:t (Record.Dir_read { bytes = 1 })) [ 0.0; 1.0; 2.0; 3.0 ]
+  in
+  Alcotest.(check int) "half-open window" 2
+    (List.length (Filter.by_time ~lo:1.0 ~hi:3.0 rs))
+
+let test_filter_users () =
+  let rs = List.map (fun u -> mk ~user:u (Record.Dir_read { bytes = 1 })) [ 1; 2; 3 ] in
+  let set = Ids.User.Set.singleton (Ids.User.of_int 2) in
+  Alcotest.(check int) "by_users" 1 (List.length (Filter.by_users set rs));
+  Alcotest.(check int) "excluding" 2 (List.length (Filter.excluding_users set rs))
+
+let test_filter_migrated () =
+  let rs =
+    [ mk ~migrated:true (Record.Dir_read { bytes = 1 });
+      mk ~migrated:false (Record.Dir_read { bytes = 1 }) ]
+  in
+  Alcotest.(check int) "migrated only" 1 (List.length (Filter.migrated_only rs))
+
+let test_filter_files_only () =
+  let dir_open =
+    mk ~time:0.0 ~file:1
+      (Record.Open
+         { mode = Record.Read_only; created = false; is_dir = true; size = 64; start_pos = 0 })
+  in
+  let dir_readrec = mk ~time:0.5 ~file:1 (Record.Dir_read { bytes = 64 }) in
+  let dir_close =
+    mk ~time:1.0 ~file:1
+      (Record.Close { size = 64; final_pos = 64; bytes_read = 64; bytes_written = 0 })
+  in
+  let file_open =
+    mk ~time:2.0 ~file:2
+      (Record.Open
+         { mode = Record.Read_only; created = false; is_dir = false; size = 10; start_pos = 0 })
+  in
+  let file_close =
+    mk ~time:3.0 ~file:2
+      (Record.Close { size = 10; final_pos = 10; bytes_read = 10; bytes_written = 0 })
+  in
+  let dir_delete = mk ~time:4.0 ~file:1 (Record.Delete { size = 0; is_dir = true }) in
+  let kept =
+    Filter.files_only
+      [ dir_open; dir_readrec; dir_close; file_open; file_close; dir_delete ]
+  in
+  Alcotest.(check int) "only the file open/close survive" 2 (List.length kept);
+  Alcotest.(check bool) "all on file 2" true
+    (List.for_all (fun (r : Record.t) -> Ids.File.to_int r.file = 2) kept)
+
+let test_filter_duration () =
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Filter.duration []);
+  let rs =
+    List.map (fun t -> mk ~time:t (Record.Dir_read { bytes = 1 })) [ 1.0; 2.0; 5.0 ]
+  in
+  Alcotest.(check (float 1e-9)) "span" 4.0 (Filter.duration rs)
+
+(* -- properties -------------------------------------------------------------------- *)
+
+let gen_kind =
+  QCheck.Gen.oneof
+    (List.map QCheck.Gen.return sample_kinds)
+
+let gen_record =
+  QCheck.Gen.(
+    map2
+      (fun (t, s, c) kind ->
+        mk ~time:(Float.abs t) ~server:s ~client:c kind)
+      (triple (float_bound_inclusive 1e6) (int_bound 3) (int_bound 50))
+      gen_kind)
+
+let arb_record = QCheck.make gen_record
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip (random records)" ~count:300 arb_record
+    (fun r ->
+      match Codec.decode (Codec.encode r) with
+      | Ok r' ->
+        (* times survive to microsecond precision *)
+        Float.abs (r'.time -. r.time) < 1e-5 && r'.kind = r.kind
+      | Error _ -> false)
+
+let prop_merge_sorted =
+  QCheck.Test.make ~name:"merge output is time-sorted" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 30) arb_record)
+        (list_of_size Gen.(0 -- 30) arb_record))
+    (fun (a, b) ->
+      let sort l = List.sort Record.compare_time l in
+      let merged = Merge.merge [ sort a; sort b ] in
+      Merge.is_sorted merged
+      && List.length merged = List.length a + List.length b)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_codec_roundtrip; prop_merge_sorted ]
+
+let suite =
+  [
+    ("ids roundtrip", `Quick, test_ids_roundtrip);
+    ("ids collections", `Quick, test_ids_collections);
+    ("record compare_time", `Quick, test_record_compare_time);
+    ("record kind names", `Quick, test_record_kind_names);
+    ("codec roundtrip all kinds", `Quick, test_codec_roundtrip_all_kinds);
+    ("codec rejects bad input", `Quick, test_codec_bad_input);
+    ("writer/reader via buffer", `Quick, test_writer_reader_buffer);
+    ("reader rejects bad header", `Quick, test_reader_rejects_bad_header);
+    ("reader reports line numbers", `Quick, test_reader_reports_line);
+    ("file roundtrip", `Quick, test_file_roundtrip);
+    ("fold_file streaming", `Quick, test_fold_file_streaming);
+    ("merge two streams", `Quick, test_merge_two_streams);
+    ("merge tie-break", `Quick, test_merge_tie_break);
+    ("merge empty", `Quick, test_merge_empty_streams);
+    ("scrub self users", `Quick, test_scrub);
+    ("filter by time", `Quick, test_filter_by_time);
+    ("filter users", `Quick, test_filter_users);
+    ("filter migrated", `Quick, test_filter_migrated);
+    ("filter files_only", `Quick, test_filter_files_only);
+    ("filter duration", `Quick, test_filter_duration);
+  ]
+  @ qcheck_tests

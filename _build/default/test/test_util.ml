@@ -1,0 +1,571 @@
+(* Unit and property tests for Dfs_util. *)
+
+open Dfs_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_float_eps eps = Alcotest.(check (float eps))
+
+(* -- Rng ------------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xa = List.init 10 (fun _ -> Rng.bits64 a) in
+  let xb = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "different streams" false (xa = xb)
+
+let test_rng_split_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  let xa = List.init 10 (fun _ -> Rng.bits64 a) in
+  let xb = List.init 10 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split differs from parent" false (xa = xb)
+
+let test_rng_copy () =
+  let a = Rng.create 11 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_int_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 13 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 5.0
+  done;
+  check_float_eps 0.2 "mean ~5" 5.0 (!sum /. float_of_int n)
+
+let test_rng_bernoulli_rate () =
+  let rng = Rng.create 17 in
+  let n = 20000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  check_float_eps 0.02 "p ~0.3" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_rng_zipf_bounds () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 1000 do
+    let r = Rng.zipf rng ~n:10 ~s:1.0 in
+    Alcotest.(check bool) "rank in [1,10]" true (r >= 1 && r <= 10)
+  done
+
+let test_rng_zipf_skew () =
+  let rng = Rng.create 23 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 10000 do
+    let r = Rng.zipf rng ~n:10 ~s:1.2 in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most common" true (counts.(1) > counts.(2));
+  Alcotest.(check bool) "rank 2 beats rank 9" true (counts.(2) > counts.(9))
+
+let test_rng_pick_weighted () =
+  let rng = Rng.create 29 in
+  let a = ref 0 and b = ref 0 in
+  for _ = 1 to 10000 do
+    match Rng.pick_weighted rng [ ("a", 9.0); ("b", 1.0) ] with
+    | "a" -> incr a
+    | _ -> incr b
+  done;
+  Alcotest.(check bool) "a dominates" true (!a > 7 * !b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 31 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_rng_pareto_min () =
+  let rng = Rng.create 37 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) ">= x_min" true
+      (Rng.pareto rng ~alpha:1.5 ~x_min:100.0 >= 100.0)
+  done
+
+(* -- Dist ------------------------------------------------------------------ *)
+
+let test_dist_constant () =
+  let rng = Rng.create 1 in
+  check_float "constant" 42.0 (Dist.sample (Dist.Constant 42.0) rng)
+
+let test_dist_clamped () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 500 do
+    let x = Dist.sample (Dist.Clamped (Dist.Exponential 10.0, 2.0, 5.0)) rng in
+    Alcotest.(check bool) "clamped" true (x >= 2.0 && x <= 5.0)
+  done
+
+let test_dist_mixture_members () =
+  let rng = Rng.create 2 in
+  let d = Dist.Mixture [ (Dist.Constant 1.0, 1.0); (Dist.Constant 2.0, 1.0) ] in
+  for _ = 1 to 100 do
+    let x = Dist.sample d rng in
+    Alcotest.(check bool) "one of the members" true (x = 1.0 || x = 2.0)
+  done
+
+let test_dist_mean_analytic () =
+  check_float "exp mean" 7.0 (Dist.mean (Dist.Exponential 7.0));
+  check_float "uniform mean" 3.0 (Dist.mean (Dist.Uniform (2.0, 4.0)));
+  check_float "pareto mean" 3.0 (Dist.mean (Dist.Pareto (1.5, 1.0)));
+  Alcotest.(check bool) "pareto alpha<=1 infinite" true
+    (Dist.mean (Dist.Pareto (1.0, 1.0)) = infinity)
+
+let test_dist_sample_int_nonneg () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 500 do
+    Alcotest.(check bool) "non-negative" true
+      (Dist.sample_int (Dist.Uniform (-5.0, 5.0)) rng >= 0)
+  done
+
+(* -- Stats ----------------------------------------------------------------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "total" 10.0 (Stats.total s);
+  check_float "min" 1.0 (Stats.min s);
+  check_float "max" 4.0 (Stats.max s);
+  check_float_eps 1e-9 "stddev" (sqrt 1.25) (Stats.stddev s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  check_float "mean 0" 0.0 (Stats.mean s);
+  check_float "stddev 0" 0.0 (Stats.stddev s)
+
+let test_stats_add_n () =
+  let a = Stats.create () in
+  Stats.add_n a 3.0 5;
+  Stats.add_n a 7.0 5;
+  let b = Stats.create () in
+  for _ = 1 to 5 do
+    Stats.add b 3.0
+  done;
+  for _ = 1 to 5 do
+    Stats.add b 7.0
+  done;
+  Alcotest.(check int) "counts equal" (Stats.count b) (Stats.count a);
+  check_float_eps 1e-9 "means equal" (Stats.mean b) (Stats.mean a);
+  check_float_eps 1e-9 "stddevs equal" (Stats.stddev b) (Stats.stddev a)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  List.iter
+    (fun x ->
+      Stats.add whole x;
+      if x < 3.0 then Stats.add a x else Stats.add b x)
+    [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count m);
+  check_float_eps 1e-9 "mean" (Stats.mean whole) (Stats.mean m);
+  check_float_eps 1e-9 "stddev" (Stats.stddev whole) (Stats.stddev m);
+  check_float "min" 1.0 (Stats.min m);
+  check_float "max" 5.0 (Stats.max m)
+
+let test_stats_percentile () =
+  let arr = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "median" 3.0 (Stats.percentile arr 0.5);
+  check_float "min" 1.0 (Stats.percentile arr 0.0);
+  check_float "max" 5.0 (Stats.percentile arr 1.0);
+  check_float "interp" 1.5 (Stats.percentile arr 0.125)
+
+let test_stats_ratio () =
+  check_float "ratio" 0.5 (Stats.ratio 1.0 2.0);
+  check_float "div by zero" 0.0 (Stats.ratio 1.0 0.0)
+
+(* -- Cdf ------------------------------------------------------------------- *)
+
+let test_cdf_unweighted () =
+  let c = Cdf.create () in
+  List.iter (Cdf.add c) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_float "below 0" 0.0 (Cdf.fraction_below c 0.5);
+  check_float "below 2" 0.5 (Cdf.fraction_below c 2.0);
+  check_float "below all" 1.0 (Cdf.fraction_below c 10.0);
+  check_float "median" 2.0 (Cdf.median c)
+
+let test_cdf_weighted () =
+  let c = Cdf.create () in
+  Cdf.add c ~weight:1.0 1.0;
+  Cdf.add c ~weight:9.0 10.0;
+  check_float "weighted fraction" 0.1 (Cdf.fraction_below c 1.0);
+  check_float "q0.05" 1.0 (Cdf.quantile c 0.05);
+  check_float "q0.5" 10.0 (Cdf.quantile c 0.5)
+
+let test_cdf_add_after_query () =
+  let c = Cdf.create () in
+  Cdf.add c 1.0;
+  ignore (Cdf.fraction_below c 1.0);
+  Cdf.add c 2.0;
+  check_float "cache invalidated" 0.5 (Cdf.fraction_below c 1.0)
+
+let test_cdf_series_and_log_xs () =
+  let xs = Cdf.log_xs ~lo:1.0 ~hi:1000.0 ~per_decade:1 in
+  Alcotest.(check int) "4 points" 4 (Array.length xs);
+  let c = Cdf.create () in
+  Cdf.add c 5.0;
+  let series = Cdf.series c ~xs in
+  Alcotest.(check int) "series length" 4 (Array.length series);
+  check_float "first point" 0.0 (snd series.(0));
+  check_float "last point" 1.0 (snd series.(3))
+
+let test_cdf_empty () =
+  let c = Cdf.create () in
+  check_float "empty below" 0.0 (Cdf.fraction_below c 1.0);
+  Alcotest.(check int) "count" 0 (Cdf.count c)
+
+(* -- Heap ------------------------------------------------------------------ *)
+
+module IH = Heap.Make (Int)
+
+let test_heap_order () =
+  let h = IH.create () in
+  List.iter (IH.push h) [ 5; 1; 4; 2; 3 ];
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 4; 5 ]
+    (IH.to_sorted_list h)
+
+let test_heap_peek_pop () =
+  let h = IH.create () in
+  Alcotest.(check (option int)) "peek empty" None (IH.peek h);
+  Alcotest.(check (option int)) "pop empty" None (IH.pop h);
+  IH.push h 9;
+  IH.push h 3;
+  Alcotest.(check (option int)) "peek" (Some 3) (IH.peek h);
+  Alcotest.(check int) "length" 2 (IH.length h);
+  Alcotest.(check (option int)) "pop" (Some 3) (IH.pop h);
+  Alcotest.(check (option int)) "pop next" (Some 9) (IH.pop h);
+  Alcotest.(check bool) "empty" true (IH.is_empty h)
+
+let test_heap_pop_exn () =
+  let h = IH.create () in
+  Alcotest.check_raises "empty pop_exn"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (IH.pop_exn h))
+
+let test_heap_duplicates () =
+  let h = IH.create () in
+  List.iter (IH.push h) [ 2; 2; 1; 1 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2 ] (IH.to_sorted_list h)
+
+(* -- Lru ------------------------------------------------------------------- *)
+
+module IL = Lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  let hash = Hashtbl.hash
+end)
+
+let test_lru_order () =
+  let l = IL.create () in
+  IL.add l 1 "a";
+  IL.add l 2 "b";
+  IL.add l 3 "c";
+  Alcotest.(check (option (pair int string))) "lru is 1" (Some (1, "a")) (IL.lru l);
+  ignore (IL.use l 1);
+  Alcotest.(check (option (pair int string))) "lru now 2" (Some (2, "b")) (IL.lru l)
+
+let test_lru_pop () =
+  let l = IL.create () in
+  IL.add l 1 "a";
+  IL.add l 2 "b";
+  Alcotest.(check (option (pair int string))) "pop 1" (Some (1, "a")) (IL.pop_lru l);
+  Alcotest.(check int) "length 1" 1 (IL.length l);
+  Alcotest.(check bool) "1 gone" false (IL.mem l 1)
+
+let test_lru_replace () =
+  let l = IL.create () in
+  IL.add l 1 "a";
+  IL.add l 2 "b";
+  IL.add l 1 "a2";
+  Alcotest.(check (option string)) "value replaced" (Some "a2") (IL.find l 1);
+  Alcotest.(check int) "no dup" 2 (IL.length l);
+  (* re-adding made key 1 most recent *)
+  Alcotest.(check (option (pair int string))) "lru is 2" (Some (2, "b")) (IL.lru l)
+
+let test_lru_remove () =
+  let l = IL.create () in
+  IL.add l 1 "a";
+  Alcotest.(check (option string)) "removed value" (Some "a") (IL.remove l 1);
+  Alcotest.(check (option string)) "second remove" None (IL.remove l 1);
+  Alcotest.(check int) "empty" 0 (IL.length l)
+
+let test_lru_iter_order () =
+  let l = IL.create () in
+  List.iter (fun k -> IL.add l k (string_of_int k)) [ 1; 2; 3 ];
+  ignore (IL.use l 2);
+  Alcotest.(check (list int)) "lru-first order" [ 1; 3; 2 ]
+    (List.map fst (IL.to_list l))
+
+let test_lru_find_does_not_promote () =
+  let l = IL.create () in
+  IL.add l 1 "a";
+  IL.add l 2 "b";
+  ignore (IL.find l 1);
+  Alcotest.(check (option (pair int string))) "1 still lru" (Some (1, "a"))
+    (IL.lru l)
+
+(* -- Table / Units ----------------------------------------------------------- *)
+
+let test_table_render () =
+  let t =
+    Table.create ~caption:"Cap" ~columns:[ ("A", Table.Left); ("B", Table.Right) ] ()
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "caption present" true
+    (String.length s > 3 && String.sub s 0 3 = "Cap");
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "yy | 22"))
+
+let test_table_wrong_arity () =
+  let t = Table.create ~columns:[ ("A", Table.Left) ] () in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_table_formatters () =
+  Alcotest.(check string) "pct_sd" "41.4 (26.9)" (Table.pct_sd 41.4 26.9);
+  Alcotest.(check string) "pct_range" "88 (82-94)" (Table.pct_range 88.0 82.0 94.0);
+  Alcotest.(check string) "bytes" "4.0 KB" (Table.bytes 4096.0)
+
+let test_units () =
+  Alcotest.(check int) "block" 4096 Units.block_size;
+  Alcotest.(check int) "blocks of 0" 0 (Units.blocks_of_bytes 0);
+  Alcotest.(check int) "blocks of 1" 1 (Units.blocks_of_bytes 1);
+  Alcotest.(check int) "blocks of 4096" 1 (Units.blocks_of_bytes 4096);
+  Alcotest.(check int) "blocks of 4097" 2 (Units.blocks_of_bytes 4097);
+  check_float "minutes" 120.0 (Units.minutes 2.0);
+  check_float "hours" 7200.0 (Units.hours 2.0)
+
+(* -- Chart ----------------------------------------------------------------- *)
+
+let test_chart_renders () =
+  let cdf = Cdf.create () in
+  List.iter (Cdf.add cdf) [ 100.0; 1000.0; 10000.0; 100000.0 ];
+  let xs = Cdf.log_xs ~lo:100.0 ~hi:100000.0 ~per_decade:2 in
+  let s =
+    Chart.render ~title:"t" ~x_label:"bytes"
+      [ Chart.of_cdf ~name:"files" ~glyph:'*' ~xs cdf ]
+  in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 't');
+  Alcotest.(check bool) "has glyph" true (String.contains s '*');
+  Alcotest.(check bool) "has axes" true (String.contains s '+');
+  (* every line fits a reasonable width *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "line width bounded" true (String.length line < 120))
+    (String.split_on_char '\n' s)
+
+let test_chart_of_cdf_percent () =
+  let cdf = Cdf.create () in
+  Cdf.add cdf 10.0;
+  let s = Chart.of_cdf ~name:"x" ~glyph:'o' ~xs:[| 5.0; 20.0 |] cdf in
+  Alcotest.(check (float 1e-9)) "0% below 5" 0.0 (snd s.Chart.s_points.(0));
+  Alcotest.(check (float 1e-9)) "100% below 20" 100.0 (snd s.Chart.s_points.(1))
+
+let test_chart_two_series () =
+  let a = Cdf.create () and b = Cdf.create () in
+  Cdf.add a 10.0;
+  Cdf.add b 1000.0;
+  let xs = [| 1.0; 10.0; 100.0; 1000.0 |] in
+  let s =
+    Chart.render ~title:"two" ~x_label:"x"
+      [ Chart.of_cdf ~name:"a" ~glyph:'*' ~xs a;
+        Chart.of_cdf ~name:"b" ~glyph:'o' ~xs b ]
+  in
+  Alcotest.(check bool) "both glyphs" true
+    (String.contains s '*' && String.contains s 'o')
+
+let test_chart_no_positive_x () =
+  Alcotest.check_raises "empty chart"
+    (Invalid_argument "Chart.render: no positive x values") (fun () ->
+      ignore (Chart.render ~title:"t" ~x_label:"x"
+                [ { Chart.s_name = "e"; s_glyph = '*'; s_points = [||] } ]))
+
+(* -- properties --------------------------------------------------------------- *)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"stats mean within min..max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min s -. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9)
+
+let prop_stats_merge_equals_sequential =
+  QCheck.Test.make ~name:"stats merge = sequential" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 30) (float_range (-100.) 100.))
+        (list_of_size Gen.(0 -- 30) (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () and w = Stats.create () in
+      List.iter (Stats.add a) xs;
+      List.iter (Stats.add b) ys;
+      List.iter (Stats.add w) (xs @ ys);
+      let m = Stats.merge a b in
+      Stats.count m = Stats.count w
+      && Float.abs (Stats.mean m -. Stats.mean w) < 1e-6
+      && Float.abs (Stats.stddev m -. Stats.stddev w) < 1e-6)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"cdf is monotone" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range 0.0 1000.0))
+    (fun xs ->
+      let c = Cdf.create () in
+      List.iter (Cdf.add c) xs;
+      let points = [ 0.0; 1.0; 10.0; 100.0; 500.0; 1000.0; 2000.0 ] in
+      let fracs = List.map (Cdf.fraction_below c) points in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-12 && mono rest
+        | _ -> true
+      in
+      mono fracs)
+
+let prop_cdf_quantile_consistent =
+  QCheck.Test.make ~name:"fraction_below (quantile p) >= p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 50) (float_range 0.0 100.0))
+        (float_range 0.01 0.99))
+    (fun (xs, p) ->
+      let c = Cdf.create () in
+      List.iter (Cdf.add c) xs;
+      Cdf.fraction_below c (Cdf.quantile c p) >= p -. 1e-9)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = IH.create () in
+      List.iter (IH.push h) xs;
+      IH.to_sorted_list h = List.sort compare xs)
+
+let prop_lru_length =
+  QCheck.Test.make ~name:"lru length = distinct keys" ~count:200
+    QCheck.(list (int_bound 20))
+    (fun keys ->
+      let l = IL.create () in
+      List.iter (fun k -> IL.add l k "") keys;
+      IL.length l = List.length (List.sort_uniq compare keys))
+
+let prop_lru_pop_order_no_use =
+  QCheck.Test.make ~name:"lru pops insertion order without touches" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 20) (int_bound 1000))
+    (fun keys ->
+      let distinct = List.sort_uniq compare keys in
+      let l = IL.create () in
+      (* insert distinct keys in a deterministic order *)
+      List.iteri (fun i k -> IL.add l k i) distinct;
+      let rec drain acc =
+        match IL.pop_lru l with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = distinct)
+
+let prop_dist_clamp_respected =
+  QCheck.Test.make ~name:"clamped samples stay in range" ~count:200
+    QCheck.(pair (float_range 0.1 10.0) (float_range 11.0 100.0))
+    (fun (lo, hi) ->
+      let rng = Rng.create 99 in
+      let d = Dist.Clamped (Dist.Pareto (1.1, 0.5), lo, hi) in
+      List.for_all
+        (fun _ ->
+          let x = Dist.sample d rng in
+          x >= lo && x <= hi)
+        (List.init 50 Fun.id))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_stats_mean_bounds;
+      prop_stats_merge_equals_sequential;
+      prop_cdf_monotone;
+      prop_cdf_quantile_consistent;
+      prop_heap_sorts;
+      prop_lru_length;
+      prop_lru_pop_order_no_use;
+      prop_dist_clamp_respected;
+    ]
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seeds differ", `Quick, test_rng_seeds_differ);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng float range", `Quick, test_rng_float_range);
+    ("rng int range", `Quick, test_rng_int_range);
+    ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng bernoulli rate", `Quick, test_rng_bernoulli_rate);
+    ("rng zipf bounds", `Quick, test_rng_zipf_bounds);
+    ("rng zipf skew", `Quick, test_rng_zipf_skew);
+    ("rng pick weighted", `Quick, test_rng_pick_weighted);
+    ("rng shuffle permutation", `Quick, test_rng_shuffle_permutation);
+    ("rng pareto min", `Quick, test_rng_pareto_min);
+    ("dist constant", `Quick, test_dist_constant);
+    ("dist clamped", `Quick, test_dist_clamped);
+    ("dist mixture members", `Quick, test_dist_mixture_members);
+    ("dist analytic means", `Quick, test_dist_mean_analytic);
+    ("dist sample_int non-negative", `Quick, test_dist_sample_int_nonneg);
+    ("stats basic", `Quick, test_stats_basic);
+    ("stats empty", `Quick, test_stats_empty);
+    ("stats add_n", `Quick, test_stats_add_n);
+    ("stats merge", `Quick, test_stats_merge);
+    ("stats percentile", `Quick, test_stats_percentile);
+    ("stats ratio", `Quick, test_stats_ratio);
+    ("cdf unweighted", `Quick, test_cdf_unweighted);
+    ("cdf weighted", `Quick, test_cdf_weighted);
+    ("cdf add after query", `Quick, test_cdf_add_after_query);
+    ("cdf series and log_xs", `Quick, test_cdf_series_and_log_xs);
+    ("cdf empty", `Quick, test_cdf_empty);
+    ("heap order", `Quick, test_heap_order);
+    ("heap peek/pop", `Quick, test_heap_peek_pop);
+    ("heap pop_exn", `Quick, test_heap_pop_exn);
+    ("heap duplicates", `Quick, test_heap_duplicates);
+    ("lru order", `Quick, test_lru_order);
+    ("lru pop", `Quick, test_lru_pop);
+    ("lru replace", `Quick, test_lru_replace);
+    ("lru remove", `Quick, test_lru_remove);
+    ("lru iter order", `Quick, test_lru_iter_order);
+    ("lru find does not promote", `Quick, test_lru_find_does_not_promote);
+    ("table render", `Quick, test_table_render);
+    ("table wrong arity", `Quick, test_table_wrong_arity);
+    ("table formatters", `Quick, test_table_formatters);
+    ("units", `Quick, test_units);
+    ("chart renders", `Quick, test_chart_renders);
+    ("chart of_cdf percent", `Quick, test_chart_of_cdf_percent);
+    ("chart two series", `Quick, test_chart_two_series);
+    ("chart no positive x", `Quick, test_chart_no_positive_x);
+  ]
+  @ qcheck_tests

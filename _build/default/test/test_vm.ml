@@ -1,0 +1,181 @@
+(* Tests for Dfs_vm.Vm: exec faults, code retention, swap traffic, memory
+   demand and the 20-minute trade rule. *)
+
+module Vm = Dfs_vm.Vm
+module File = Dfs_trace.Ids.File
+module Process = Dfs_trace.Ids.Process
+
+let page = Dfs_util.Units.block_size
+
+type log = {
+  mutable cached_reads : (int * int * int) list;  (* file, off, len *)
+  mutable backing_reads : int;
+  mutable backing_writes : int;
+}
+
+let make_vm () =
+  let log = { cached_reads = []; backing_reads = 0; backing_writes = 0 } in
+  let vm =
+    Vm.create
+      {
+        Vm.cached_page_read =
+          (fun ~file ~off ~len ->
+            log.cached_reads <- (File.to_int file, off, len) :: log.cached_reads);
+        backing_read = (fun ~bytes -> log.backing_reads <- log.backing_reads + bytes);
+        backing_write =
+          (fun ~bytes -> log.backing_writes <- log.backing_writes + bytes);
+      }
+  in
+  (vm, log)
+
+let pid i = Process.of_int i
+
+let exe i = File.of_int i
+
+let test_exec_faults_code_and_data () =
+  let vm, log = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:(4 * page)
+    ~data_bytes:(2 * page);
+  (* one read for code pages, one for initialized data *)
+  Alcotest.(check int) "two fault batches" 2 (List.length log.cached_reads);
+  let total = List.fold_left (fun acc (_, _, l) -> acc + l) 0 log.cached_reads in
+  Alcotest.(check int) "all pages faulted" (6 * page) total
+
+let test_code_retention () =
+  let vm, log = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:(4 * page)
+    ~data_bytes:page;
+  Vm.exit vm ~now:1.0 ~pid:(pid 1);
+  Alcotest.(check int) "code retained" 4 (Vm.retained_pages vm);
+  log.cached_reads <- [];
+  (* re-exec shortly after: code pages come from the retained pool, data is
+     re-read through the file cache *)
+  Vm.exec vm ~now:2.0 ~pid:(pid 2) ~exe:(exe 10) ~code_bytes:(4 * page)
+    ~data_bytes:page;
+  let total = List.fold_left (fun acc (_, _, l) -> acc + l) 0 log.cached_reads in
+  Alcotest.(check int) "only data faults" page total
+
+let test_code_retention_expires () =
+  let vm, log = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:(2 * page)
+    ~data_bytes:0;
+  Vm.exit vm ~now:1.0 ~pid:(pid 1);
+  log.cached_reads <- [];
+  let long_after = 1.0 +. (Vm.config vm).Vm.code_retention +. 10.0 in
+  Vm.exec vm ~now:long_after ~pid:(pid 2) ~exe:(exe 10) ~code_bytes:(2 * page)
+    ~data_bytes:0;
+  let total = List.fold_left (fun acc (_, _, l) -> acc + l) 0 log.cached_reads in
+  Alcotest.(check int) "code refaulted after expiry" (2 * page) total
+
+let test_swap_out_in () =
+  let vm, log = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:page
+    ~data_bytes:(2 * page);
+  Vm.grow vm ~now:0.0 ~pid:(pid 1) ~heap_bytes:(8 * page);
+  (* 10 dirty pages (2 data + 8 heap); swap half out *)
+  Vm.swap_out vm ~now:1.0 ~pid:(pid 1) ~fraction:0.5;
+  Alcotest.(check int) "5 pages written" (5 * page) log.backing_writes;
+  Vm.swap_in vm ~now:2.0 ~pid:(pid 1) ~fraction:1.0;
+  Alcotest.(check int) "5 pages read back" (5 * page) log.backing_reads
+
+let test_swap_bounded () =
+  let vm, log = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:page ~data_bytes:page;
+  Vm.swap_out vm ~now:1.0 ~pid:(pid 1) ~fraction:1.0;
+  Vm.swap_out vm ~now:2.0 ~pid:(pid 1) ~fraction:1.0;
+  Alcotest.(check int) "cannot swap more than dirty" page log.backing_writes;
+  Vm.swap_in vm ~now:3.0 ~pid:(pid 1) ~fraction:1.0;
+  Vm.swap_in vm ~now:4.0 ~pid:(pid 1) ~fraction:1.0;
+  Alcotest.(check int) "cannot swap in twice" page log.backing_reads
+
+let test_unknown_pid_ignored () =
+  let vm, log = make_vm () in
+  Vm.grow vm ~now:0.0 ~pid:(pid 99) ~heap_bytes:page;
+  Vm.swap_out vm ~now:0.0 ~pid:(pid 99) ~fraction:1.0;
+  Vm.exit vm ~now:0.0 ~pid:(pid 99);
+  Alcotest.(check int) "no traffic" 0 (log.backing_writes + log.backing_reads)
+
+let test_demand_pages () =
+  let vm, _ = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:(3 * page)
+    ~data_bytes:(2 * page);
+  Vm.grow vm ~now:0.0 ~pid:(pid 1) ~heap_bytes:(5 * page);
+  Alcotest.(check int) "live demand" 10 (Vm.demand_pages vm ~now:0.0);
+  Vm.swap_out vm ~now:1.0 ~pid:(pid 1) ~fraction:1.0;
+  (* 7 dirty pages went to backing; resident = 3 code *)
+  Alcotest.(check int) "demand after swap" 3 (Vm.demand_pages vm ~now:1.0)
+
+let test_demand_includes_fresh_retained () =
+  let vm, _ = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:(4 * page)
+    ~data_bytes:0;
+  Vm.exit vm ~now:1.0 ~pid:(pid 1);
+  Alcotest.(check int) "retained counted while fresh" 4
+    (Vm.demand_pages vm ~now:2.0);
+  let idle = (Vm.config vm).Vm.vm_trade_idle in
+  Alcotest.(check int) "retained released after trade window" 0
+    (Vm.demand_pages vm ~now:(2.0 +. idle +. 60.0))
+
+let test_reclaim_retained () =
+  let vm, _ = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:(4 * page)
+    ~data_bytes:0;
+  Vm.exit vm ~now:0.0 ~pid:(pid 1);
+  let idle = (Vm.config vm).Vm.vm_trade_idle in
+  let later = idle +. 100.0 in
+  Alcotest.(check int) "nothing reclaimable early" 0
+    (Vm.reclaim_retained vm ~now:10.0 ~max_pages:10);
+  Alcotest.(check int) "reclaims up to bound" 3
+    (Vm.reclaim_retained vm ~now:later ~max_pages:3);
+  Alcotest.(check int) "remaining page" 1 (Vm.retained_pages vm)
+
+let test_processes_listing () =
+  let vm, _ = make_vm () in
+  Vm.exec vm ~now:0.0 ~pid:(pid 1) ~exe:(exe 10) ~code_bytes:page ~data_bytes:0;
+  Vm.exec vm ~now:0.0 ~pid:(pid 2) ~exe:(exe 11) ~code_bytes:(5 * page)
+    ~data_bytes:0;
+  (match Vm.processes vm with
+  | (p, pages) :: _ ->
+    Alcotest.(check int) "largest first" 2 (Process.to_int p);
+    Alcotest.(check int) "its pages" 5 pages
+  | [] -> Alcotest.fail "expected processes");
+  Alcotest.(check int) "live count" 2 (Vm.live_processes vm)
+
+let prop_demand_never_negative =
+  QCheck.Test.make ~name:"vm demand never negative" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 40) (pair (int_bound 4) (int_bound 5)))
+    (fun ops ->
+      let vm, _ = make_vm () in
+      let now = ref 0.0 in
+      List.iter
+        (fun (p, op) ->
+          now := !now +. 1.0;
+          let p = pid p in
+          match op with
+          | 0 ->
+            Vm.exec vm ~now:!now ~pid:p ~exe:(exe 1) ~code_bytes:page
+              ~data_bytes:page
+          | 1 -> Vm.grow vm ~now:!now ~pid:p ~heap_bytes:(2 * page)
+          | 2 -> Vm.swap_out vm ~now:!now ~pid:p ~fraction:0.7
+          | 3 -> Vm.swap_in vm ~now:!now ~pid:p ~fraction:0.7
+          | _ -> Vm.exit vm ~now:!now ~pid:p)
+        ops;
+      Vm.demand_pages vm ~now:!now >= 0)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_demand_never_negative ]
+
+let suite =
+  [
+    ("exec faults code and data", `Quick, test_exec_faults_code_and_data);
+    ("code retention", `Quick, test_code_retention);
+    ("code retention expires", `Quick, test_code_retention_expires);
+    ("swap out/in", `Quick, test_swap_out_in);
+    ("swap bounded", `Quick, test_swap_bounded);
+    ("unknown pid ignored", `Quick, test_unknown_pid_ignored);
+    ("demand pages", `Quick, test_demand_pages);
+    ("demand includes fresh retained", `Quick, test_demand_includes_fresh_retained);
+    ("reclaim retained", `Quick, test_reclaim_retained);
+    ("processes listing", `Quick, test_processes_listing);
+  ]
+  @ qcheck_tests
