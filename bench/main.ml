@@ -24,16 +24,50 @@ let scale () =
 
 (* -- part 1+2: reproduce the evaluation ------------------------------------- *)
 
+(* Runs every experiment, printing its rendering; returns per-experiment
+   wall times for the machine-readable run report. *)
 let reproduce ds =
   print_endline "==================================================================";
   print_endline " Reproduction: Measurements of a Distributed File System (SOSP'91)";
   print_endline "==================================================================";
   Printf.printf " dataset: %d traces at scale %.3f\n\n" (List.length ds.Dfs_core.Dataset.runs)
     ds.Dfs_core.Dataset.scale;
-  List.iter
+  List.map
     (fun (e : Dfs_core.Experiment.t) ->
-      Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds))
+      let t0 = Unix.gettimeofday () in
+      let rendered = e.run ds in
+      let wall = Unix.gettimeofday () -. t0 in
+      Printf.printf "=== %s: %s ===\n%s\n" e.id e.title rendered;
+      (e.id, wall))
     Dfs_core.Experiment.all
+
+(* -- machine-readable run telemetry ------------------------------------------- *)
+
+let bench_out () =
+  Option.value ~default:"BENCH_run.json" (Sys.getenv_opt "BENCH_OUT")
+
+let write_run_report ~scale ~experiments ~total_wall =
+  let module J = Dfs_obs.Json in
+  let report =
+    J.Obj
+      [
+        ("schema", J.String "dfs-bench-run/1");
+        ("scale", J.Float scale);
+        ("total_wall_s", J.Float total_wall);
+        ( "experiments",
+          J.List
+            (List.map
+               (fun (id, wall) ->
+                 J.Obj [ ("id", J.String id); ("wall_s", J.Float wall) ])
+               experiments) );
+        ("metrics", Dfs_obs.Metrics.to_json ());
+      ]
+  in
+  let path = bench_out () in
+  let oc = open_out path in
+  output_string oc (J.to_pretty_string report);
+  close_out oc;
+  Dfs_obs.Log.info "wrote run telemetry to %s" path
 
 (* -- part 3: bechamel micro-benchmarks ---------------------------------------- *)
 
@@ -243,13 +277,9 @@ let ablation_local_paging () =
 
 let () =
   let t0 = Unix.gettimeofday () in
-  let ds =
-    Dfs_core.Dataset.generate ~scale:(scale ())
-      ~on_progress:(fun msg -> Printf.eprintf "[bench] %s\n%!" msg)
-      ()
-  in
-  Printf.eprintf "[bench] dataset ready in %.1fs\n%!" (Unix.gettimeofday () -. t0);
-  reproduce ds;
+  let ds = Dfs_core.Dataset.generate ~scale:(scale ()) () in
+  Dfs_obs.Log.info "dataset ready in %.1fs" (Unix.gettimeofday () -. t0);
+  let experiment_walls = reproduce ds in
   (* Section 5.3's absolute paging rates and the server-side cache effect *)
   (let run = List.hd ds.Dfs_core.Dataset.runs in
    let cluster = run.Dfs_core.Dataset.cluster in
@@ -274,4 +304,7 @@ let () =
   ablation_migration_policy ();
   ablation_local_paging ();
   ablation_lfs_crossover ds;
-  Printf.eprintf "[bench] total wall time %.1fs\n%!" (Unix.gettimeofday () -. t0)
+  let total_wall = Unix.gettimeofday () -. t0 in
+  write_run_report ~scale:ds.Dfs_core.Dataset.scale
+    ~experiments:experiment_walls ~total_wall;
+  Dfs_obs.Log.info "total wall time %.1fs" total_wall

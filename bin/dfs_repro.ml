@@ -1,5 +1,6 @@
 (* Command-line driver for the reproduction: list, run and inspect the
-   paper's experiments, generate trace files, and re-analyze them. *)
+   paper's experiments, generate trace files, re-analyze them, and
+   surface the simulator's own telemetry (metrics + event traces). *)
 
 open Cmdliner
 
@@ -17,10 +18,73 @@ let traces_arg =
     & opt (list int) [ 1; 2; 3; 4; 5; 6; 7; 8 ]
     & info [ "traces" ] ~docv:"N,..." ~doc)
 
-let progress msg = Printf.eprintf "[dfs-repro] %s\n%!" msg
+(* -- observability plumbing ------------------------------------------------ *)
 
-let make_dataset scale traces =
-  Dfs_core.Dataset.generate ?scale ~traces ~on_progress:progress ()
+let verbosity_term =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Verbose progress output (the DFS_LOG variable overrides).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ]
+          ~doc:"Print only errors (the DFS_LOG variable overrides).")
+  in
+  let apply verbose quiet =
+    if verbose then Dfs_obs.Log.set_level Dfs_obs.Log.Verbose
+    else if quiet then Dfs_obs.Log.set_level Dfs_obs.Log.Quiet
+  in
+  Term.(const apply $ verbose $ quiet)
+
+let metrics_out_arg =
+  let doc =
+    "Write a JSON snapshot of the simulator metrics registry (counters, \
+     gauges, histogram quantiles) to $(docv) after the command finishes."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Enable the simulated-event tracer and write its spans (RPCs, cache \
+     fills/writebacks/evictions, disk I/O, consistency actions, migrations) \
+     to $(docv) as JSON lines."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let with_out path f =
+  match open_out path with
+  | oc -> Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+  | exception Sys_error e ->
+    Dfs_obs.Log.error "%s" e;
+    exit 1
+
+(* Runs [f] with the tracer enabled when a trace file was requested, then
+   writes the requested observability artifacts. *)
+let with_obs ~metrics_out ~trace_out f =
+  if Option.is_some trace_out then Dfs_obs.Tracer.enable ();
+  let result = f () in
+  Option.iter
+    (fun path ->
+      with_out path (fun oc ->
+          output_string oc
+            (Dfs_obs.Json.to_pretty_string (Dfs_obs.Metrics.to_json ())));
+      Dfs_obs.Log.info "wrote metrics snapshot to %s" path)
+    metrics_out;
+  Option.iter
+    (fun path ->
+      let tracer = Dfs_obs.Tracer.default in
+      with_out path (fun oc -> Dfs_obs.Tracer.write_jsonl tracer oc);
+      Dfs_obs.Log.info "wrote %d trace spans to %s (%d dropped by ring bound)"
+        (Dfs_obs.Tracer.length tracer)
+        path
+        (Dfs_obs.Tracer.dropped tracer))
+    trace_out;
+  result
+
+let make_dataset scale traces = Dfs_core.Dataset.generate ?scale ~traces ()
 
 (* -- list ------------------------------------------------------------------ *)
 
@@ -41,42 +105,48 @@ let experiment_cmd =
     let doc = "Experiment ids (table1..table12, fig1..fig4)." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run ids scale traces =
+  let run () ids scale traces metrics_out trace_out =
     let unknown =
       List.filter (fun id -> Dfs_core.Experiment.find id = None) ids
     in
     if unknown <> [] then begin
-      Printf.eprintf "unknown experiment(s): %s\nvalid: %s\n"
+      Dfs_obs.Log.error "unknown experiment(s): %s (valid: %s)"
         (String.concat ", " unknown)
         (String.concat ", " Dfs_core.Experiment.ids);
       exit 1
     end;
-    let ds = make_dataset scale traces in
-    List.iter
-      (fun id ->
-        match Dfs_core.Experiment.find id with
-        | Some e ->
-          Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds)
-        | None -> ())
-      ids
+    with_obs ~metrics_out ~trace_out (fun () ->
+        let ds = make_dataset scale traces in
+        List.iter
+          (fun id ->
+            match Dfs_core.Experiment.find id with
+            | Some e ->
+              Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds)
+            | None -> ())
+          ids)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
-    Term.(const run $ ids_arg $ scale_arg $ traces_arg)
+    Term.(
+      const run $ verbosity_term $ ids_arg $ scale_arg $ traces_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* -- all ----------------------------------------------------------------------- *)
 
 let all_cmd =
-  let run scale traces =
-    let ds = make_dataset scale traces in
-    List.iter
-      (fun (e : Dfs_core.Experiment.t) ->
-        Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds))
-      Dfs_core.Experiment.all
+  let run () scale traces metrics_out trace_out =
+    with_obs ~metrics_out ~trace_out (fun () ->
+        let ds = make_dataset scale traces in
+        List.iter
+          (fun (e : Dfs_core.Experiment.t) ->
+            Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds))
+          Dfs_core.Experiment.all)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure")
-    Term.(const run $ scale_arg $ traces_arg)
+    Term.(
+      const run $ verbosity_term $ scale_arg $ traces_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* -- facts -------------------------------------------------------------------- *)
 
@@ -85,52 +155,63 @@ let facts_cmd =
     let doc = "Emit the scorecard as a markdown table (for EXPERIMENTS.md)." in
     Arg.(value & flag & info [ "markdown" ] ~doc)
   in
-  let run scale traces markdown =
-    let ds = make_dataset scale traces in
-    if markdown then print_string (Dfs_core.Claims.markdown ds)
-    else print_string (Dfs_core.Claims.scorecard ds)
+  let run () scale traces markdown metrics_out trace_out =
+    with_obs ~metrics_out ~trace_out (fun () ->
+        let ds = make_dataset scale traces in
+        if markdown then print_string (Dfs_core.Claims.markdown ds)
+        else print_string (Dfs_core.Claims.scorecard ds))
   in
   Cmd.v
     (Cmd.info "facts"
        ~doc:
          "Check the paper's headline findings (the prose claims) against           the simulation")
-    Term.(const run $ scale_arg $ traces_arg $ markdown_arg)
+    Term.(
+      const run $ verbosity_term $ scale_arg $ traces_arg $ markdown_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* -- simulate ------------------------------------------------------------------- *)
+
+let trace_n_arg =
+  let doc = "Which of the eight trace presets to simulate." in
+  Arg.(value & opt int 1 & info [ "trace" ] ~docv:"N" ~doc)
+
+let scaled_preset n scale =
+  let preset = Dfs_workload.Presets.trace n in
+  match scale with
+  | Some s -> Dfs_workload.Presets.scaled preset ~factor:s
+  | None ->
+    Dfs_workload.Presets.scaled preset
+      ~factor:(Dfs_core.Dataset.default_scale ())
 
 let simulate_cmd =
   let out_arg =
     let doc = "Directory to write per-server trace files into." in
     Arg.(value & opt string "traces" & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let trace_arg =
-    let doc = "Which of the eight trace presets to simulate." in
-    Arg.(value & opt int 1 & info [ "trace" ] ~docv:"N" ~doc)
-  in
-  let run n scale out =
-    let preset = Dfs_workload.Presets.trace n in
-    let preset =
-      match scale with
-      | Some s -> Dfs_workload.Presets.scaled preset ~factor:s
-      | None -> Dfs_workload.Presets.scaled preset ~factor:(Dfs_core.Dataset.default_scale ())
-    in
-    progress
-      (Printf.sprintf "simulating %s (%.1f h)" preset.name
-         (preset.duration /. 3600.0));
-    let cluster, _driver = Dfs_workload.Presets.run preset in
-    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
-    List.iteri
-      (fun i records ->
-        let path = Filename.concat out (Printf.sprintf "%s-server%d.trace" preset.name i) in
-        Dfs_trace.Writer.with_file path (fun w ->
-            List.iter (Dfs_trace.Writer.write w) records);
-        Printf.printf "wrote %s (%d records)\n" path (List.length records))
-      (Dfs_sim.Cluster.server_traces cluster)
+  let run () n scale out metrics_out trace_out =
+    with_obs ~metrics_out ~trace_out (fun () ->
+        let preset = scaled_preset n scale in
+        Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
+          (preset.duration /. 3600.0);
+        let cluster, _driver = Dfs_workload.Presets.run preset in
+        if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+        List.iteri
+          (fun i records ->
+            let path =
+              Filename.concat out
+                (Printf.sprintf "%s-server%d.trace" preset.name i)
+            in
+            Dfs_trace.Writer.with_file path (fun w ->
+                List.iter (Dfs_trace.Writer.write w) records);
+            Printf.printf "wrote %s (%d records)\n" path (List.length records))
+          (Dfs_sim.Cluster.server_traces cluster))
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate one trace preset and write per-server trace files")
-    Term.(const run $ trace_arg $ scale_arg $ out_arg)
+    Term.(
+      const run $ verbosity_term $ trace_n_arg $ scale_arg $ out_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* -- analyze --------------------------------------------------------------------- *)
 
@@ -139,14 +220,14 @@ let analyze_cmd =
     let doc = "Per-server trace files to merge and analyze." in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
-  let run files =
+  let run () files =
     let streams =
       List.map
         (fun path ->
           match Dfs_trace.Reader.of_file path with
           | Ok records -> records
           | Error e ->
-            Printf.eprintf "%s: %s\n" path e;
+            Dfs_obs.Log.error "%s: %s" path e;
             exit 1)
         files
     in
@@ -163,13 +244,53 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Merge and analyze previously written trace files")
-    Term.(const run $ files_arg)
+    Term.(const run $ verbosity_term $ files_arg)
+
+(* -- stats ------------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run () n scale metrics_out trace_out =
+    with_obs ~metrics_out ~trace_out (fun () ->
+        let preset = scaled_preset n scale in
+        Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
+          (preset.duration /. 3600.0);
+        let t0 = Unix.gettimeofday () in
+        let cluster, _driver = Dfs_workload.Presets.run preset in
+        let wall = Unix.gettimeofday () -. t0 in
+        let engine = Dfs_sim.Cluster.engine cluster in
+        Printf.printf "== %s: engine ==\n" preset.name;
+        Printf.printf "%-44s %.1f\n" "simulated_seconds"
+          (Dfs_sim.Engine.now engine);
+        Printf.printf "%-44s %.3f\n" "wall_seconds" wall;
+        Printf.printf "%-44s %.0f\n" "sim_events_per_wall_second"
+          (float_of_int (Dfs_sim.Engine.events_executed engine)
+          /. Float.max 1e-9 wall);
+        Printf.printf "\n== %s: simulator metrics ==\n" preset.name;
+        print_string (Dfs_obs.Metrics.render_text ()))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one trace preset and print the simulator's own metrics \
+          (engine, network, disk, cache, consistency counters and latency \
+          quantiles)")
+    Term.(
+      const run $ verbosity_term $ trace_n_arg $ scale_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 let main =
   let doc =
     "Reproduction of 'Measurements of a Distributed File System' (SOSP 1991)"
   in
   Cmd.group (Cmd.info "dfs-repro" ~doc)
-    [ list_cmd; experiment_cmd; all_cmd; facts_cmd; simulate_cmd; analyze_cmd ]
+    [
+      list_cmd;
+      experiment_cmd;
+      all_cmd;
+      facts_cmd;
+      simulate_cmd;
+      analyze_cmd;
+      stats_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -58,6 +58,28 @@ module Key = struct
   let hash = Hashtbl.hash
 end
 
+(* Process-wide cache metrics, aggregated over every block cache in the
+   process (client and server caches alike). *)
+let m_lookups = Dfs_obs.Metrics.counter "sim.cache.read_lookups"
+
+let m_hits = Dfs_obs.Metrics.counter "sim.cache.read_hits"
+
+let m_misses = Dfs_obs.Metrics.counter "sim.cache.read_misses"
+
+let m_fetch_bytes = Dfs_obs.Metrics.counter "sim.cache.fetch_bytes"
+
+let m_write_blocks = Dfs_obs.Metrics.counter "sim.cache.write_blocks"
+
+let m_write_fetches = Dfs_obs.Metrics.counter "sim.cache.write_fetches"
+
+let m_writebacks = Dfs_obs.Metrics.counter "sim.cache.writebacks"
+
+let m_writeback_bytes = Dfs_obs.Metrics.counter "sim.cache.writeback_bytes"
+
+let m_evictions = Dfs_obs.Metrics.counter "sim.cache.evictions"
+
+let m_dirty_age = Dfs_obs.Metrics.histogram "sim.cache.dirty_age_s"
+
 module L = Dfs_util.Lru.Make (Key)
 
 type class_stats = {
@@ -189,6 +211,18 @@ let clean_block t ~now b ~reason =
     t.backend.writeback ~file:b.b_file ~index:b.b_index ~bytes ~reason;
     t.stats.writeback_bytes <- t.stats.writeback_bytes + bytes;
     Dfs_util.Stats.add (cleaning_stat t reason) (now -. b.last_write);
+    Dfs_obs.Metrics.incr m_writebacks;
+    Dfs_obs.Metrics.add m_writeback_bytes bytes;
+    Dfs_obs.Metrics.observe m_dirty_age (now -. b.dirtied_at);
+    if Dfs_obs.Tracer.active () then
+      Dfs_obs.Tracer.emit ~cat:"cache" ~name:"writeback" ~t0:now ~dur:0.0
+        ~attrs:
+          [
+            ("file", Dfs_obs.Json.Int (File.to_int b.b_file));
+            ("bytes", Dfs_obs.Json.Int bytes);
+            ("reason", Dfs_obs.Json.String (clean_reason_name reason));
+          ]
+        ();
     note_clean t b
   end
 
@@ -216,6 +250,15 @@ let evict_one t ~now ~reason =
     | Replace_to_vm -> clean_block t ~now b ~reason:Clean_vm
     | Replace_for_block -> clean_block t ~now b ~reason:Clean_eviction);
     Dfs_util.Stats.add (replacement_stat t reason) (now -. b.last_ref);
+    Dfs_obs.Metrics.incr m_evictions;
+    if Dfs_obs.Tracer.active () then
+      Dfs_obs.Tracer.emit ~cat:"cache" ~name:"evict" ~t0:now ~dur:0.0
+        ~attrs:
+          [
+            ("file", Dfs_obs.Json.Int (File.to_int b.b_file));
+            ("idle_s", Dfs_obs.Json.Float (now -. b.last_ref));
+          ]
+        ();
     let fid = File.to_int b.b_file in
     (match Hashtbl.find_opt t.files fid with
     | Some tbl ->
@@ -288,9 +331,11 @@ let read t ~now ~cls ~migrated ~file ~file_size ~off ~len =
           s.read_ops <- s.read_ops + 1;
           s.bytes_read <- s.bytes_read + wanted)
         targets;
+      Dfs_obs.Metrics.incr m_lookups;
       match find_block t ~file ~index with
       | Some b ->
         List.iter (fun s -> s.read_hits <- s.read_hits + 1) targets;
+        Dfs_obs.Metrics.incr m_hits;
         touch t b ~now
       | None ->
         let block_start = index * t.cfg.block_size in
@@ -301,6 +346,16 @@ let read t ~now ~cls ~migrated ~file ~file_size ~off ~len =
             s.read_misses <- s.read_misses + 1;
             s.bytes_fetched <- s.bytes_fetched + avail)
           targets;
+        Dfs_obs.Metrics.incr m_misses;
+        Dfs_obs.Metrics.add m_fetch_bytes avail;
+        if Dfs_obs.Tracer.active () then
+          Dfs_obs.Tracer.emit ~cat:"cache" ~name:"fill" ~t0:now ~dur:0.0
+            ~attrs:
+              [
+                ("file", Dfs_obs.Json.Int (File.to_int file));
+                ("bytes", Dfs_obs.Json.Int avail);
+              ]
+            ();
         let b = insert_block t ~now ~file ~index in
         touch t b ~now)
 
@@ -313,6 +368,7 @@ let write t ~now ~cls ~migrated ~file ~file_size ~off ~len =
           s.write_ops <- s.write_ops + 1;
           s.bytes_written <- s.bytes_written + written)
         targets;
+      Dfs_obs.Metrics.incr m_write_blocks;
       let b =
         match find_block t ~file ~index with
         | Some b -> b
@@ -326,6 +382,7 @@ let write t ~now ~cls ~migrated ~file ~file_size ~off ~len =
              covering all existing data need no fetch. *)
           if lo > 0 && existing > 0 && block_start < file_size then begin
             t.backend.fetch ~cls ~file ~index ~bytes:existing;
+            Dfs_obs.Metrics.incr m_write_fetches;
             List.iter
               (fun s ->
                 s.write_fetches <- s.write_fetches + 1;
@@ -335,6 +392,7 @@ let write t ~now ~cls ~migrated ~file ~file_size ~off ~len =
           else if lo = 0 && hi < existing then begin
             (* overwrite of the block's head only: the tail must survive *)
             t.backend.fetch ~cls ~file ~index ~bytes:existing;
+            Dfs_obs.Metrics.incr m_write_fetches;
             List.iter
               (fun s ->
                 s.write_fetches <- s.write_fetches + 1;

@@ -14,20 +14,33 @@ let default_scale () =
   | Some ("1" | "true" | "yes") -> 1.0
   | Some _ | None -> 0.05
 
-let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ])
-    ?(on_progress = fun _ -> ()) () =
+let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) () =
   let scale = match scale with Some s -> s | None -> default_scale () in
+  let t_start = Unix.gettimeofday () in
   let runs =
     List.map
       (fun n ->
         let preset = Presets.scaled (Presets.trace n) ~factor:scale in
-        on_progress (Printf.sprintf "simulating %s (%.1f h)" preset.name
-                       (preset.duration /. 3600.0));
+        Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
+          (preset.duration /. 3600.0);
+        let t0 = Unix.gettimeofday () in
         let cluster, driver = Presets.run preset in
         let trace = Dfs_sim.Cluster.merged_trace cluster in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        (* Engine self-profiling: wall time per simulated run phase. *)
+        Dfs_obs.Metrics.set
+          (Dfs_obs.Metrics.gauge
+             (Printf.sprintf "phase.sim.%s.wall_s" preset.name))
+          elapsed;
+        Dfs_obs.Log.debug "%s done in %.1fs (%d engine events)" preset.name
+          elapsed
+          (Dfs_sim.Engine.events_executed (Dfs_sim.Cluster.engine cluster));
         { preset; cluster; driver; trace })
       traces
   in
+  Dfs_obs.Metrics.set
+    (Dfs_obs.Metrics.gauge "phase.dataset.wall_s")
+    (Unix.gettimeofday () -. t_start);
   { scale; runs }
 
 let client_cache_stats run =

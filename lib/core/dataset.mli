@@ -15,10 +15,12 @@ type run = {
 
 type t = { scale : float; runs : run list }
 
-val generate :
-  ?scale:float -> ?traces:int list -> ?on_progress:(string -> unit) -> unit -> t
+val generate : ?scale:float -> ?traces:int list -> unit -> t
 (** [traces] selects which of the eight presets to run (default: all).
-    [scale] defaults to 1.0 (full 24-hour traces). *)
+    [scale] defaults to 1.0 (full 24-hour traces).  Progress is reported
+    through {!Dfs_obs.Log} (so [DFS_LOG=quiet] silences it), and
+    per-preset wall times land in the default metrics registry as
+    [phase.sim.<name>.wall_s] gauges. *)
 
 val default_scale : unit -> float
 (** 1.0 when the environment variable [DFS_FULL] is set, else 0.05 —

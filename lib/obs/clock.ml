@@ -1,0 +1,9 @@
+let default_source () = 0.0
+
+let source = ref default_source
+
+let set_source f = source := f
+
+let clear () = source := default_source
+
+let now () = !source ()

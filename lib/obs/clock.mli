@@ -1,0 +1,17 @@
+(** The simulated-time source used to timestamp observability events.
+
+    Modules that sit below the engine (the network, the disks) have no
+    handle on simulated time; the cluster installs its engine's clock
+    here at construction so spans and samples can be stamped without
+    threading a time argument through every layer.  Purely advisory:
+    simulation semantics never read this clock. *)
+
+val set_source : (unit -> float) -> unit
+(** Install the current simulation's clock (typically
+    [fun () -> Engine.now engine]). *)
+
+val clear : unit -> unit
+(** Revert to the default source, which always returns [0.0]. *)
+
+val now : unit -> float
+(** Current simulated time according to the installed source. *)

@@ -1,0 +1,42 @@
+(** A minimal JSON tree, printer and parser.
+
+    The toolchain image carries no JSON library, so the observability
+    layer hand-rolls the small subset it needs: machine-readable metric
+    snapshots, trace spans (JSONL) and bench telemetry, plus a parser so
+    tests can round-trip what was written. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Floats always carry a ['.'] or
+    exponent so they read back as floats; NaN becomes [null]. *)
+
+val to_pretty_string : t -> string
+(** Indented rendering ending in a newline, for files meant to be opened
+    by people. *)
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_float_opt : t -> float option
+(** Accepts [Int] and [Float]. *)
+
+val to_int_opt : t -> int option
+
+val to_string_opt : t -> string option

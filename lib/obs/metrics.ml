@@ -1,0 +1,226 @@
+(* Log-scale histogram layout: [buckets_per_decade] buckets per decade
+   over [1e-12, 1e12).  Relative bucket width is 10^(1/20) - 1 ~ 12%, so
+   quantiles read from bucket midpoints are within ~6% of exact — plenty
+   for latencies and sizes, and observation is just a [log10] plus an
+   array increment. *)
+let buckets_per_decade = 20
+
+let lo_decade = -12
+
+let hi_decade = 12
+
+let n_buckets = (hi_decade - lo_decade) * buckets_per_decade
+
+type counter = { c_name : string; mutable c_value : int }
+
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_zeros : int;  (* observations <= 0 *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let default = create ()
+
+let register registry name make cast kind =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some m -> (
+    match cast m with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Dfs_obs.Metrics: %S already registered as a non-%s"
+           name kind))
+  | None ->
+    let v = make () in
+    v
+
+let counter ?(registry = default) name =
+  register registry name
+    (fun () ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace registry.tbl name (Counter c);
+      c)
+    (function Counter c -> Some c | _ -> None)
+    "counter"
+
+let gauge ?(registry = default) name =
+  register registry name
+    (fun () ->
+      let g = { g_name = name; g_value = 0.0 } in
+      Hashtbl.replace registry.tbl name (Gauge g);
+      g)
+    (function Gauge g -> Some g | _ -> None)
+    "gauge"
+
+let histogram ?(registry = default) name =
+  register registry name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          buckets = Array.make n_buckets 0;
+          h_zeros = 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+        }
+      in
+      Hashtbl.replace registry.tbl name (Histogram h);
+      h)
+    (function Histogram h -> Some h | _ -> None)
+    "histogram"
+
+(* -- counters -------------------------------------------------------------- *)
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n = c.c_value <- c.c_value + n
+
+let value c = c.c_value
+
+let counter_name c = c.c_name
+
+(* -- gauges ---------------------------------------------------------------- *)
+
+let set g v = g.g_value <- v
+
+let gauge_value g = g.g_value
+
+let gauge_name g = g.g_name
+
+(* -- histograms ------------------------------------------------------------ *)
+
+let bucket_index v =
+  let i =
+    int_of_float (Float.floor (Float.log10 v *. float_of_int buckets_per_decade))
+    - (lo_decade * buckets_per_decade)
+  in
+  if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+let bucket_mid i =
+  Float.pow 10.0
+    ((float_of_int (i + (lo_decade * buckets_per_decade)) +. 0.5)
+    /. float_of_int buckets_per_decade)
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  if v > 0.0 then h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1
+  else h.h_zeros <- h.h_zeros + 1
+
+let hist_count h = h.h_count
+
+let hist_sum h = h.h_sum
+
+let hist_mean h =
+  if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+let hist_min h = if h.h_count = 0 then 0.0 else h.h_min
+
+let hist_max h = if h.h_count = 0 then 0.0 else h.h_max
+
+let hist_name h = h.h_name
+
+let quantile h p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    let target = p *. float_of_int h.h_count in
+    if float_of_int h.h_zeros >= target then 0.0
+    else begin
+      let seen = ref (float_of_int h.h_zeros) in
+      let result = ref h.h_max in
+      (try
+         for i = 0 to n_buckets - 1 do
+           seen := !seen +. float_of_int h.buckets.(i);
+           if !seen >= target then begin
+             result := bucket_mid i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      (* never report outside the observed range *)
+      Float.max h.h_min (Float.min h.h_max !result)
+    end
+  end
+
+(* -- registry-wide operations ---------------------------------------------- *)
+
+let reset ?(registry = default) () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.0
+      | Histogram h ->
+        Array.fill h.buckets 0 n_buckets 0;
+        h.h_zeros <- 0;
+        h.h_count <- 0;
+        h.h_sum <- 0.0;
+        h.h_min <- infinity;
+        h.h_max <- neg_infinity)
+    registry.tbl
+
+let names ?(registry = default) () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry.tbl []
+  |> List.sort String.compare
+
+let find ?(registry = default) name = Hashtbl.find_opt registry.tbl name
+
+let hist_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.h_sum);
+      ("mean", Json.Float (hist_mean h));
+      ("min", Json.Float (hist_min h));
+      ("max", Json.Float (hist_max h));
+      ("p50", Json.Float (quantile h 0.50));
+      ("p90", Json.Float (quantile h 0.90));
+      ("p99", Json.Float (quantile h 0.99));
+    ]
+
+let metric_json = function
+  | Counter c -> Json.Int c.c_value
+  | Gauge g -> Json.Float g.g_value
+  | Histogram h -> hist_json h
+
+let to_json ?(registry = default) () =
+  Json.Obj
+    (List.map
+       (fun name ->
+         (name, metric_json (Hashtbl.find registry.tbl name)))
+       (names ~registry ()))
+
+let render_text ?(registry = default) () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find registry.tbl name with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-44s %d\n" name c.c_value)
+      | Gauge g ->
+        Buffer.add_string buf (Printf.sprintf "%-44s %.6g\n" name g.g_value)
+      | Histogram h ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%-44s count %d  mean %.4g  p50 %.4g  p90 %.4g  p99 %.4g  max \
+              %.4g\n"
+             name h.h_count (hist_mean h) (quantile h 0.50) (quantile h 0.90)
+             (quantile h 0.99) (hist_max h)))
+    (names ~registry ());
+  Buffer.contents buf

@@ -1,0 +1,95 @@
+(** A metrics registry: named counters, gauges and log-scale histograms.
+
+    The simulator's analogue of the paper's kernel counters (Section 3):
+    instrumented modules register named metrics once at module
+    initialization and bump them on hot paths (a counter increment is a
+    single mutable-field update; a histogram observation is one [log10]
+    and an array increment).  Snapshots render as JSON for
+    [--metrics-out] / bench telemetry, or as aligned text for the
+    [stats] subcommand.
+
+    Metrics live in a registry; most callers use the process-wide
+    {!default}.  Registration is idempotent: asking for an existing name
+    returns the existing metric (registering the same name as a
+    different kind raises [Invalid_argument]). *)
+
+type counter
+
+type gauge
+
+type histogram
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+
+val counter : ?registry:t -> string -> counter
+
+val gauge : ?registry:t -> string -> gauge
+
+val histogram : ?registry:t -> string -> histogram
+
+(** {1 Counters} *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val counter_name : counter -> string
+
+(** {1 Gauges} *)
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val gauge_name : gauge -> string
+
+(** {1 Histograms}
+
+    Log-scale buckets (20 per decade over [1e-12, 1e12)); quantiles are
+    read from bucket midpoints and are accurate to ~6% relative error.
+    Observations [<= 0] are counted in a dedicated zero bucket. *)
+
+val observe : histogram -> float -> unit
+
+val quantile : histogram -> float -> float
+(** [quantile h p] for [p] in [0, 1]; clamped to the observed range.
+    Returns [0.0] on an empty histogram. *)
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val hist_mean : histogram -> float
+
+val hist_min : histogram -> float
+
+val hist_max : histogram -> float
+
+val hist_name : histogram -> string
+
+(** {1 Registry-wide operations} *)
+
+val reset : ?registry:t -> unit -> unit
+(** Zero every metric (counters to 0, gauges to 0.0, histograms
+    emptied), keeping registrations. *)
+
+val names : ?registry:t -> unit -> string list
+(** Registered names, sorted. *)
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+val find : ?registry:t -> string -> metric option
+
+val to_json : ?registry:t -> unit -> Json.t
+(** Object keyed by metric name: counters as ints, gauges as floats,
+    histograms as [{count, sum, mean, min, max, p50, p90, p99}]. *)
+
+val render_text : ?registry:t -> unit -> string
+(** Aligned, human-readable snapshot (one line per metric). *)

@@ -1,0 +1,117 @@
+type span = {
+  cat : string;
+  name : string;
+  t0 : float;
+  dur : float;
+  attrs : (string * Json.t) list;
+}
+
+type t = {
+  mutable enabled : bool;
+  mutable cap : int;
+  mutable buf : span array;  (* ring; valid entries are the last [added] *)
+  mutable added : int;  (* total spans ever recorded *)
+}
+
+let dummy = { cat = ""; name = ""; t0 = 0.0; dur = 0.0; attrs = [] }
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) () =
+  let cap = max 1 capacity in
+  { enabled = false; cap; buf = [||]; added = 0 }
+
+let default = create ()
+
+let enabled t = t.enabled
+
+let set_capacity t capacity =
+  let cap = max 1 capacity in
+  t.cap <- cap;
+  t.buf <- [||];
+  t.added <- 0
+
+let clear t =
+  t.buf <- [||];
+  t.added <- 0
+
+let add t span =
+  if t.enabled then begin
+    if Array.length t.buf = 0 then t.buf <- Array.make t.cap dummy;
+    t.buf.(t.added mod t.cap) <- span;
+    t.added <- t.added + 1
+  end
+
+let added t = t.added
+
+let length t = min t.added t.cap
+
+let dropped t = max 0 (t.added - t.cap)
+
+let iter t f =
+  let len = length t in
+  let first = t.added - len in
+  for i = first to t.added - 1 do
+    f t.buf.(i mod t.cap)
+  done
+
+let spans t =
+  let acc = ref [] in
+  iter t (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let count t ~cat =
+  let n = ref 0 in
+  iter t (fun s -> if String.equal s.cat cat then Stdlib.incr n);
+  !n
+
+(* -- the default tracer --------------------------------------------------- *)
+
+let enable ?capacity () =
+  (match capacity with
+  | Some c -> set_capacity default c
+  | None -> ());
+  default.enabled <- true
+
+let disable () = default.enabled <- false
+
+let active () = default.enabled
+
+let emit ?(tracer = default) ~cat ~name ~t0 ~dur ?(attrs = []) () =
+  if tracer.enabled then add tracer { cat; name; t0; dur; attrs }
+
+(* -- export ---------------------------------------------------------------- *)
+
+let span_to_json s =
+  Json.Obj
+    (("cat", Json.String s.cat)
+    :: ("name", Json.String s.name)
+    :: ("t0", Json.Float s.t0)
+    :: ("dur", Json.Float s.dur)
+    :: (if s.attrs = [] then [] else [ ("attrs", Json.Obj s.attrs) ]))
+
+let span_of_json j =
+  match
+    ( Option.bind (Json.member "cat" j) Json.to_string_opt,
+      Option.bind (Json.member "name" j) Json.to_string_opt,
+      Option.bind (Json.member "t0" j) Json.to_float_opt,
+      Option.bind (Json.member "dur" j) Json.to_float_opt )
+  with
+  | Some cat, Some name, Some t0, Some dur ->
+    let attrs =
+      match Json.member "attrs" j with Some (Json.Obj a) -> a | _ -> []
+    in
+    Some { cat; name; t0; dur; attrs }
+  | _ -> None
+
+let write_jsonl t oc =
+  iter t (fun s ->
+      output_string oc (Json.to_string (span_to_json s));
+      output_char oc '\n')
+
+let to_jsonl_string t =
+  let buf = Buffer.create 4096 in
+  iter t (fun s ->
+      Buffer.add_string buf (Json.to_string (span_to_json s));
+      Buffer.add_char buf '\n');
+  Buffer.contents buf

@@ -1,0 +1,88 @@
+(** A structured event/span tracer over simulated time.
+
+    The simulator's analogue of the paper's kernel-call trace logs
+    (Section 3): instrumented modules emit {e spans} — a category
+    ("rpc", "disk", "cache", "consistency", "migration"), a name, a
+    simulated start time and duration, and optional attributes.  Spans
+    land in a bounded ring buffer (oldest dropped first) and export as
+    one JSON object per line (JSONL) via [--trace-out].
+
+    Tracing is off by default; {!emit} on a disabled tracer is a single
+    branch, so instrumentation can stay unconditionally in hot paths
+    (call sites that would allocate attribute lists should still guard
+    with {!active}). *)
+
+type span = {
+  cat : string;
+  name : string;
+  t0 : float;  (** simulated seconds *)
+  dur : float;  (** simulated seconds; 0 for instant events *)
+  attrs : (string * Json.t) list;
+}
+
+type t
+
+val default_capacity : int
+
+val create : ?capacity:int -> unit -> t
+(** A disabled tracer with the given ring capacity (default 65536). *)
+
+val default : t
+(** The process-wide tracer that instrumented modules emit to. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Turn the default tracer on, optionally resizing (which clears) its
+    ring first. *)
+
+val disable : unit -> unit
+
+val active : unit -> bool
+(** Whether the default tracer is enabled — the cheap guard for call
+    sites that build attribute lists. *)
+
+val emit :
+  ?tracer:t ->
+  cat:string ->
+  name:string ->
+  t0:float ->
+  dur:float ->
+  ?attrs:(string * Json.t) list ->
+  unit ->
+  unit
+(** Record a span on [tracer] (default: {!default}); no-op when the
+    tracer is disabled. *)
+
+val enabled : t -> bool
+
+val set_capacity : t -> int -> unit
+(** Resize the ring; clears recorded spans. *)
+
+val clear : t -> unit
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val iter : t -> (span -> unit) -> unit
+
+val length : t -> int
+(** Spans currently retained ([<= capacity]). *)
+
+val added : t -> int
+(** Spans ever recorded, including dropped ones. *)
+
+val dropped : t -> int
+(** [added - length]: spans lost to ring bounding. *)
+
+val count : t -> cat:string -> int
+(** Retained spans in the given category. *)
+
+(** {1 Export} *)
+
+val span_to_json : span -> Json.t
+
+val span_of_json : Json.t -> span option
+
+val write_jsonl : t -> out_channel -> unit
+(** One compact JSON object per retained span, oldest first. *)
+
+val to_jsonl_string : t -> string

@@ -55,6 +55,10 @@ type t = {
 
 let pages bytes = bytes / Dfs_util.Units.block_size
 
+let m_ops = Dfs_obs.Metrics.counter "sim.client.ops"
+
+let m_op_latency = Dfs_obs.Metrics.histogram "sim.client.op_latency_s"
+
 let server_for t file =
   match Fs_state.find t.fs file with
   | Some info -> t.server_of info.server
@@ -162,6 +166,8 @@ let copy_time t bytes = float_of_int bytes /. t.cfg.copy_rate
 let finish_op t extra =
   t.ops <- t.ops + 1;
   let d = take_pending t +. extra +. t.cfg.syscall_overhead in
+  Dfs_obs.Metrics.incr m_ops;
+  Dfs_obs.Metrics.observe m_op_latency d;
   if t.do_sleep && d > 0.0 then Engine.sleep d
 
 (* -- server hooks ---------------------------------------------------------- *)

@@ -151,6 +151,10 @@ let backup_step t =
 let create cfg =
   assert (cfg.n_clients >= 1 && cfg.n_servers >= 1);
   let engine = Engine.create () in
+  (* Stamp observability events (RPC/disk spans) with this cluster's
+     simulated time; the most recently built cluster wins, which is fine
+     for a telemetry-only clock. *)
+  Dfs_obs.Clock.set_source (fun () -> Engine.now engine);
   let rng = Dfs_util.Rng.create cfg.seed in
   let fs = Fs_state.create ~n_servers:cfg.n_servers ~rng:(Dfs_util.Rng.split rng) () in
   let network = Network.create ~config:cfg.network_config () in

@@ -2,6 +2,23 @@ type config = { access_time : float; transfer_rate : float }
 
 let default_config = { access_time = 0.025; transfer_rate = 1.5e6 }
 
+let m_reads = Dfs_obs.Metrics.counter "sim.disk.reads"
+
+let m_writes = Dfs_obs.Metrics.counter "sim.disk.writes"
+
+let m_bytes_read = Dfs_obs.Metrics.counter "sim.disk.bytes_read"
+
+let m_bytes_written = Dfs_obs.Metrics.counter "sim.disk.bytes_written"
+
+let m_service = Dfs_obs.Metrics.histogram "sim.disk.service_s"
+
+let note op bytes d =
+  Dfs_obs.Metrics.observe m_service d;
+  if Dfs_obs.Tracer.active () then
+    Dfs_obs.Tracer.emit ~cat:"disk" ~name:op ~t0:(Dfs_obs.Clock.now ()) ~dur:d
+      ~attrs:[ ("bytes", Dfs_obs.Json.Int bytes) ]
+      ()
+
 type t = {
   cfg : config;
   mutable reads : int;
@@ -20,13 +37,21 @@ let read t ~bytes =
   assert (bytes >= 0);
   t.reads <- t.reads + 1;
   t.bytes_read <- t.bytes_read + bytes;
-  service t bytes
+  Dfs_obs.Metrics.incr m_reads;
+  Dfs_obs.Metrics.add m_bytes_read bytes;
+  let d = service t bytes in
+  note "read" bytes d;
+  d
 
 let write t ~bytes =
   assert (bytes >= 0);
   t.writes <- t.writes + 1;
   t.bytes_written <- t.bytes_written + bytes;
-  service t bytes
+  Dfs_obs.Metrics.incr m_writes;
+  Dfs_obs.Metrics.add m_bytes_written bytes;
+  let d = service t bytes in
+  note "write" bytes d;
+  d
 
 let reads t = t.reads
 

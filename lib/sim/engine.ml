@@ -15,11 +15,24 @@ end
 
 module H = Dfs_util.Heap.Make (Event_order)
 
-type t = { heap : H.t; mutable clock : float; mutable next_seq : int }
+type t = {
+  heap : H.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable executed : int;
+}
 
 type handle = event
 
-let create () = { heap = H.create (); clock = 0.0; next_seq = 0 }
+let m_events = Dfs_obs.Metrics.counter "sim.engine.events"
+
+let m_scheduled = Dfs_obs.Metrics.counter "sim.engine.scheduled"
+
+let m_cancelled = Dfs_obs.Metrics.counter "sim.engine.cancelled"
+
+let m_queue_depth = Dfs_obs.Metrics.histogram "sim.engine.queue_depth"
+
+let create () = { heap = H.create (); clock = 0.0; next_seq = 0; executed = 0 }
 
 let now t = t.clock
 
@@ -28,13 +41,16 @@ let schedule t ~at action =
   let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
   H.push t.heap ev;
+  Dfs_obs.Metrics.incr m_scheduled;
   ev
 
 let schedule_in t ~delay action =
   assert (delay >= 0.0);
   schedule t ~at:(t.clock +. delay) action
 
-let cancel ev = ev.cancelled <- true
+let cancel ev =
+  if not ev.cancelled then Dfs_obs.Metrics.incr m_cancelled;
+  ev.cancelled <- true
 
 let every t ~interval ?start action =
   assert (interval > 0.0);
@@ -55,12 +71,21 @@ let run_until t horizon =
       let ev = H.pop_exn t.heap in
       if not ev.cancelled then begin
         t.clock <- ev.time;
+        t.executed <- t.executed + 1;
+        Dfs_obs.Metrics.incr m_events;
+        (* Sampling every 64th event keeps the histogram off the hot
+           path while still seeing every phase of the run. *)
+        if t.executed land 63 = 0 then
+          Dfs_obs.Metrics.observe m_queue_depth
+            (float_of_int (H.length t.heap));
         ev.action ()
       end
   done;
   if horizon > t.clock then t.clock <- horizon
 
 let pending t = H.length t.heap
+
+let events_executed t = t.executed
 
 (* -- processes via effects ------------------------------------------------ *)
 

@@ -35,6 +35,10 @@ val run_until : t -> float -> unit
 
 val pending : t -> int
 
+val events_executed : t -> int
+(** Events actually run (cancelled events excluded) — the engine's own
+    work counter, also exported as the [sim.engine.events] metric. *)
+
 (** {1 Processes} *)
 
 val spawn : t -> ?at:float -> (unit -> unit) -> unit

@@ -2,6 +2,12 @@ type config = { bandwidth : float; rpc_latency : float }
 
 let default_config = { bandwidth = 1.25e6; rpc_latency = 0.002 }
 
+let m_rpcs = Dfs_obs.Metrics.counter "sim.net.rpcs"
+
+let m_bytes = Dfs_obs.Metrics.counter "sim.net.bytes"
+
+let m_latency = Dfs_obs.Metrics.histogram "sim.net.rpc_latency_s"
+
 type t = {
   cfg : config;
   counts : (string, int) Hashtbl.t;
@@ -20,7 +26,15 @@ let rpc t ~kind ~bytes =
   Hashtbl.replace t.counts kind (n + 1);
   t.rpcs <- t.rpcs + 1;
   t.bytes <- t.bytes + bytes;
-  t.cfg.rpc_latency +. (float_of_int bytes /. t.cfg.bandwidth)
+  let d = t.cfg.rpc_latency +. (float_of_int bytes /. t.cfg.bandwidth) in
+  Dfs_obs.Metrics.incr m_rpcs;
+  Dfs_obs.Metrics.add m_bytes bytes;
+  Dfs_obs.Metrics.observe m_latency d;
+  if Dfs_obs.Tracer.active () then
+    Dfs_obs.Tracer.emit ~cat:"rpc" ~name:kind ~t0:(Dfs_obs.Clock.now ()) ~dur:d
+      ~attrs:[ ("bytes", Dfs_obs.Json.Int bytes) ]
+      ();
+  d
 
 let rpc_count t ~kind =
   Option.value ~default:0 (Hashtbl.find_opt t.counts kind)

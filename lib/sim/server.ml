@@ -52,6 +52,14 @@ type t = {
 (* A naming RPC carries roughly this many bytes of arguments/attributes. *)
 let naming_rpc_bytes = 96
 
+let m_opens = Dfs_obs.Metrics.counter "sim.server.opens"
+
+let m_sharing = Dfs_obs.Metrics.counter "sim.server.sharing_opens"
+
+let m_recalls = Dfs_obs.Metrics.counter "sim.server.recalls"
+
+let m_disables = Dfs_obs.Metrics.counter "sim.server.cache_disables"
+
 let create ~id ~(config : config) ~fs ~network ~log () =
   let disk = Disk.create ~config:config.disk () in
   let rec t =
@@ -150,6 +158,7 @@ let open_file t ~now ~(cred : Cred.t) ~(info : Fs_state.file_info) ~mode ~create
   let latency = ref (naming_rpc t ~kind:"open") in
   if not info.is_dir then begin
     t.counters.file_opens <- t.counters.file_opens + 1;
+    Dfs_obs.Metrics.incr m_opens;
     (* Recall: if the file's current data sits dirty in another client's
        cache, fetch it back before this open proceeds.  Like the real
        Sprite server we do not know whether that client has already
@@ -158,6 +167,11 @@ let open_file t ~now ~(cred : Cred.t) ~(info : Fs_state.file_info) ~mode ~create
     | Some writer when not (Client.equal writer cred.client) ->
       (hooks_of t writer).recall_dirty ~now ~file:info.id;
       t.counters.recalls <- t.counters.recalls + 1;
+      Dfs_obs.Metrics.incr m_recalls;
+      if Dfs_obs.Tracer.active () then
+        Dfs_obs.Tracer.emit ~cat:"consistency" ~name:"recall" ~t0:now ~dur:0.0
+          ~attrs:[ ("file", Dfs_obs.Json.Int (File.to_int info.id)) ]
+          ();
       File.Tbl.remove t.last_writer info.id;
       latency := !latency +. Network.rpc t.network ~kind:"recall" ~bytes:0
     | Some _ | None -> ());
@@ -183,9 +197,16 @@ let open_file t ~now ~(cred : Cred.t) ~(info : Fs_state.file_info) ~mode ~create
     (* Concurrent write-sharing: open on >= 2 clients, >= 1 writer. *)
     if distinct_clients state >= 2 && any_writer state then begin
       t.counters.sharing_opens <- t.counters.sharing_opens + 1;
+      Dfs_obs.Metrics.incr m_sharing;
       if state.cacheable then begin
         state.cacheable <- false;
         t.counters.cache_disables <- t.counters.cache_disables + 1;
+        Dfs_obs.Metrics.incr m_disables;
+        if Dfs_obs.Tracer.active () then
+          Dfs_obs.Tracer.emit ~cat:"consistency" ~name:"disable" ~t0:now
+            ~dur:0.0
+            ~attrs:[ ("file", Dfs_obs.Json.Int (File.to_int info.id)) ]
+            ();
         List.iter
           (fun o -> (hooks_of t o.oc_client).stop_caching ~now ~file:info.id)
           state.openers;
