@@ -25,34 +25,53 @@ let scale () =
 (* -- part 1+2: reproduce the evaluation ------------------------------------- *)
 
 (* Runs every experiment, printing its rendering; returns per-experiment
-   wall times for the machine-readable run report. *)
-let reproduce ds =
+   wall times for the machine-readable run report.
+
+   The passes are independent (they only read the dataset, and share
+   session reconstructions through the domain-safe [Dataset.sessions]
+   memo), so they fan out over the pool; renderings are collected and
+   printed afterwards in experiment order, keeping stdout byte-identical
+   to a sequential run. *)
+let reproduce pool ds =
   print_endline "==================================================================";
   print_endline " Reproduction: Measurements of a Distributed File System (SOSP'91)";
   print_endline "==================================================================";
   Printf.printf " dataset: %d traces at scale %.3f\n\n" (List.length ds.Dfs_core.Dataset.runs)
     ds.Dfs_core.Dataset.scale;
+  let rendered =
+    Dfs_util.Pool.map pool
+      (fun (e : Dfs_core.Experiment.t) ->
+        let t0 = Unix.gettimeofday () in
+        let out = e.run ds in
+        (e, out, Unix.gettimeofday () -. t0))
+      Dfs_core.Experiment.all
+  in
   List.map
-    (fun (e : Dfs_core.Experiment.t) ->
-      let t0 = Unix.gettimeofday () in
-      let rendered = e.run ds in
-      let wall = Unix.gettimeofday () -. t0 in
-      Printf.printf "=== %s: %s ===\n%s\n" e.id e.title rendered;
+    (fun ((e : Dfs_core.Experiment.t), out, wall) ->
+      Printf.printf "=== %s: %s ===\n%s\n" e.id e.title out;
       (e.id, wall))
-    Dfs_core.Experiment.all
+    rendered
 
 (* -- machine-readable run telemetry ------------------------------------------- *)
 
 let bench_out () =
   Option.value ~default:"BENCH_run.json" (Sys.getenv_opt "BENCH_OUT")
 
-let write_run_report ~scale ~experiments ~total_wall =
+let write_run_report ~scale ~jobs ~sim_wall ~analysis_wall ~experiments
+    ~total_wall =
   let module J = Dfs_obs.Json in
   let report =
     J.Obj
       [
-        ("schema", J.String "dfs-bench-run/1");
+        ("schema", J.String "dfs-bench-run/2");
         ("scale", J.Float scale);
+        ("jobs", J.Int jobs);
+        ( "phases",
+          J.Obj
+            [
+              ("sim_wall_s", J.Float sim_wall);
+              ("analysis_wall_s", J.Float analysis_wall);
+            ] );
         ("total_wall_s", J.Float total_wall);
         ( "experiments",
           J.List
@@ -111,27 +130,37 @@ let analysis_tests (ds : Dfs_core.Dataset.t) =
           Dfs_consistency.Token.simulate streams ));
   ]
 
-let run_bechamel tests =
+(* Measurement stays sequential on purpose: concurrent Benchmark.all
+   calls would contend for cores (corrupting each other's timings) and
+   bechamel's GC-stabilization loop requires the live-word count to
+   settle, which it never does while other domains allocate.  Only the
+   OLS analysis passes fan out over the pool.  Results print in test
+   order (the old code iterated a hashtable, so even sequential output
+   order was arbitrary). *)
+let run_bechamel pool tests =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
-  let raw =
-    Benchmark.all cfg instances
-      (Test.make_grouped ~name:"analysis" ~fmt:"%s %s" tests)
-  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let raws = List.map (fun test -> Benchmark.all cfg instances test) tests in
+  let timed =
+    Dfs_util.Pool.map pool
+      (fun raw ->
+        let results = Analyze.all ols Instance.monotonic_clock raw in
+        Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [])
+      raws
+  in
   print_endline "== bechamel: time per analysis pass ==";
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] ->
-        Printf.printf "  %-42s %12.3f ms/run\n" name (est /. 1e6)
-      | _ -> Printf.printf "  %-42s (no estimate)\n" name)
-    results;
+  List.iter
+    (List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] ->
+           Printf.printf "  %-42s %12.3f ms/run\n" name (est /. 1e6)
+         | _ -> Printf.printf "  %-42s (no estimate)\n" name))
+    timed;
   print_newline ()
 
 (* -- ablations ------------------------------------------------------------------ *)
@@ -230,7 +259,7 @@ let ablation_migration_policy () =
         }
       in
       let cluster, _ = Dfs_workload.Presets.run p in
-      let trace = Dfs_sim.Cluster.merged_trace cluster in
+      let trace = Dfs_sim.Cluster.merged_trace_array cluster in
       let r = Dfs_analysis.Activity.analyze ~interval:10.0 trace in
       Printf.printf "  migration %-3s: peak 10s total %6.0f KB/s\n"
         (if migration then "on" else "off")
@@ -241,9 +270,7 @@ let ablation_migration_policy () =
 let ablation_lfs_crossover ds =
   print_endline
     "== ablation: update-in-place vs log-structured server disk (Section 6) ==";
-  let accesses =
-    Dfs_analysis.Session.of_trace (List.hd ds.Dfs_core.Dataset.runs).trace
-  in
+  let accesses = Dfs_core.Dataset.sessions (List.hd ds.Dfs_core.Dataset.runs) in
   Printf.printf "  %-22s %14s %14s %8s\n" "client read-miss" "in-place (s)"
     "log (s)" "speedup";
   List.iter
@@ -277,9 +304,17 @@ let ablation_local_paging () =
 
 let () =
   let t0 = Unix.gettimeofday () in
-  let ds = Dfs_core.Dataset.generate ~scale:(scale ()) () in
-  Dfs_obs.Log.info "dataset ready in %.1fs" (Unix.gettimeofday () -. t0);
-  let experiment_walls = reproduce ds in
+  let pool = Dfs_util.Pool.create () in
+  let ds =
+    Dfs_core.Dataset.generate ~scale:(scale ()) ~jobs:(Dfs_util.Pool.jobs pool)
+      ()
+  in
+  let sim_wall = Unix.gettimeofday () -. t0 in
+  Dfs_obs.Log.info "dataset ready in %.1fs on %d domain(s)" sim_wall
+    (Dfs_util.Pool.jobs pool);
+  let t_analysis = Unix.gettimeofday () in
+  let experiment_walls = reproduce pool ds in
+  let analysis_wall = Unix.gettimeofday () -. t_analysis in
   (* Section 5.3's absolute paging rates and the server-side cache effect *)
   (let run = List.hd ds.Dfs_core.Dataset.runs in
    let cluster = run.Dfs_core.Dataset.cluster in
@@ -298,7 +333,7 @@ let () =
      (Dfs_analysis.Server_stats.analyze servers));
   print_string (Dfs_core.Claims.scorecard ds);
   print_newline ();
-  run_bechamel (analysis_tests ds);
+  run_bechamel pool (analysis_tests ds);
   ablation_writeback_delay ();
   ablation_cache_ceiling ();
   ablation_migration_policy ();
@@ -306,5 +341,6 @@ let () =
   ablation_lfs_crossover ds;
   let total_wall = Unix.gettimeofday () -. t0 in
   write_run_report ~scale:ds.Dfs_core.Dataset.scale
+    ~jobs:(Dfs_util.Pool.jobs pool) ~sim_wall ~analysis_wall
     ~experiments:experiment_walls ~total_wall;
   Dfs_obs.Log.info "total wall time %.1fs" total_wall

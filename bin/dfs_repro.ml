@@ -11,6 +11,14 @@ let scale_arg =
   in
   Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"FRACTION" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains used to simulate traces in parallel. Defaults to \
+     DFS_JOBS, else the machine's recommended domain count. Results are \
+     identical whatever the value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let traces_arg =
   let doc = "Comma-separated trace numbers (1-8) to simulate." in
   Arg.(
@@ -84,7 +92,8 @@ let with_obs ~metrics_out ~trace_out f =
     trace_out;
   result
 
-let make_dataset scale traces = Dfs_core.Dataset.generate ?scale ~traces ()
+let make_dataset scale traces jobs =
+  Dfs_core.Dataset.generate ?scale ~traces ?jobs ()
 
 (* -- list ------------------------------------------------------------------ *)
 
@@ -105,7 +114,7 @@ let experiment_cmd =
     let doc = "Experiment ids (table1..table12, fig1..fig4)." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run () ids scale traces metrics_out trace_out =
+  let run () ids scale traces jobs metrics_out trace_out =
     let unknown =
       List.filter (fun id -> Dfs_core.Experiment.find id = None) ids
     in
@@ -116,7 +125,7 @@ let experiment_cmd =
       exit 1
     end;
     with_obs ~metrics_out ~trace_out (fun () ->
-        let ds = make_dataset scale traces in
+        let ds = make_dataset scale traces jobs in
         List.iter
           (fun id ->
             match Dfs_core.Experiment.find id with
@@ -128,15 +137,15 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
     Term.(
-      const run $ verbosity_term $ ids_arg $ scale_arg $ traces_arg
+      const run $ verbosity_term $ ids_arg $ scale_arg $ traces_arg $ jobs_arg
       $ metrics_out_arg $ trace_out_arg)
 
 (* -- all ----------------------------------------------------------------------- *)
 
 let all_cmd =
-  let run () scale traces metrics_out trace_out =
+  let run () scale traces jobs metrics_out trace_out =
     with_obs ~metrics_out ~trace_out (fun () ->
-        let ds = make_dataset scale traces in
+        let ds = make_dataset scale traces jobs in
         List.iter
           (fun (e : Dfs_core.Experiment.t) ->
             Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds))
@@ -145,8 +154,8 @@ let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure")
     Term.(
-      const run $ verbosity_term $ scale_arg $ traces_arg $ metrics_out_arg
-      $ trace_out_arg)
+      const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* -- facts -------------------------------------------------------------------- *)
 
@@ -155,9 +164,9 @@ let facts_cmd =
     let doc = "Emit the scorecard as a markdown table (for EXPERIMENTS.md)." in
     Arg.(value & flag & info [ "markdown" ] ~doc)
   in
-  let run () scale traces markdown metrics_out trace_out =
+  let run () scale traces jobs markdown metrics_out trace_out =
     with_obs ~metrics_out ~trace_out (fun () ->
-        let ds = make_dataset scale traces in
+        let ds = make_dataset scale traces jobs in
         if markdown then print_string (Dfs_core.Claims.markdown ds)
         else print_string (Dfs_core.Claims.scorecard ds))
   in
@@ -166,8 +175,8 @@ let facts_cmd =
        ~doc:
          "Check the paper's headline findings (the prose claims) against           the simulation")
     Term.(
-      const run $ verbosity_term $ scale_arg $ traces_arg $ markdown_arg
-      $ metrics_out_arg $ trace_out_arg)
+      const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
+      $ markdown_arg $ metrics_out_arg $ trace_out_arg)
 
 (* -- simulate ------------------------------------------------------------------- *)
 
@@ -235,10 +244,11 @@ let analyze_cmd =
       Dfs_trace.Merge.scrub ~self_users:Dfs_sim.Cluster.self_users
         (Dfs_trace.Merge.merge streams)
     in
-    let stats = Dfs_analysis.Trace_stats.of_trace merged in
+    let marr = Array.of_list merged in
+    let stats = Dfs_analysis.Trace_stats.of_trace marr in
     Format.printf "%a@." Dfs_analysis.Trace_stats.pp stats;
-    let act600 = Dfs_analysis.Activity.analyze ~interval:600.0 merged in
-    let act10 = Dfs_analysis.Activity.analyze ~interval:10.0 merged in
+    let act600 = Dfs_analysis.Activity.analyze ~interval:600.0 marr in
+    let act10 = Dfs_analysis.Activity.analyze ~interval:10.0 marr in
     Format.printf "%a@.%a@." Dfs_analysis.Activity.pp act600
       Dfs_analysis.Activity.pp act10
   in

@@ -55,9 +55,10 @@ let () =
         (List.length merged)
         (Dfs_trace.Merge.is_sorted merged);
       (* 5. analyze *)
-      let stats = Dfs_analysis.Trace_stats.of_trace merged in
+      let marr = Array.of_list merged in
+      let stats = Dfs_analysis.Trace_stats.of_trace marr in
       Format.printf "4. %a@." Dfs_analysis.Trace_stats.pp stats;
-      let rl = Dfs_analysis.Run_length.of_trace merged in
+      let rl = Dfs_analysis.Run_length.of_trace marr in
       Printf.printf
         "5. sequential runs: %d; runs under 10 KB: %.1f%%; bytes in runs \
          over 1 MB: %.1f%%\n"

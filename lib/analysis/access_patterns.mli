@@ -24,7 +24,7 @@ type t = {
 
 val analyze : Session.access list -> t
 
-val of_trace : Dfs_trace.Record.t list -> t
+val of_trace : Dfs_trace.Record.t array -> t
 
 (** Percentage helpers for report rendering. *)
 

@@ -13,8 +13,7 @@ type report = {
 }
 
 let analyze ?(migrated_only = false) ~interval trace =
-  match trace with
-  | [] ->
+  if Array.length trace = 0 then
     {
       interval;
       avg_active_users = 0.0;
@@ -25,10 +24,10 @@ let analyze ?(migrated_only = false) ~interval trace =
       peak_user_throughput = 0.0;
       peak_total_throughput = 0.0;
     }
-  | first :: _ ->
-    let t0 = (first : Record.t).time in
+  else begin
+    let t0 = (trace.(0) : Record.t).time in
     let t_end =
-      List.fold_left (fun acc (r : Record.t) -> Float.max acc r.time) t0 trace
+      Array.fold_left (fun acc (r : Record.t) -> Float.max acc r.time) t0 trace
     in
     let n_buckets =
       max 1 (1 + int_of_float ((t_end -. t0) /. interval))
@@ -53,7 +52,7 @@ let analyze ?(migrated_only = false) ~interval trace =
       | None -> Hashtbl.replace bytes_tbl key (ref n)
     in
     let relevant (migrated : bool) = (not migrated_only) || migrated in
-    List.iter
+    Array.iter
       (fun (r : Record.t) ->
         if relevant r.migrated then begin
           mark_active (bucket r.time) r.user;
@@ -123,6 +122,7 @@ let analyze ?(migrated_only = false) ~interval trace =
       peak_user_throughput = !peak_user;
       peak_total_throughput = peak_total;
     }
+  end
 
 let pp ppf r =
   Format.fprintf ppf

@@ -22,7 +22,7 @@ let analyze trace =
       Ids.Process.to_int r.pid,
       Ids.File.to_int r.file )
   in
-  List.iter
+  Array.iter
     (fun (r : Record.t) ->
       match r.kind with
       | Record.Open { mode; is_dir = false; _ } ->

@@ -9,7 +9,7 @@ type t = {
 
 val analyze : Session.access list -> t
 
-val of_trace : Dfs_trace.Record.t list -> t
+val of_trace : Dfs_trace.Record.t array -> t
 
 val default_xs : float array
 (** 100 bytes to 10 MB, log spaced, as in the paper's axis. *)

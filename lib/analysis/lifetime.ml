@@ -14,7 +14,7 @@ type write_state = { mutable oldest : float; mutable newest : float }
    the oldest..newest age range. *)
 let byte_samples = 8
 
-let analyze trace =
+let analyze ?accesses trace =
   let by_files = Dfs_util.Cdf.create () in
   let by_bytes = Dfs_util.Cdf.create () in
   let aged = ref 0 and unknown = ref 0 in
@@ -24,24 +24,25 @@ let analyze trace =
      their position in the record list, so a single merge suffices. *)
   let events =
     let accesses =
-      Session.of_trace trace
+      (match accesses with Some l -> l | None -> Session.of_trace trace)
       |> List.filter (fun (a : Session.access) ->
              (not a.a_is_dir) && a.a_bytes_written > 0)
       |> List.map (fun a -> (a.Session.a_close_time, `Write a))
     in
     let deaths =
-      List.filter_map
-        (fun (r : Record.t) ->
+      Array.fold_left
+        (fun acc (r : Record.t) ->
           match r.kind with
           | Record.Delete { size; is_dir = false } ->
-            Some (r.time, `Death (r.file, size))
+            (r.time, `Death (r.file, size)) :: acc
           | Record.Truncate { old_size } ->
-            Some (r.time, `Death (r.file, old_size))
+            (r.time, `Death (r.file, old_size)) :: acc
           | Record.Delete _ | Record.Open _ | Record.Close _
           | Record.Reposition _ | Record.Dir_read _ | Record.Shared_read _
           | Record.Shared_write _ ->
-            None)
-        trace
+            acc)
+        [] trace
+      |> List.rev
     in
     List.sort (fun (a, _) (b, _) -> Float.compare a b) (accesses @ deaths)
   in

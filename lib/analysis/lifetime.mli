@@ -16,7 +16,7 @@ type t = {
   deaths_unknown : int;  (** deletions of files never written in-trace *)
 }
 
-val analyze : Dfs_trace.Record.t list -> t
+val analyze : ?accesses:Session.access list -> Dfs_trace.Record.t array -> t
 
 val default_xs : float array
 (** 1 second to 10 M seconds, log spaced. *)

@@ -5,7 +5,7 @@ type t = { by_opens : Dfs_util.Cdf.t }
 
 val analyze : Session.access list -> t
 
-val of_trace : Dfs_trace.Record.t list -> t
+val of_trace : Dfs_trace.Record.t array -> t
 
 val default_xs : float array
 (** 10 ms to 100 s, log spaced. *)

@@ -13,7 +13,7 @@ type t = {
 val analyze : Session.access list -> t
 (** Directory accesses are excluded, as in Section 4. *)
 
-val of_trace : Dfs_trace.Record.t list -> t
+val of_trace : Dfs_trace.Record.t array -> t
 
 val default_xs : float array
 (** The log-spaced run-length axis used in the paper's figure

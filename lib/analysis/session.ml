@@ -88,7 +88,7 @@ let scan trace ~on_boundary ~on_close =
       Some p
     | Some [] | None -> None
   in
-  List.iter
+  Array.iter
     (fun (r : Record.t) ->
       match r.kind with
       | Record.Open { mode; created = _; is_dir; size; start_pos } ->

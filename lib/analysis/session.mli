@@ -41,13 +41,13 @@ val bytes : access -> int
 
 val duration : access -> float
 
-val of_trace : Dfs_trace.Record.t list -> access list
+val of_trace : Dfs_trace.Record.t array -> access list
 (** Replay the trace and return completed accesses in close-time order.
     Opens with no matching close (trace cut off) are dropped, as are
     closes with no matching open. *)
 
 val run_boundaries :
-  Dfs_trace.Record.t list -> f:(access -> float -> int -> unit) -> unit
+  Dfs_trace.Record.t array -> f:(access -> float -> int -> unit) -> unit
 (** Lower-level interface for interval analyses: invokes [f access time
     run_bytes] at each run boundary (reposition or close), attributing the
     run's bytes at the moment they are known.  [access] is the in-progress

@@ -19,7 +19,7 @@ type t = {
 
 let mb bytes = float_of_int bytes /. 1048576.0
 
-let of_trace trace =
+let of_trace ?accesses trace =
   let users = ref Ids.User.Set.empty in
   let migration_users = ref Ids.User.Set.empty in
   let opens = ref 0
@@ -34,14 +34,17 @@ let of_trace trace =
   (* Regular-file byte totals come from the access reconstruction so that
      directory closes are excluded. *)
   let read_bytes = ref 0 and written_bytes = ref 0 in
+  let accesses =
+    match accesses with Some l -> l | None -> Session.of_trace trace
+  in
   List.iter
     (fun (a : Session.access) ->
       if not a.a_is_dir then begin
         read_bytes := !read_bytes + a.a_bytes_read;
         written_bytes := !written_bytes + a.a_bytes_written
       end)
-    (Session.of_trace trace);
-  List.iter
+    accesses;
+  Array.iter
     (fun (r : Record.t) ->
       users := Ids.User.Set.add r.user !users;
       if r.migrated then migration_users := Ids.User.Set.add r.user !migration_users;

@@ -16,9 +16,11 @@ type t = {
   shared_write_events : int;
 }
 
-val of_trace : Dfs_trace.Record.t list -> t
+val of_trace : ?accesses:Session.access list -> Dfs_trace.Record.t array -> t
 (** Event counts straight off the records; megabytes read/written come
     from the per-access totals carried on closes of regular files
-    (directory data is counted separately, from directory-read records). *)
+    (directory data is counted separately, from directory-read records).
+    Pass [accesses] to reuse an already-computed access reconstruction
+    (e.g. {!Dfs_core.Dataset.sessions}) instead of rebuilding it. *)
 
 val pp : Format.formatter -> t -> unit

@@ -118,12 +118,23 @@ type stats = {
   replacements : (replace_reason * Dfs_util.Stats.t) list;
 }
 
+type dirty_info = {
+  mutable dn : int;  (* dirty blocks in this file *)
+  mutable earliest : float;
+      (* Lower bound on the oldest [dirtied_at] among them.  May go
+         stale-early when the oldest block is cleaned individually (we
+         don't rescan on clean); [tick] verifies before writing back and
+         tightens the bound when it proves conservative, so the delay
+         policy stays exact while the per-tick scan touches only files
+         that could plausibly have expired. *)
+}
+
 type t = {
   cfg : config;
   backend : backend;
   lru : block L.t;
   files : (int, (int, block) Hashtbl.t) Hashtbl.t;
-  dirty_files : (int, int) Hashtbl.t;  (* file -> dirty block count *)
+  dirty_files : (int, dirty_info) Hashtbl.t;
   mutable capacity : int;
   mutable dirty_count : int;
   stats : stats;
@@ -185,8 +196,12 @@ let note_dirty t b =
     b.dirty <- true;
     t.dirty_count <- t.dirty_count + 1;
     let fid = File.to_int b.b_file in
-    let n = Option.value ~default:0 (Hashtbl.find_opt t.dirty_files fid) in
-    Hashtbl.replace t.dirty_files fid (n + 1)
+    match Hashtbl.find_opt t.dirty_files fid with
+    | Some info ->
+      info.dn <- info.dn + 1;
+      if b.dirtied_at < info.earliest then info.earliest <- b.dirtied_at
+    | None ->
+      Hashtbl.replace t.dirty_files fid { dn = 1; earliest = b.dirtied_at }
   end
 
 let note_clean t b =
@@ -196,7 +211,7 @@ let note_clean t b =
     t.dirty_count <- t.dirty_count - 1;
     let fid = File.to_int b.b_file in
     match Hashtbl.find_opt t.dirty_files fid with
-    | Some n when n > 1 -> Hashtbl.replace t.dirty_files fid (n - 1)
+    | Some info when info.dn > 1 -> info.dn <- info.dn - 1
     | Some _ -> Hashtbl.remove t.dirty_files fid
     | None -> assert false
   end
@@ -415,10 +430,14 @@ let blocks_of_file t file =
   | None -> []
   | Some tbl -> Hashtbl.fold (fun _ b acc -> b :: acc) tbl []
 
+(* Clean in place: [clean_block] never removes entries from the file's
+   block table, so we can iterate it directly instead of materializing a
+   [blocks_of_file] list.  ([invalidate] still takes the list — dropping
+   blocks mutates the table under iteration.) *)
 let clean_file t ~now ~file ~reason =
-  List.iter
-    (fun b -> clean_block t ~now b ~reason)
-    (blocks_of_file t file)
+  match Hashtbl.find_opt t.files (File.to_int file) with
+  | None -> ()
+  | Some tbl -> Hashtbl.iter (fun _ b -> clean_block t ~now b ~reason) tbl
 
 let fsync t ~now ~file = clean_file t ~now ~file ~reason:Clean_fsync
 
@@ -436,23 +455,39 @@ let delete t ~now ~file = invalidate t ~now ~file
 
 let tick t ~now =
   (* Any file with a block dirty for [writeback_delay] has ALL its dirty
-     blocks written back — Sprite's policy. *)
-  let expired =
+     blocks written back — Sprite's policy.  [dirty_files.earliest] is a
+     lower bound on each file's oldest dirty timestamp, so files whose
+     bound hasn't aged out are skipped without touching their blocks;
+     only plausible candidates get a per-block verify.  A candidate that
+     turns out fresh (its bound was stale) has the bound tightened to
+     the true minimum so it won't re-trip every tick. *)
+  let candidates =
     Hashtbl.fold
-      (fun fid _ acc ->
-        let file = File.of_int fid in
-        let has_expired =
-          List.exists
-            (fun b ->
-              b.dirty && now -. b.dirtied_at >= t.cfg.writeback_delay)
-            (blocks_of_file t file)
-        in
-        if has_expired then file :: acc else acc)
+      (fun fid info acc ->
+        if now -. info.earliest >= t.cfg.writeback_delay then
+          (fid, info) :: acc
+        else acc)
       t.dirty_files []
   in
   List.iter
-    (fun file -> clean_file t ~now ~file ~reason:Clean_delay)
-    expired
+    (fun (fid, info) ->
+      let file = File.of_int fid in
+      let expired = ref false in
+      let oldest = ref infinity in
+      (match Hashtbl.find_opt t.files fid with
+      | None -> ()
+      | Some tbl ->
+        Hashtbl.iter
+          (fun _ b ->
+            if b.dirty then begin
+              if now -. b.dirtied_at >= t.cfg.writeback_delay then
+                expired := true;
+              if b.dirtied_at < !oldest then oldest := b.dirtied_at
+            end)
+          tbl);
+      if !expired then clean_file t ~now ~file ~reason:Clean_delay
+      else if !oldest < infinity then info.earliest <- !oldest)
+    candidates
 
 let set_capacity t ~now blocks =
   let blocks = max t.cfg.min_capacity_blocks blocks in
@@ -482,5 +517,12 @@ let check_invariants t =
     t.files;
   assert (Hashtbl.length per_file_dirty = Hashtbl.length t.dirty_files);
   Hashtbl.iter
-    (fun fid n -> assert (Hashtbl.find_opt per_file_dirty fid = Some n))
+    (fun fid info ->
+      assert (Hashtbl.find_opt per_file_dirty fid = Some info.dn);
+      (* [earliest] must never overshoot the file's true oldest dirty
+         timestamp — staleness is only allowed in the early direction. *)
+      let tbl = Hashtbl.find t.files fid in
+      Hashtbl.iter
+        (fun _ b -> if b.dirty then assert (info.earliest <= b.dirtied_at))
+        tbl)
     t.dirty_files

@@ -76,7 +76,7 @@ let simulate ~interval trace =
       Ids.Process.to_int r.pid,
       Ids.File.to_int r.file )
   in
-  List.iter
+  Array.iter
     (fun (r : Record.t) ->
       users := Ids.User.Set.add r.user !users;
       if r.time < !t_min then t_min := r.time;

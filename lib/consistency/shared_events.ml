@@ -24,7 +24,7 @@ let is_writer = function
    handle's matching open, tracked per (client, pid, file). *)
 let extract trace =
   let shared_files = ref Ids.File.Set.empty in
-  List.iter
+  Array.iter
     (fun (r : Record.t) ->
       match r.kind with
       | Record.Shared_read _ | Record.Shared_write _ ->
@@ -51,7 +51,7 @@ let extract trace =
     in
     l := { time = r.time; ev } :: !l
   in
-  List.iter
+  Array.iter
     (fun (r : Record.t) ->
       if Ids.File.Set.mem r.file !shared_files then begin
         let client = Ids.Client.to_int r.client in

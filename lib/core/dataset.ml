@@ -1,47 +1,82 @@
 module Presets = Dfs_workload.Presets
 
+(* Session reconstruction is needed by half a dozen analyses; computing
+   it once per run and sharing the result is the point of this memo.
+   Filled on first demand under a double-checked mutex — OCaml's [Lazy]
+   is not safe to force from several domains, and analyses of different
+   runs do race on a parallel bench. *)
+type memo = {
+  lock : Mutex.t;
+  mutable accesses : Dfs_analysis.Session.access list option;
+}
+
 type run = {
   preset : Presets.preset;
   cluster : Dfs_sim.Cluster.t;
   driver : Dfs_workload.Driver.t;
-  trace : Dfs_trace.Record.t list;
+  trace : Dfs_trace.Record.t array;
+  memo : memo;
 }
 
-type t = { scale : float; runs : run list }
+type t = { scale : float; jobs : int; runs : run list }
 
 let default_scale () =
   match Sys.getenv_opt "DFS_FULL" with
   | Some ("1" | "true" | "yes") -> 1.0
   | Some _ | None -> 0.05
 
-let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) () =
+let simulate_preset ~scale n =
+  let preset = Presets.scaled (Presets.trace n) ~factor:scale in
+  Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
+    (preset.duration /. 3600.0);
+  let t0 = Unix.gettimeofday () in
+  let cluster, driver = Presets.run preset in
+  let trace = Dfs_sim.Cluster.merged_trace_array cluster in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Engine self-profiling: wall time per simulated run phase. *)
+  Dfs_obs.Metrics.set
+    (Dfs_obs.Metrics.gauge (Printf.sprintf "phase.sim.%s.wall_s" preset.name))
+    elapsed;
+  Dfs_obs.Log.debug "%s done in %.1fs (%d engine events)" preset.name elapsed
+    (Dfs_sim.Engine.events_executed (Dfs_sim.Cluster.engine cluster));
+  {
+    preset;
+    cluster;
+    driver;
+    trace;
+    memo = { lock = Mutex.create (); accesses = None };
+  }
+
+let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs () =
   let scale = match scale with Some s -> s | None -> default_scale () in
+  let pool = Dfs_util.Pool.create ?jobs () in
   let t_start = Unix.gettimeofday () in
-  let runs =
-    List.map
-      (fun n ->
-        let preset = Presets.scaled (Presets.trace n) ~factor:scale in
-        Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
-          (preset.duration /. 3600.0);
-        let t0 = Unix.gettimeofday () in
-        let cluster, driver = Presets.run preset in
-        let trace = Dfs_sim.Cluster.merged_trace cluster in
-        let elapsed = Unix.gettimeofday () -. t0 in
-        (* Engine self-profiling: wall time per simulated run phase. *)
-        Dfs_obs.Metrics.set
-          (Dfs_obs.Metrics.gauge
-             (Printf.sprintf "phase.sim.%s.wall_s" preset.name))
-          elapsed;
-        Dfs_obs.Log.debug "%s done in %.1fs (%d engine events)" preset.name
-          elapsed
-          (Dfs_sim.Engine.events_executed (Dfs_sim.Cluster.engine cluster));
-        { preset; cluster; driver; trace })
-      traces
-  in
+  (* Each preset seeds its own RNG and builds its own cluster, so the
+     simulations are independent; [Pool.map] returns them in preset
+     order, making the parallel dataset byte-identical to DFS_JOBS=1. *)
+  let runs = Dfs_util.Pool.map pool (simulate_preset ~scale) traces in
   Dfs_obs.Metrics.set
     (Dfs_obs.Metrics.gauge "phase.dataset.wall_s")
     (Unix.gettimeofday () -. t_start);
-  { scale; runs }
+  Dfs_obs.Metrics.set
+    (Dfs_obs.Metrics.gauge "phase.dataset.jobs")
+    (float_of_int (Dfs_util.Pool.jobs pool));
+  { scale; jobs = Dfs_util.Pool.jobs pool; runs }
+
+let sessions run =
+  match run.memo.accesses with
+  | Some l -> l
+  | None ->
+    Mutex.lock run.memo.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock run.memo.lock)
+      (fun () ->
+        match run.memo.accesses with
+        | Some l -> l
+        | None ->
+          let l = Dfs_analysis.Session.of_trace run.trace in
+          run.memo.accesses <- Some l;
+          l)
 
 let client_cache_stats run =
   Array.to_list

@@ -4,27 +4,40 @@
 
     Generating all eight full-length traces takes a few minutes; [scale]
     shrinks each trace's duration (0.1 ~ 2.4 busy daytime hours), which
-    preserves rates and distributions while shrinking absolute counts. *)
+    preserves rates and distributions while shrinking absolute counts.
+    The presets are simulated concurrently on a {!Dfs_util.Pool}; because
+    every preset seeds its own RNG and runs in its own cluster, the
+    result is byte-identical whatever the job count. *)
+
+type memo
+(** Per-run cache of derived analysis inputs; see {!sessions}. *)
 
 type run = {
   preset : Dfs_workload.Presets.preset;
   cluster : Dfs_sim.Cluster.t;  (** finished run *)
   driver : Dfs_workload.Driver.t;
-  trace : Dfs_trace.Record.t list;  (** merged, scrubbed, time-ordered *)
+  trace : Dfs_trace.Record.t array;  (** merged, scrubbed, time-ordered *)
+  memo : memo;
 }
 
-type t = { scale : float; runs : run list }
+type t = { scale : float; jobs : int; runs : run list }
 
-val generate : ?scale:float -> ?traces:int list -> unit -> t
+val generate : ?scale:float -> ?traces:int list -> ?jobs:int -> unit -> t
 (** [traces] selects which of the eight presets to run (default: all).
-    [scale] defaults to 1.0 (full 24-hour traces).  Progress is reported
-    through {!Dfs_obs.Log} (so [DFS_LOG=quiet] silences it), and
-    per-preset wall times land in the default metrics registry as
-    [phase.sim.<name>.wall_s] gauges. *)
+    [scale] defaults to {!default_scale}.  [jobs] caps the domains used
+    (default: {!Dfs_util.Pool.default_jobs}, i.e. [DFS_JOBS] or the
+    machine's core count).  Progress is reported through {!Dfs_obs.Log}
+    (so [DFS_LOG=quiet] silences it), and per-preset wall times land in
+    the default metrics registry as [phase.sim.<name>.wall_s] gauges. *)
 
 val default_scale : unit -> float
 (** 1.0 when the environment variable [DFS_FULL] is set, else 0.05 —
     enough for stable shapes while keeping the whole suite fast. *)
+
+val sessions : run -> Dfs_analysis.Session.access list
+(** The run's access reconstruction ({!Dfs_analysis.Session.of_trace}),
+    computed on first use and shared by every analysis of this run.
+    Safe to call from several domains. *)
 
 val client_cache_stats : run -> Dfs_cache.Block_cache.stats list
 
@@ -32,4 +45,4 @@ val merged_counters : t -> Dfs_sim.Counters.t
 (** All runs' counter samples concatenated (Table 4 uses every machine
     and day). *)
 
-val traces : t -> Dfs_trace.Record.t list list
+val traces : t -> Dfs_trace.Record.t array list

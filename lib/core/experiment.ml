@@ -59,7 +59,8 @@ let table1 =
         ()
     in
     let stats =
-      per_trace ds (fun r -> A.Trace_stats.of_trace r.trace)
+      per_trace ds (fun r ->
+          A.Trace_stats.of_trace ~accesses:(Dataset.sessions r) r.trace)
     in
     let row label f fmt =
       Table.add_row tbl (label :: List.map (fun s -> fmt (f s)) stats)
@@ -217,7 +218,9 @@ let table2 =
 
 let table3 =
   let run (ds : Dataset.t) =
-    let reports = per_trace ds (fun r -> A.Access_patterns.of_trace r.trace) in
+    let reports =
+      per_trace ds (fun r -> A.Access_patterns.analyze (Dataset.sessions r))
+    in
     let tbl =
       Table.create ~caption:"Table 3. File access patterns (percent)."
         ~columns:
@@ -308,7 +311,10 @@ let render_cdf_series ~caption ~x_label series_list xs =
 
 let fig1 =
   let run (ds : Dataset.t) =
-    let per = per_trace ds (fun r -> (r.preset.name, A.Run_length.of_trace r.trace)) in
+    let per =
+      per_trace ds (fun r ->
+          (r.preset.name, A.Run_length.analyze (Dataset.sessions r)))
+    in
     let pooled_runs = Cdf.create () and pooled_bytes = Cdf.create () in
     List.iter
       (fun (_, (f : A.Run_length.t)) ->
@@ -358,7 +364,9 @@ let fig1 =
 
 let fig2 =
   let run (ds : Dataset.t) =
-    let per = per_trace ds (fun r -> A.File_size.of_trace r.trace) in
+    let per =
+      per_trace ds (fun r -> A.File_size.analyze (Dataset.sessions r))
+    in
     let pooled_files = Cdf.create () and pooled_bytes = Cdf.create () in
     List.iter
       (fun (f : A.File_size.t) ->
@@ -397,7 +405,9 @@ let fig2 =
 
 let fig3 =
   let run (ds : Dataset.t) =
-    let per = per_trace ds (fun r -> A.Open_time.of_trace r.trace) in
+    let per =
+      per_trace ds (fun r -> A.Open_time.analyze (Dataset.sessions r))
+    in
     let pooled = Cdf.create () in
     List.iter
       (fun (f : A.Open_time.t) ->
@@ -445,7 +455,10 @@ let fig3 =
 
 let fig4 =
   let run (ds : Dataset.t) =
-    let per = per_trace ds (fun r -> A.Lifetime.analyze r.trace) in
+    let per =
+      per_trace ds (fun r ->
+          A.Lifetime.analyze ~accesses:(Dataset.sessions r) r.trace)
+    in
     let pooled_files = Cdf.create () and pooled_bytes = Cdf.create () in
     List.iter
       (fun (f : A.Lifetime.t) ->

@@ -1,9 +1,13 @@
 let default_source () = 0.0
 
-let source = ref default_source
+(* Each domain runs at most one simulation at a time, so the installed
+   source is domain-local: parallel clusters on a pool each see their
+   own engine's clock instead of racing on a process-wide ref. *)
+let source : (unit -> float) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> default_source)
 
-let set_source f = source := f
+let set_source f = Domain.DLS.set source f
 
-let clear () = source := default_source
+let clear () = Domain.DLS.set source default_source
 
-let now () = !source ()
+let now () = (Domain.DLS.get source) ()

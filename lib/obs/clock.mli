@@ -4,7 +4,11 @@
     handle on simulated time; the cluster installs its engine's clock
     here at construction so spans and samples can be stamped without
     threading a time argument through every layer.  Purely advisory:
-    simulation semantics never read this clock. *)
+    simulation semantics never read this clock.
+
+    The source is domain-local: each domain of a parallel run installs
+    its own simulation's clock, so concurrent clusters do not observe
+    each other's time. *)
 
 val set_source : (unit -> float) -> unit
 (** Install the current simulation's clock (typically

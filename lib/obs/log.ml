@@ -30,7 +30,16 @@ let level () = !current
 
 let enabled l = int_of_level l <= int_of_level !current
 
-let emit s = Printf.eprintf "[dfs] %s\n%!" s
+(* Serialize writes so lines from parallel workers never interleave
+   mid-line.  (Ordering across domains is still scheduler-dependent;
+   only stdout table output is required to be deterministic.) *)
+let emit_lock = Mutex.create ()
+
+let emit s =
+  Mutex.lock emit_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock emit_lock)
+    (fun () -> Printf.eprintf "[dfs] %s\n%!" s)
 
 let error fmt = Printf.ksprintf emit fmt
 

@@ -11,45 +11,85 @@ let hi_decade = 12
 
 let n_buckets = (hi_decade - lo_decade) * buckets_per_decade
 
-type counter = { c_name : string; mutable c_value : int }
+(* Counters and histograms are bumped from every simulated hot path, and
+   the pipeline runs one simulation per domain — so each metric keeps one
+   unsynchronized shard per domain, found through a domain-local slot.  A
+   bump is a DLS read plus a plain field update (no locks, no atomics on
+   the hot path); readers merge the shards, taking the metric's mutex
+   only to walk the shard list.  Shards of finished domains stay on the
+   list, so their contributions survive the domain. *)
+
+type counter_shard = { mutable cs_value : int }
+
+type counter = {
+  c_name : string;
+  c_lock : Mutex.t;  (* guards c_shards *)
+  mutable c_shards : counter_shard list;
+  c_slot : counter_shard option Domain.DLS.key;
+}
 
 type gauge = { g_name : string; mutable g_value : float }
+(* Gauges are set, not accumulated, so sharding them would be
+   meaningless; a set is a single (atomic on 64-bit) float store and the
+   last writer wins.  Every gauge in the pipeline is either written from
+   one domain or has a per-run name, so there is no contention to
+   resolve. *)
+
+type hist_shard = {
+  hs_buckets : int array;
+  mutable hs_zeros : int;  (* observations <= 0 *)
+  mutable hs_count : int;
+  mutable hs_sum : float;
+  mutable hs_min : float;
+  mutable hs_max : float;
+}
 
 type histogram = {
   h_name : string;
-  buckets : int array;
-  mutable h_zeros : int;  (* observations <= 0 *)
-  mutable h_count : int;
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
+  h_lock : Mutex.t;  (* guards h_shards *)
+  mutable h_shards : hist_shard list;
+  h_slot : hist_shard option Domain.DLS.key;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-type t = { tbl : (string, metric) Hashtbl.t }
+type t = { tbl : (string, metric) Hashtbl.t; lock : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
 let default = create ()
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Registration is rare (module init, phase boundaries) but may now
+   happen from worker domains, so it serializes on the registry lock. *)
 let register registry name make cast kind =
-  match Hashtbl.find_opt registry.tbl name with
-  | Some m -> (
-    match cast m with
-    | Some v -> v
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Dfs_obs.Metrics: %S already registered as a non-%s"
-           name kind))
-  | None ->
-    let v = make () in
-    v
+  with_lock registry.lock (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some m -> (
+        match cast m with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Dfs_obs.Metrics: %S already registered as a non-%s" name kind))
+      | None ->
+        let v = make () in
+        v)
 
 let counter ?(registry = default) name =
   register registry name
     (fun () ->
-      let c = { c_name = name; c_value = 0 } in
+      let c =
+        {
+          c_name = name;
+          c_lock = Mutex.create ();
+          c_shards = [];
+          c_slot = Domain.DLS.new_key (fun () -> None);
+        }
+      in
       Hashtbl.replace registry.tbl name (Counter c);
       c)
     (function Counter c -> Some c | _ -> None)
@@ -64,18 +104,25 @@ let gauge ?(registry = default) name =
     (function Gauge g -> Some g | _ -> None)
     "gauge"
 
+let fresh_hist_shard () =
+  {
+    hs_buckets = Array.make n_buckets 0;
+    hs_zeros = 0;
+    hs_count = 0;
+    hs_sum = 0.0;
+    hs_min = infinity;
+    hs_max = neg_infinity;
+  }
+
 let histogram ?(registry = default) name =
   register registry name
     (fun () ->
       let h =
         {
           h_name = name;
-          buckets = Array.make n_buckets 0;
-          h_zeros = 0;
-          h_count = 0;
-          h_sum = 0.0;
-          h_min = infinity;
-          h_max = neg_infinity;
+          h_lock = Mutex.create ();
+          h_shards = [];
+          h_slot = Domain.DLS.new_key (fun () -> None);
         }
       in
       Hashtbl.replace registry.tbl name (Histogram h);
@@ -85,11 +132,26 @@ let histogram ?(registry = default) name =
 
 (* -- counters -------------------------------------------------------------- *)
 
-let incr c = c.c_value <- c.c_value + 1
+let counter_shard c =
+  match Domain.DLS.get c.c_slot with
+  | Some s -> s
+  | None ->
+    let s = { cs_value = 0 } in
+    with_lock c.c_lock (fun () -> c.c_shards <- s :: c.c_shards);
+    Domain.DLS.set c.c_slot (Some s);
+    s
 
-let add c n = c.c_value <- c.c_value + n
+let incr c =
+  let s = counter_shard c in
+  s.cs_value <- s.cs_value + 1
 
-let value c = c.c_value
+let add c n =
+  let s = counter_shard c in
+  s.cs_value <- s.cs_value + n
+
+let value c =
+  with_lock c.c_lock (fun () ->
+      List.fold_left (fun acc s -> acc + s.cs_value) 0 c.c_shards)
 
 let counter_name c = c.c_name
 
@@ -115,39 +177,77 @@ let bucket_mid i =
     ((float_of_int (i + (lo_decade * buckets_per_decade)) +. 0.5)
     /. float_of_int buckets_per_decade)
 
+let hist_shard h =
+  match Domain.DLS.get h.h_slot with
+  | Some s -> s
+  | None ->
+    let s = fresh_hist_shard () in
+    with_lock h.h_lock (fun () -> h.h_shards <- s :: h.h_shards);
+    Domain.DLS.set h.h_slot (Some s);
+    s
+
 let observe h v =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  if v > 0.0 then h.buckets.(bucket_index v) <- h.buckets.(bucket_index v) + 1
-  else h.h_zeros <- h.h_zeros + 1
+  let s = hist_shard h in
+  s.hs_count <- s.hs_count + 1;
+  s.hs_sum <- s.hs_sum +. v;
+  if v < s.hs_min then s.hs_min <- v;
+  if v > s.hs_max then s.hs_max <- v;
+  if v > 0.0 then s.hs_buckets.(bucket_index v) <- s.hs_buckets.(bucket_index v) + 1
+  else s.hs_zeros <- s.hs_zeros + 1
 
-let hist_count h = h.h_count
+(* Merge every shard into a fresh snapshot; all read paths go through
+   this, so they see a consistent (if slightly stale) view. *)
+let merged h =
+  let m = fresh_hist_shard () in
+  with_lock h.h_lock (fun () ->
+      List.iter
+        (fun s ->
+          Array.iteri
+            (fun i n -> m.hs_buckets.(i) <- m.hs_buckets.(i) + n)
+            s.hs_buckets;
+          m.hs_zeros <- m.hs_zeros + s.hs_zeros;
+          m.hs_count <- m.hs_count + s.hs_count;
+          m.hs_sum <- m.hs_sum +. s.hs_sum;
+          if s.hs_min < m.hs_min then m.hs_min <- s.hs_min;
+          if s.hs_max > m.hs_max then m.hs_max <- s.hs_max)
+        h.h_shards);
+  m
 
-let hist_sum h = h.h_sum
+let shard_count s = s.hs_count
 
-let hist_mean h =
-  if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+let shard_sum s = s.hs_sum
 
-let hist_min h = if h.h_count = 0 then 0.0 else h.h_min
+let shard_mean s =
+  if s.hs_count = 0 then 0.0 else s.hs_sum /. float_of_int s.hs_count
 
-let hist_max h = if h.h_count = 0 then 0.0 else h.h_max
+let shard_min s = if s.hs_count = 0 then 0.0 else s.hs_min
+
+let shard_max s = if s.hs_count = 0 then 0.0 else s.hs_max
+
+let hist_count h = shard_count (merged h)
+
+let hist_sum h = shard_sum (merged h)
+
+let hist_mean h = shard_mean (merged h)
+
+let hist_min h = shard_min (merged h)
+
+let hist_max h = shard_max (merged h)
 
 let hist_name h = h.h_name
 
-let quantile h p =
-  if h.h_count = 0 then 0.0
+let shard_quantile s p =
+  if s.hs_count = 0 then 0.0
   else begin
     let p = Float.max 0.0 (Float.min 1.0 p) in
-    let target = p *. float_of_int h.h_count in
-    if float_of_int h.h_zeros >= target then 0.0
+    let target = p *. float_of_int s.hs_count in
+    if float_of_int s.hs_zeros >= target then 0.0
     else begin
-      let seen = ref (float_of_int h.h_zeros) in
-      let result = ref h.h_max in
+      let seen = ref (float_of_int s.hs_zeros) in
+      let result = ref s.hs_max in
       (try
          for i = 0 to n_buckets - 1 do
-           seen := !seen +. float_of_int h.buckets.(i);
+           seen := !seen +. float_of_int s.hs_buckets.(i);
            if !seen >= target then begin
              result := bucket_mid i;
              raise Exit
@@ -155,48 +255,59 @@ let quantile h p =
          done
        with Exit -> ());
       (* never report outside the observed range *)
-      Float.max h.h_min (Float.min h.h_max !result)
+      Float.max s.hs_min (Float.min s.hs_max !result)
     end
   end
 
+let quantile h p = shard_quantile (merged h) p
+
 (* -- registry-wide operations ---------------------------------------------- *)
 
+let reset_metric = function
+  | Counter c ->
+    with_lock c.c_lock (fun () ->
+        List.iter (fun s -> s.cs_value <- 0) c.c_shards)
+  | Gauge g -> g.g_value <- 0.0
+  | Histogram h ->
+    with_lock h.h_lock (fun () ->
+        List.iter
+          (fun s ->
+            Array.fill s.hs_buckets 0 n_buckets 0;
+            s.hs_zeros <- 0;
+            s.hs_count <- 0;
+            s.hs_sum <- 0.0;
+            s.hs_min <- infinity;
+            s.hs_max <- neg_infinity)
+          h.h_shards)
+
 let reset ?(registry = default) () =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
-      | Histogram h ->
-        Array.fill h.buckets 0 n_buckets 0;
-        h.h_zeros <- 0;
-        h.h_count <- 0;
-        h.h_sum <- 0.0;
-        h.h_min <- infinity;
-        h.h_max <- neg_infinity)
-    registry.tbl
+  with_lock registry.lock (fun () ->
+      Hashtbl.iter (fun _ m -> reset_metric m) registry.tbl)
 
 let names ?(registry = default) () =
-  Hashtbl.fold (fun name _ acc -> name :: acc) registry.tbl []
+  with_lock registry.lock (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) registry.tbl [])
   |> List.sort String.compare
 
-let find ?(registry = default) name = Hashtbl.find_opt registry.tbl name
+let find ?(registry = default) name =
+  with_lock registry.lock (fun () -> Hashtbl.find_opt registry.tbl name)
 
 let hist_json h =
+  let s = merged h in
   Json.Obj
     [
-      ("count", Json.Int h.h_count);
-      ("sum", Json.Float h.h_sum);
-      ("mean", Json.Float (hist_mean h));
-      ("min", Json.Float (hist_min h));
-      ("max", Json.Float (hist_max h));
-      ("p50", Json.Float (quantile h 0.50));
-      ("p90", Json.Float (quantile h 0.90));
-      ("p99", Json.Float (quantile h 0.99));
+      ("count", Json.Int s.hs_count);
+      ("sum", Json.Float s.hs_sum);
+      ("mean", Json.Float (shard_mean s));
+      ("min", Json.Float (shard_min s));
+      ("max", Json.Float (shard_max s));
+      ("p50", Json.Float (shard_quantile s 0.50));
+      ("p90", Json.Float (shard_quantile s 0.90));
+      ("p99", Json.Float (shard_quantile s 0.99));
     ]
 
 let metric_json = function
-  | Counter c -> Json.Int c.c_value
+  | Counter c -> Json.Int (value c)
   | Gauge g -> Json.Float g.g_value
   | Histogram h -> hist_json h
 
@@ -204,23 +315,27 @@ let to_json ?(registry = default) () =
   Json.Obj
     (List.map
        (fun name ->
-         (name, metric_json (Hashtbl.find registry.tbl name)))
+         let m = with_lock registry.lock (fun () -> Hashtbl.find registry.tbl name) in
+         (name, metric_json m))
        (names ~registry ()))
 
 let render_text ?(registry = default) () =
   let buf = Buffer.create 1024 in
   List.iter
     (fun name ->
-      match Hashtbl.find registry.tbl name with
-      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-44s %d\n" name c.c_value)
+      let m = with_lock registry.lock (fun () -> Hashtbl.find registry.tbl name) in
+      match m with
+      | Counter c ->
+        Buffer.add_string buf (Printf.sprintf "%-44s %d\n" name (value c))
       | Gauge g ->
         Buffer.add_string buf (Printf.sprintf "%-44s %.6g\n" name g.g_value)
       | Histogram h ->
+        let s = merged h in
         Buffer.add_string buf
           (Printf.sprintf
              "%-44s count %d  mean %.4g  p50 %.4g  p90 %.4g  p99 %.4g  max \
               %.4g\n"
-             name h.h_count (hist_mean h) (quantile h 0.50) (quantile h 0.90)
-             (quantile h 0.99) (hist_max h)))
+             name s.hs_count (shard_mean s) (shard_quantile s 0.50)
+             (shard_quantile s 0.90) (shard_quantile s 0.99) (shard_max s)))
     (names ~registry ());
   Buffer.contents buf

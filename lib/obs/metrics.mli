@@ -11,7 +11,15 @@
     Metrics live in a registry; most callers use the process-wide
     {!default}.  Registration is idempotent: asking for an existing name
     returns the existing metric (registering the same name as a
-    different kind raises [Invalid_argument]). *)
+    different kind raises [Invalid_argument]).
+
+    The registry is domain-safe: counters and histograms are sharded
+    per domain (a bump touches only the calling domain's shard, with no
+    synchronization on the hot path) and read operations merge the
+    shards, so concurrent simulations on a {!Dfs_util.Pool} accumulate
+    without losing updates.  Gauges are last-writer-wins; parallel
+    phases use per-run gauge names.  Registration and reads take a lock
+    and may be called from any domain. *)
 
 type counter
 

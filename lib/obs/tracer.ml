@@ -11,6 +11,10 @@ type t = {
   mutable cap : int;
   mutable buf : span array;  (* ring; valid entries are the last [added] *)
   mutable added : int;  (* total spans ever recorded *)
+  lock : Mutex.t;
+      (* The ring is process-global state shared by parallel workers;
+         [add] is disabled-checked before locking, so tracing off (the
+         hot-path default) costs one load. *)
 }
 
 let dummy = { cat = ""; name = ""; t0 = 0.0; dur = 0.0; attrs = [] }
@@ -19,7 +23,7 @@ let default_capacity = 65536
 
 let create ?(capacity = default_capacity) () =
   let cap = max 1 capacity in
-  { enabled = false; cap; buf = [||]; added = 0 }
+  { enabled = false; cap; buf = [||]; added = 0; lock = Mutex.create () }
 
 let default = create ()
 
@@ -37,9 +41,11 @@ let clear t =
 
 let add t span =
   if t.enabled then begin
+    Mutex.lock t.lock;
     if Array.length t.buf = 0 then t.buf <- Array.make t.cap dummy;
     t.buf.(t.added mod t.cap) <- span;
-    t.added <- t.added + 1
+    t.added <- t.added + 1;
+    Mutex.unlock t.lock
   end
 
 let added t = t.added

@@ -238,6 +238,8 @@ let server_traces t =
 let merged_trace t =
   Dfs_trace.Merge.scrub ~self_users (Dfs_trace.Merge.merge (server_traces t))
 
+let merged_trace_array t = Array.of_list (merged_trace t)
+
 let total_traffic t =
   Array.fold_left
     (fun acc c -> Traffic.merge acc (Client.traffic c))

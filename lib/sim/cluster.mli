@@ -62,6 +62,10 @@ val server_traces : t -> Dfs_trace.Record.t list list
 val merged_trace : t -> Dfs_trace.Record.t list
 (** The merged, scrubbed, time-ordered trace the analyses consume. *)
 
+val merged_trace_array : t -> Dfs_trace.Record.t array
+(** Same records as {!merged_trace}, in the dense form the analyses
+    consume. *)
+
 val total_traffic : t -> Traffic.t
 (** Sum of all clients' raw traffic taps. *)
 

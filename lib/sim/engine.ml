@@ -3,6 +3,9 @@ type event = {
   seq : int;  (* FIFO tie-break for simultaneous events *)
   action : unit -> unit;
   mutable cancelled : bool;
+  mutable in_heap : bool;
+      (* Still queued, so a cancellation should count against the heap's
+         cancelled-pending total; cleared on pop and on compaction. *)
 }
 
 module Event_order = struct
@@ -20,6 +23,12 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable executed : int;
+  mutable cancelled_pending : int;
+      (* Cancelled events still sitting in the heap.  Lazy deletion is
+         cheap until a workload cancels most of what it schedules (e.g.
+         timeouts that almost always get cut short); once more than half
+         the queue is dead weight we compact in place rather than let
+         pops and pushes churn O(log dead) forever. *)
 }
 
 type handle = event
@@ -30,15 +39,26 @@ let m_scheduled = Dfs_obs.Metrics.counter "sim.engine.scheduled"
 
 let m_cancelled = Dfs_obs.Metrics.counter "sim.engine.cancelled"
 
+let m_compactions = Dfs_obs.Metrics.counter "sim.engine.compactions"
+
 let m_queue_depth = Dfs_obs.Metrics.histogram "sim.engine.queue_depth"
 
-let create () = { heap = H.create (); clock = 0.0; next_seq = 0; executed = 0 }
+let create () =
+  {
+    heap = H.create ();
+    clock = 0.0;
+    next_seq = 0;
+    executed = 0;
+    cancelled_pending = 0;
+  }
 
 let now t = t.clock
 
 let schedule t ~at action =
   assert (at >= t.clock);
-  let ev = { time = at; seq = t.next_seq; action; cancelled = false } in
+  let ev =
+    { time = at; seq = t.next_seq; action; cancelled = false; in_heap = true }
+  in
   t.next_seq <- t.next_seq + 1;
   H.push t.heap ev;
   Dfs_obs.Metrics.incr m_scheduled;
@@ -48,9 +68,38 @@ let schedule_in t ~delay action =
   assert (delay >= 0.0);
   schedule t ~at:(t.clock +. delay) action
 
-let cancel ev =
-  if not ev.cancelled then Dfs_obs.Metrics.incr m_cancelled;
-  ev.cancelled <- true
+let pending t = H.length t.heap
+
+let live_pending t = H.length t.heap - t.cancelled_pending
+
+(* Compact only when the dead fraction dominates and the heap is big
+   enough for the O(n) sweep to pay for itself. *)
+let compaction_threshold = 64
+
+let maybe_compact t =
+  if
+    t.cancelled_pending >= compaction_threshold
+    && 2 * t.cancelled_pending > H.length t.heap
+  then begin
+    H.filter_in_place t.heap (fun ev ->
+        if ev.cancelled then begin
+          ev.in_heap <- false;
+          false
+        end
+        else true);
+    t.cancelled_pending <- 0;
+    Dfs_obs.Metrics.incr m_compactions
+  end
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    Dfs_obs.Metrics.incr m_cancelled;
+    if ev.in_heap then begin
+      t.cancelled_pending <- t.cancelled_pending + 1;
+      maybe_compact t
+    end
+  end
 
 let every t ~interval ?start action =
   assert (interval > 0.0);
@@ -69,7 +118,9 @@ let run_until t horizon =
     | Some ev when ev.time > horizon -> continue := false
     | Some _ ->
       let ev = H.pop_exn t.heap in
-      if not ev.cancelled then begin
+      ev.in_heap <- false;
+      if ev.cancelled then t.cancelled_pending <- t.cancelled_pending - 1
+      else begin
         t.clock <- ev.time;
         t.executed <- t.executed + 1;
         Dfs_obs.Metrics.incr m_events;
@@ -83,8 +134,6 @@ let run_until t horizon =
   done;
   if horizon > t.clock then t.clock <- horizon
 
-let pending t = H.length t.heap
-
 let events_executed t = t.executed
 
 (* -- processes via effects ------------------------------------------------ *)
@@ -93,21 +142,23 @@ type _ Effect.t += Sleep : (t * float) -> unit Effect.t
 
 (* [sleep] needs the engine; it is passed through a per-process environment
    installed by [spawn] in a stack discipline, so nested engines (used by
-   some tests) stay isolated. *)
-let current_engine : t option ref = ref None
+   some tests) stay isolated.  The slot is domain-local so engines running
+   concurrently on a pool never see each other's processes. *)
+let current_engine : t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let sleep d =
-  match !current_engine with
+  match Domain.DLS.get current_engine with
   | None -> invalid_arg "Engine.sleep: called outside a spawned process"
   | Some eng -> Effect.perform (Sleep (eng, Float.max 0.0 d))
 
 let spawn t ?at f =
   let open Effect.Deep in
   let run () =
-    let saved = !current_engine in
-    current_engine := Some t;
+    let saved = Domain.DLS.get current_engine in
+    Domain.DLS.set current_engine (Some t);
     Fun.protect
-      ~finally:(fun () -> current_engine := saved)
+      ~finally:(fun () -> Domain.DLS.set current_engine saved)
       (fun () ->
         match_with f ()
           {
@@ -121,10 +172,11 @@ let spawn t ?at f =
                     (fun (k : (a, _) continuation) ->
                       ignore
                         (schedule_in eng ~delay:d (fun () ->
-                             let saved = !current_engine in
-                             current_engine := Some eng;
+                             let saved = Domain.DLS.get current_engine in
+                             Domain.DLS.set current_engine (Some eng);
                              Fun.protect
-                               ~finally:(fun () -> current_engine := saved)
+                               ~finally:(fun () ->
+                                 Domain.DLS.set current_engine saved)
                                (fun () -> continue k ()))))
                 | _ -> None);
           })

@@ -22,8 +22,10 @@ val schedule : t -> at:float -> (unit -> unit) -> handle
 val schedule_in : t -> delay:float -> (unit -> unit) -> handle
 (** Requires [delay >= 0]. *)
 
-val cancel : handle -> unit
-(** Idempotent; a cancelled event's callback never runs. *)
+val cancel : t -> handle -> unit
+(** Idempotent; a cancelled event's callback never runs.  Cancelled
+    events are deleted lazily, but once they outnumber live events the
+    queue is compacted in place, so heap depth tracks live work. *)
 
 val every : t -> interval:float -> ?start:float -> (unit -> unit) -> unit
 (** Periodic callback, first firing at [start] (default: [interval] from
@@ -34,6 +36,12 @@ val run_until : t -> float -> unit
     event is later than the given horizon. Time is left at the horizon. *)
 
 val pending : t -> int
+(** Events still queued, including cancelled ones awaiting lazy
+    deletion. *)
+
+val live_pending : t -> int
+(** Events still queued that will actually run ([pending] minus the
+    cancelled ones not yet swept). *)
 
 val events_executed : t -> int
 (** Events actually run (cancelled events excluded) — the engine's own

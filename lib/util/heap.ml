@@ -77,6 +77,22 @@ module Make (Elt : ORDERED) = struct
     t.data <- [||];
     t.size <- 0
 
+  (* Keep only the elements satisfying [pred], then restore the heap
+     property bottom-up (Floyd heapify) — O(n), no allocation beyond the
+     closure. *)
+  let filter_in_place t pred =
+    let kept = ref 0 in
+    for i = 0 to t.size - 1 do
+      if pred t.data.(i) then begin
+        t.data.(!kept) <- t.data.(i);
+        incr kept
+      end
+    done;
+    t.size <- !kept;
+    for i = (t.size / 2) - 1 downto 0 do
+      sift_down t i
+    done
+
   let to_sorted_list t =
     let rec go acc = match pop t with None -> List.rev acc | Some x -> go (x :: acc) in
     go []

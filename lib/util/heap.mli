@@ -29,6 +29,11 @@ module Make (Elt : ORDERED) : sig
 
   val clear : t -> unit
 
+  val filter_in_place : t -> (Elt.t -> bool) -> unit
+  (** Drop every element that fails the predicate and re-establish the
+      heap property, in place and in O(n).  Used by the engine to purge
+      cancelled events. *)
+
   val to_sorted_list : t -> Elt.t list
   (** Drains the heap. *)
 end

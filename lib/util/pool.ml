@@ -1,0 +1,58 @@
+type t = { jobs : int }
+
+let default_jobs () =
+  match Sys.getenv_opt "DFS_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  { jobs }
+
+let jobs t = t.jobs
+
+(* True while the current domain is executing a pool task; set in both
+   the parallel and the sequential path so nested use fails the same way
+   regardless of DFS_JOBS. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let reject_nested () =
+  if Domain.DLS.get in_task then
+    invalid_arg "Dfs_util.Pool.map: nested use (map called from inside a task)"
+
+let run_task f x =
+  Domain.DLS.set in_task true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false) (fun () -> f x)
+
+let map_seq f xs = List.map (fun x -> run_task f x) xs
+
+let map pool f xs =
+  reject_nested ();
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let workers = min pool.jobs n in
+  if n = 0 then []
+  else if workers <= 1 then map_seq f xs
+  else begin
+    let results : _ option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match run_task f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+      done
+    in
+    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    Array.iteri (fun _ -> function Some e -> raise e | None -> ()) errors;
+    Array.to_list (Array.map Option.get results)
+  end

@@ -1,0 +1,42 @@
+(** A fixed-size domain pool for embarrassingly parallel batches.
+
+    The reproduce pipeline is a handful of coarse, independent jobs
+    (simulate eight preset traces; render sixteen table/figure passes),
+    so the pool is deliberately work-stealing-free: tasks are claimed
+    from a single atomic cursor in submission order and results are
+    joined back {e in input order}, which makes [map] deterministic —
+    parallel and sequential executions of the same pure tasks return the
+    same list.
+
+    Worker domains are spawned per [map] call and joined before it
+    returns; for the seconds-long jobs this pool exists for, domain
+    startup (~30 us) is noise, and never parking idle domains keeps the
+    process single-threaded outside explicit parallel sections. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [DFS_JOBS] environment variable when set to a positive integer,
+    else [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] caps the number of domains a [map] may use (clamped to at
+    least 1); defaults to {!default_jobs}. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs], using up to
+    [jobs pool] domains, and returns the results in input order.
+
+    If one or more applications raise, the exception of the {e earliest}
+    input element is re-raised after all workers have joined (so the
+    choice of exception is deterministic too).
+
+    Nested use is rejected: calling [map] from inside a task raises
+    [Invalid_argument] rather than deadlocking or oversubscribing — the
+    pipeline parallelizes at one level at a time.
+
+    With [jobs pool = 1] (or a single task) everything runs in the
+    calling domain, with no domains spawned: [DFS_JOBS=1] gives the
+    exact sequential execution. *)

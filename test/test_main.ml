@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dfs-repro"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("cache", Test_cache.suite);

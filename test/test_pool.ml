@@ -1,0 +1,157 @@
+(* The domain pool, the sharded metrics registry, and the end-to-end
+   determinism guarantee: a parallel dataset must be byte-identical to a
+   sequential one. *)
+
+module Pool = Dfs_util.Pool
+module Metrics = Dfs_obs.Metrics
+
+(* -- pool semantics ----------------------------------------------------------- *)
+
+let test_map_preserves_order () =
+  let pool = Pool.create ~jobs:4 () in
+  let xs = List.init 50 Fun.id in
+  let ys = Pool.map pool (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "squares in input order"
+    (List.map (fun x -> x * x) xs)
+    ys
+
+let test_map_matches_sequential () =
+  let xs = List.init 37 (fun i -> i * 3) in
+  let f x = (x * 7) mod 13 in
+  let seq = Pool.map (Pool.create ~jobs:1 ()) f xs in
+  let par = Pool.map (Pool.create ~jobs:4 ()) f xs in
+  Alcotest.(check (list int)) "jobs=4 equals jobs=1" seq par
+
+let test_map_empty_and_singleton () =
+  let pool = Pool.create ~jobs:4 () in
+  Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map pool (fun x -> x * 3) [ 3 ])
+
+exception Boom of int
+
+let test_exception_propagates_earliest () =
+  let pool = Pool.create ~jobs:4 () in
+  (* several tasks raise; the earliest input's exception must win,
+     deterministically, however the domains interleave *)
+  let got =
+    try
+      ignore
+        (Pool.map pool
+           (fun x -> if x mod 3 = 0 then raise (Boom x) else x)
+           [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]);
+      None
+    with Boom n -> Some n
+  in
+  Alcotest.(check (option int)) "earliest failing input" (Some 3) got
+
+let test_nested_use_rejected () =
+  let pool = Pool.create ~jobs:2 () in
+  let nested_failed =
+    Pool.map pool
+      (fun () ->
+        match Pool.map pool (fun x -> x) [ 1 ] with
+        | _ -> false
+        | exception Invalid_argument _ -> true)
+      [ (); () ]
+  in
+  Alcotest.(check (list bool)) "both tasks rejected" [ true; true ] nested_failed
+
+let test_jobs_clamped () =
+  Alcotest.(check int) "jobs >= 1" 1 (Pool.jobs (Pool.create ~jobs:0 ()))
+
+(* -- sharded metrics ---------------------------------------------------------- *)
+
+let test_counter_shards_sum_across_domains () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg "pool.test.counter" in
+  let n_domains = 4 and per_domain = 10_000 in
+  let domains =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no lost updates" (n_domains * per_domain)
+    (Metrics.value c)
+
+let test_histogram_shards_merge_across_domains () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg "pool.test.hist" in
+  let n_domains = 4 and per_domain = 1_000 in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Metrics.observe h (float_of_int ((d * per_domain) + i))
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "merged count" (n_domains * per_domain)
+    (Metrics.hist_count h);
+  Alcotest.(check (float 1e-6)) "merged min" 1.0 (Metrics.hist_min h);
+  Alcotest.(check (float 1e-6)) "merged max"
+    (float_of_int (n_domains * per_domain))
+    (Metrics.hist_max h)
+
+let test_counter_visible_from_spawning_domain () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg "pool.test.mixed" in
+  Metrics.incr c;
+  Domain.join (Domain.spawn (fun () -> Metrics.add c 5));
+  Metrics.incr c;
+  Alcotest.(check int) "main shard + worker shard" 7 (Metrics.value c)
+
+(* -- parallel-vs-sequential determinism --------------------------------------- *)
+
+(* Two presets at a small scale; the merged traces and the Table 1
+   statistics must be structurally identical whatever DFS_JOBS is. *)
+let test_dataset_deterministic_across_jobs () =
+  let generate jobs =
+    Dfs_core.Dataset.generate ~scale:0.004 ~traces:[ 1; 2 ] ~jobs ()
+  in
+  let seq = generate 1 and par = generate 4 in
+  List.iter2
+    (fun (a : Dfs_core.Dataset.run) (b : Dfs_core.Dataset.run) ->
+      Alcotest.(check string) "preset order" a.preset.name b.preset.name;
+      Alcotest.(check int) "trace length" (Array.length a.trace)
+        (Array.length b.trace);
+      Alcotest.(check bool) "identical merged traces" true (a.trace = b.trace);
+      let sa = Dfs_analysis.Trace_stats.of_trace a.trace in
+      let sb = Dfs_analysis.Trace_stats.of_trace b.trace in
+      Alcotest.(check bool) "identical trace stats" true (sa = sb))
+    seq.runs par.runs
+
+let test_dataset_sessions_memoized () =
+  let ds = Dfs_core.Dataset.generate ~scale:0.004 ~traces:[ 1 ] ~jobs:1 () in
+  let run = List.hd ds.runs in
+  let a = Dfs_core.Dataset.sessions run in
+  let b = Dfs_core.Dataset.sessions run in
+  Alcotest.(check bool) "same (physically shared) reconstruction" true (a == b);
+  Alcotest.(check bool) "non-empty" true (a <> [])
+
+let suite =
+  [
+    Alcotest.test_case "pool: map preserves order" `Quick
+      test_map_preserves_order;
+    Alcotest.test_case "pool: parallel equals sequential" `Quick
+      test_map_matches_sequential;
+    Alcotest.test_case "pool: empty and singleton" `Quick
+      test_map_empty_and_singleton;
+    Alcotest.test_case "pool: earliest exception wins" `Quick
+      test_exception_propagates_earliest;
+    Alcotest.test_case "pool: nested use rejected" `Quick
+      test_nested_use_rejected;
+    Alcotest.test_case "pool: jobs clamped to 1" `Quick test_jobs_clamped;
+    Alcotest.test_case "metrics: counter shards sum" `Quick
+      test_counter_shards_sum_across_domains;
+    Alcotest.test_case "metrics: histogram shards merge" `Quick
+      test_histogram_shards_merge_across_domains;
+    Alcotest.test_case "metrics: cross-domain visibility" `Quick
+      test_counter_visible_from_spawning_domain;
+    Alcotest.test_case "dataset: jobs=1 equals jobs=4" `Slow
+      test_dataset_deterministic_across_jobs;
+    Alcotest.test_case "dataset: sessions memoized" `Quick
+      test_dataset_sessions_memoized;
+  ]

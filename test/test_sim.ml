@@ -34,9 +34,38 @@ let test_engine_cancel () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule e ~at:1.0 (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run_until e 2.0;
   Alcotest.(check bool) "cancelled" false !fired
+
+let test_engine_cancel_compacts_queue () =
+  (* A timeout-heavy workload: schedule 1000, cancel all but 10.  Lazy
+     deletion alone would leave the queue at 1000 until the horizon;
+     compaction must keep the heap tracking live work instead. *)
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let handles =
+    List.init 1000 (fun i ->
+        Engine.schedule e ~at:(float_of_int (i + 1)) (fun () -> incr fired))
+  in
+  List.iteri (fun i h -> if i >= 10 then Engine.cancel e h) handles;
+  Alcotest.(check int) "live events tracked" 10 (Engine.live_pending e);
+  Alcotest.(check bool)
+    (Printf.sprintf "queue compacted (pending %d)" (Engine.pending e))
+    true
+    (Engine.pending e < 100);
+  Engine.run_until e 2000.0;
+  Alcotest.(check int) "only live events ran" 10 !fired;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_engine_cancel_idempotent_counts () =
+  let e = Engine.create () in
+  let h = Engine.schedule e ~at:1.0 (fun () -> ()) in
+  Engine.cancel e h;
+  Engine.cancel e h;
+  Alcotest.(check int) "counted once" 0 (Engine.live_pending e);
+  Engine.run_until e 2.0;
+  Alcotest.(check int) "empty after run" 0 (Engine.pending e)
 
 let test_engine_fifo_ties () =
   let e = Engine.create () in
@@ -505,6 +534,8 @@ let suite =
     ("engine event order", `Quick, test_engine_event_order);
     ("engine horizon", `Quick, test_engine_horizon);
     ("engine cancel", `Quick, test_engine_cancel);
+    ("engine cancel compacts queue", `Quick, test_engine_cancel_compacts_queue);
+    ("engine cancel idempotent", `Quick, test_engine_cancel_idempotent_counts);
     ("engine FIFO ties", `Quick, test_engine_fifo_ties);
     ("engine every", `Quick, test_engine_every);
     ("engine nested scheduling", `Quick, test_engine_schedule_during_run);

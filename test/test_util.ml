@@ -273,6 +273,16 @@ let test_heap_duplicates () =
   List.iter (IH.push h) [ 2; 2; 1; 1 ];
   Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2 ] (IH.to_sorted_list h)
 
+let test_heap_filter_in_place () =
+  let h = IH.create () in
+  List.iter (IH.push h) [ 9; 4; 7; 1; 8; 2; 6; 3; 5; 0 ];
+  IH.filter_in_place h (fun x -> x mod 2 = 0);
+  Alcotest.(check int) "evens kept" 5 (IH.length h);
+  Alcotest.(check (list int)) "heap order survives" [ 0; 2; 4; 6; 8 ]
+    (IH.to_sorted_list h);
+  IH.filter_in_place h (fun _ -> false);
+  Alcotest.(check bool) "filter-all empties" true (IH.is_empty h)
+
 (* -- Lru ------------------------------------------------------------------- *)
 
 module IL = Lru.Make (struct
@@ -553,6 +563,7 @@ let suite =
     ("heap peek/pop", `Quick, test_heap_peek_pop);
     ("heap pop_exn", `Quick, test_heap_pop_exn);
     ("heap duplicates", `Quick, test_heap_duplicates);
+    ("heap filter_in_place", `Quick, test_heap_filter_in_place);
     ("lru order", `Quick, test_lru_order);
     ("lru pop", `Quick, test_lru_pop);
     ("lru replace", `Quick, test_lru_replace);

@@ -206,7 +206,7 @@ let test_app_compile_reads_and_writes () =
   let ctx = make_ctx cluster in
   run_app cluster (fun () -> Apps.compile ctx ~host:0 ~migrated:false);
   let trace = Cluster.merged_trace cluster in
-  let accesses = Dfs_analysis.Session.of_trace trace in
+  let accesses = Dfs_analysis.Session.of_trace (Array.of_list trace) in
   let reads =
     List.exists (fun (a : Dfs_analysis.Session.access) -> a.a_bytes_read > 0) accesses
   in
@@ -244,7 +244,7 @@ let test_app_big_sim_big_reads () =
   let ctx = { (make_ctx cluster) with group = Params.Architecture } in
   run_app cluster (fun () -> Apps.big_sim ctx);
   let trace = Cluster.merged_trace cluster in
-  let accesses = Dfs_analysis.Session.of_trace trace in
+  let accesses = Dfs_analysis.Session.of_trace (Array.of_list trace) in
   let biggest =
     List.fold_left
       (fun acc (a : Dfs_analysis.Session.access) -> max acc a.a_bytes_read)
