@@ -57,15 +57,32 @@ let reproduce pool ds =
 let bench_out () =
   Option.value ~default:"BENCH_run.json" (Sys.getenv_opt "BENCH_OUT")
 
-let write_run_report ~scale ~jobs ~sim_wall ~analysis_wall ~experiments
+(* DFS_FAULTS=light|heavy runs the whole bench under fault injection;
+   the profile name lands in the run report so telemetry from chaos runs
+   is never mistaken for a clean baseline. *)
+let fault_profile () =
+  match Sys.getenv_opt "DFS_FAULTS" with
+  | None | Some "" | Some "none" -> None
+  | Some name ->
+    (match Dfs_fault.Profile.of_name name with
+    | Some p when not (Dfs_fault.Profile.is_none p) -> Some p
+    | Some _ -> None
+    | None -> failwith (Printf.sprintf "DFS_FAULTS: unknown profile %S" name))
+
+let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall ~experiments
     ~total_wall =
   let module J = Dfs_obs.Json in
   let report =
     J.Obj
       [
-        ("schema", J.String "dfs-bench-run/2");
+        ("schema", J.String "dfs-bench-run/3");
         ("scale", J.Float scale);
         ("jobs", J.Int jobs);
+        ( "faults",
+          J.String
+            (match faults with
+            | Some p -> Dfs_fault.Profile.name p
+            | None -> "none") );
         ( "phases",
           J.Obj
             [
@@ -305,9 +322,10 @@ let ablation_local_paging () =
 let () =
   let t0 = Unix.gettimeofday () in
   let pool = Dfs_util.Pool.create () in
+  let faults = fault_profile () in
   let ds =
     Dfs_core.Dataset.generate ~scale:(scale ()) ~jobs:(Dfs_util.Pool.jobs pool)
-      ()
+      ?faults ()
   in
   let sim_wall = Unix.gettimeofday () -. t0 in
   Dfs_obs.Log.info "dataset ready in %.1fs on %d domain(s)" sim_wall
@@ -341,6 +359,6 @@ let () =
   ablation_lfs_crossover ds;
   let total_wall = Unix.gettimeofday () -. t0 in
   write_run_report ~scale:ds.Dfs_core.Dataset.scale
-    ~jobs:(Dfs_util.Pool.jobs pool) ~sim_wall ~analysis_wall
+    ~jobs:(Dfs_util.Pool.jobs pool) ~faults ~sim_wall ~analysis_wall
     ~experiments:experiment_walls ~total_wall;
   Dfs_obs.Log.info "total wall time %.1fs" total_wall

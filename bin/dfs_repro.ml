@@ -26,6 +26,57 @@ let traces_arg =
     & opt (list int) [ 1; 2; 3; 4; 5; 6; 7; 8 ]
     & info [ "traces" ] ~docv:"N,..." ~doc)
 
+(* -- fault injection ------------------------------------------------------- *)
+
+let faults_arg =
+  let doc =
+    "Fault-injection profile: $(b,none) (default), $(b,light) (MTTF 6 h), or \
+     $(b,heavy) (crash-heavy, MTTF 10 min). Server crashes destroy \
+     delayed-write data inside the 30-second window; reboots trigger \
+     Sprite-style stateful recovery."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PROFILE" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed for the fault schedule (independent of the workload seed, so the \
+     same workload can be replayed under different failure histories)."
+  in
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"N" ~doc)
+
+let fault_profile faults fault_seed =
+  match faults with
+  | None -> None
+  | Some name ->
+    (match Dfs_fault.Profile.of_name name with
+    | Some p ->
+      let p =
+        match fault_seed with
+        | Some s -> Dfs_fault.Profile.with_seed p s
+        | None -> p
+      in
+      if Dfs_fault.Profile.is_none p then None else Some p
+    | None ->
+      Dfs_obs.Log.error "unknown fault profile %S (valid: none, light, heavy)"
+        name;
+      exit 1)
+
+(* The recovery-stats table, printed after any dataset command that ran
+   with faults enabled. *)
+let print_recovery_stats (ds : Dfs_core.Dataset.t) =
+  let named =
+    List.filter_map
+      (fun (r : Dfs_core.Dataset.run) ->
+        Option.map
+          (fun inj -> (r.preset.name, Dfs_fault.Injector.stats inj))
+          (Dfs_sim.Cluster.faults r.cluster))
+      ds.runs
+  in
+  if named <> [] then
+    Format.printf "=== recovery: server crashes & delayed-write loss ===@.%a@."
+      Dfs_analysis.Recovery_stats.pp
+      (Dfs_analysis.Recovery_stats.analyze named)
+
 (* -- observability plumbing ------------------------------------------------ *)
 
 let verbosity_term =
@@ -92,8 +143,8 @@ let with_obs ~metrics_out ~trace_out f =
     trace_out;
   result
 
-let make_dataset scale traces jobs =
-  Dfs_core.Dataset.generate ?scale ~traces ?jobs ()
+let make_dataset ?faults scale traces jobs =
+  Dfs_core.Dataset.generate ?scale ~traces ?jobs ?faults ()
 
 (* -- list ------------------------------------------------------------------ *)
 
@@ -114,7 +165,7 @@ let experiment_cmd =
     let doc = "Experiment ids (table1..table12, fig1..fig4)." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run () ids scale traces jobs metrics_out trace_out =
+  let run () ids scale traces jobs faults fault_seed metrics_out trace_out =
     let unknown =
       List.filter (fun id -> Dfs_core.Experiment.find id = None) ids
     in
@@ -125,37 +176,45 @@ let experiment_cmd =
       exit 1
     end;
     with_obs ~metrics_out ~trace_out (fun () ->
-        let ds = make_dataset scale traces jobs in
+        let ds =
+          make_dataset ?faults:(fault_profile faults fault_seed) scale traces
+            jobs
+        in
         List.iter
           (fun id ->
             match Dfs_core.Experiment.find id with
             | Some e ->
               Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds)
             | None -> ())
-          ids)
+          ids;
+        print_recovery_stats ds)
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
     Term.(
       const run $ verbosity_term $ ids_arg $ scale_arg $ traces_arg $ jobs_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ faults_arg $ fault_seed_arg $ metrics_out_arg $ trace_out_arg)
 
 (* -- all ----------------------------------------------------------------------- *)
 
 let all_cmd =
-  let run () scale traces jobs metrics_out trace_out =
+  let run () scale traces jobs faults fault_seed metrics_out trace_out =
     with_obs ~metrics_out ~trace_out (fun () ->
-        let ds = make_dataset scale traces jobs in
+        let ds =
+          make_dataset ?faults:(fault_profile faults fault_seed) scale traces
+            jobs
+        in
         List.iter
           (fun (e : Dfs_core.Experiment.t) ->
             Printf.printf "=== %s: %s ===\n%s\n" e.id e.title (e.run ds))
-          Dfs_core.Experiment.all)
+          Dfs_core.Experiment.all;
+        print_recovery_stats ds)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure")
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ faults_arg $ fault_seed_arg $ metrics_out_arg $ trace_out_arg)
 
 (* -- facts -------------------------------------------------------------------- *)
 
@@ -164,11 +223,18 @@ let facts_cmd =
     let doc = "Emit the scorecard as a markdown table (for EXPERIMENTS.md)." in
     Arg.(value & flag & info [ "markdown" ] ~doc)
   in
-  let run () scale traces jobs markdown metrics_out trace_out =
+  let run () scale traces jobs faults fault_seed markdown metrics_out trace_out
+      =
     with_obs ~metrics_out ~trace_out (fun () ->
-        let ds = make_dataset scale traces jobs in
+        let ds =
+          make_dataset ?faults:(fault_profile faults fault_seed) scale traces
+            jobs
+        in
         if markdown then print_string (Dfs_core.Claims.markdown ds)
-        else print_string (Dfs_core.Claims.scorecard ds))
+        else begin
+          print_string (Dfs_core.Claims.scorecard ds);
+          print_recovery_stats ds
+        end)
   in
   Cmd.v
     (Cmd.info "facts"
@@ -176,7 +242,8 @@ let facts_cmd =
          "Check the paper's headline findings (the prose claims) against           the simulation")
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
-      $ markdown_arg $ metrics_out_arg $ trace_out_arg)
+      $ faults_arg $ fault_seed_arg $ markdown_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* -- simulate ------------------------------------------------------------------- *)
 
@@ -259,9 +326,14 @@ let analyze_cmd =
 (* -- stats ------------------------------------------------------------------------ *)
 
 let stats_cmd =
-  let run () n scale metrics_out trace_out =
+  let run () n scale faults fault_seed metrics_out trace_out =
     with_obs ~metrics_out ~trace_out (fun () ->
         let preset = scaled_preset n scale in
+        let preset =
+          match fault_profile faults fault_seed with
+          | Some p -> Dfs_workload.Presets.with_faults preset p
+          | None -> preset
+        in
         Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
           (preset.duration /. 3600.0);
         let t0 = Unix.gettimeofday () in
@@ -276,7 +348,14 @@ let stats_cmd =
           (float_of_int (Dfs_sim.Engine.events_executed engine)
           /. Float.max 1e-9 wall);
         Printf.printf "\n== %s: simulator metrics ==\n" preset.name;
-        print_string (Dfs_obs.Metrics.render_text ()))
+        print_string (Dfs_obs.Metrics.render_text ());
+        Option.iter
+          (fun inj ->
+            Format.printf "@.== %s: crash recovery ==@.%a@." preset.name
+              Dfs_analysis.Recovery_stats.pp
+              (Dfs_analysis.Recovery_stats.analyze
+                 [ (preset.name, Dfs_fault.Injector.stats inj) ]))
+          (Dfs_sim.Cluster.faults cluster))
   in
   Cmd.v
     (Cmd.info "stats"
@@ -285,8 +364,8 @@ let stats_cmd =
           (engine, network, disk, cache, consistency counters and latency \
           quantiles)")
     Term.(
-      const run $ verbosity_term $ trace_n_arg $ scale_arg $ metrics_out_arg
-      $ trace_out_arg)
+      const run $ verbosity_term $ trace_n_arg $ scale_arg $ faults_arg
+      $ fault_seed_arg $ metrics_out_arg $ trace_out_arg)
 
 let main =
   let doc =

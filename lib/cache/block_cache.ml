@@ -453,6 +453,35 @@ let flush_and_invalidate t ~now ~file =
 
 let delete t ~now ~file = invalidate t ~now ~file
 
+let dirty_bytes t =
+  Hashtbl.fold
+    (fun fid _ acc ->
+      match Hashtbl.find_opt t.files fid with
+      | None -> acc
+      | Some tbl ->
+        Hashtbl.fold
+          (fun _ b acc -> if b.dirty then acc + b.dirty_high else acc)
+          tbl acc)
+    t.dirty_files 0
+
+let dirty_file_ids t =
+  List.sort compare (Hashtbl.fold (fun fid _ acc -> fid :: acc) t.dirty_files [])
+
+let crash t ~now =
+  ignore now;
+  let lost = dirty_bytes t in
+  (* Volatile memory is gone: every block leaves, dirty data silently.
+     The loss is NOT counted as [dirty_bytes_discarded] — that stat is
+     the paper's deleted-before-writeback {e saving}; crash loss is the
+     delayed-write {e cost} and is accounted by the fault injector. *)
+  let all =
+    Hashtbl.fold
+      (fun _ tbl acc -> Hashtbl.fold (fun _ b acc -> b :: acc) tbl acc)
+      t.files []
+  in
+  List.iter (fun b -> drop_block t b ~discard_dirty:false) all;
+  lost
+
 let tick t ~now =
   (* Any file with a block dirty for [writeback_delay] has ALL its dirty
      blocks written back — Sprite's policy.  [dirty_files.earliest] is a

@@ -117,6 +117,22 @@ val delete : t -> now:float -> file:Dfs_trace.Ids.File.t -> unit
 val tick : t -> now:float -> unit
 (** The delayed-write daemon: call every few seconds of simulated time. *)
 
+(** {1 Crash support} *)
+
+val dirty_bytes : t -> int
+(** Dirty bytes currently exposed to the delayed-write loss window (the
+    sum of the writeback extents of all dirty blocks). *)
+
+val dirty_file_ids : t -> int list
+(** Ids of files with at least one dirty block, sorted ascending (a
+    deterministic order for recovery replay). *)
+
+val crash : t -> now:float -> int
+(** Simulate power loss: drop every block without writing anything back
+    and return the dirty bytes destroyed.  The loss is not added to
+    [dirty_bytes_discarded] (that stat counts delete-before-writeback
+    savings); callers account it as delayed-write loss. *)
+
 (** {1 Capacity negotiation} *)
 
 val capacity : t -> int

@@ -25,8 +25,13 @@ let default_scale () =
   | Some ("1" | "true" | "yes") -> 1.0
   | Some _ | None -> 0.05
 
-let simulate_preset ~scale n =
+let simulate_preset ~scale ~faults n =
   let preset = Presets.scaled (Presets.trace n) ~factor:scale in
+  let preset =
+    match faults with
+    | None -> preset
+    | Some profile -> Presets.with_faults preset profile
+  in
   Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
     (preset.duration /. 3600.0);
   let t0 = Unix.gettimeofday () in
@@ -47,14 +52,15 @@ let simulate_preset ~scale n =
     memo = { lock = Mutex.create (); accesses = None };
   }
 
-let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs () =
+let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults () =
   let scale = match scale with Some s -> s | None -> default_scale () in
   let pool = Dfs_util.Pool.create ?jobs () in
   let t_start = Unix.gettimeofday () in
-  (* Each preset seeds its own RNG and builds its own cluster, so the
-     simulations are independent; [Pool.map] returns them in preset
+  (* Each preset seeds its own RNG and builds its own cluster (and, with
+     faults on, its own injector seeded only by the fault profile), so
+     the simulations are independent; [Pool.map] returns them in preset
      order, making the parallel dataset byte-identical to DFS_JOBS=1. *)
-  let runs = Dfs_util.Pool.map pool (simulate_preset ~scale) traces in
+  let runs = Dfs_util.Pool.map pool (simulate_preset ~scale ~faults) traces in
   Dfs_obs.Metrics.set
     (Dfs_obs.Metrics.gauge "phase.dataset.wall_s")
     (Unix.gettimeofday () -. t_start);

@@ -22,11 +22,18 @@ type run = {
 
 type t = { scale : float; jobs : int; runs : run list }
 
-val generate : ?scale:float -> ?traces:int list -> ?jobs:int -> unit -> t
+val generate :
+  ?scale:float ->
+  ?traces:int list ->
+  ?jobs:int ->
+  ?faults:Dfs_fault.Profile.t ->
+  unit ->
+  t
 (** [traces] selects which of the eight presets to run (default: all).
     [scale] defaults to {!default_scale}.  [jobs] caps the domains used
     (default: {!Dfs_util.Pool.default_jobs}, i.e. [DFS_JOBS] or the
-    machine's core count).  Progress is reported through {!Dfs_obs.Log}
+    machine's core count).  [faults] enables fault injection on every
+    preset (default: none).  Progress is reported through {!Dfs_obs.Log}
     (so [DFS_LOG=quiet] silences it), and per-preset wall times land in
     the default metrics registry as [phase.sim.<name>.wall_s] gauges. *)
 

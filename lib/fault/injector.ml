@@ -1,0 +1,216 @@
+module Rng = Dfs_util.Rng
+
+type stats = {
+  mutable crashes : int;
+  mutable reboots : int;
+  mutable downtime_s : float;
+  mutable lost_bytes : int;
+  mutable partitions : int;
+  mutable rpc_retries : int;
+  mutable rpc_drops : int;
+  mutable rpc_stall_s : float;
+  mutable disk_errors : int;
+  mutable recovery_rpcs : int;
+  mutable offline_queued_bytes : int;
+  mutable replayed_bytes : int;
+}
+
+type pending_writeback = { pw_file : int; pw_index : int; pw_bytes : int }
+
+type t = {
+  prof : Profile.t;
+  sched : Schedule.t;
+  rng : Rng.t;  (* drop / disk-error draws only; never the workload's *)
+  queues : pending_writeback Queue.t array;
+  mutable queued : int array;  (* bytes parked per server *)
+  st : stats;
+}
+
+let m_crashes = Dfs_obs.Metrics.counter "sim.fault.crashes"
+
+let m_reboots = Dfs_obs.Metrics.counter "sim.fault.reboots"
+
+let m_lost = Dfs_obs.Metrics.counter "sim.fault.lost_bytes"
+
+let m_partitions = Dfs_obs.Metrics.counter "sim.fault.partitions"
+
+let m_retries = Dfs_obs.Metrics.counter "sim.fault.rpc_retries"
+
+let m_drops = Dfs_obs.Metrics.counter "sim.fault.rpc_drops"
+
+let m_disk_errors = Dfs_obs.Metrics.counter "sim.fault.disk_errors"
+
+let m_recovery = Dfs_obs.Metrics.counter "sim.fault.recovery_rpcs"
+
+let m_queued = Dfs_obs.Metrics.counter "sim.fault.offline_queued_bytes"
+
+let m_replayed = Dfs_obs.Metrics.counter "sim.fault.replayed_writeback_bytes"
+
+let m_at_risk = Dfs_obs.Metrics.gauge "sim.fault.bytes_at_risk"
+
+let m_outage = Dfs_obs.Metrics.histogram "sim.fault.outage_s"
+
+let m_lost_per_crash = Dfs_obs.Metrics.histogram "sim.fault.lost_bytes_per_crash"
+
+let m_stall = Dfs_obs.Metrics.histogram "sim.fault.rpc_stall_s"
+
+let create ~profile ~n_servers ~horizon =
+  {
+    prof = profile;
+    sched = Schedule.generate ~profile ~n_servers ~horizon;
+    rng = Rng.create ((profile.Profile.seed * 48271) lxor 0xfa117);
+    queues = Array.init n_servers (fun _ -> Queue.create ());
+    queued = Array.make n_servers 0;
+    st =
+      {
+        crashes = 0;
+        reboots = 0;
+        downtime_s = 0.0;
+        lost_bytes = 0;
+        partitions = 0;
+        rpc_retries = 0;
+        rpc_drops = 0;
+        rpc_stall_s = 0.0;
+        disk_errors = 0;
+        recovery_rpcs = 0;
+        offline_queued_bytes = 0;
+        replayed_bytes = 0;
+      };
+  }
+
+let profile t = t.prof
+
+let schedule t = t.sched
+
+let stats t = t.st
+
+let span ~now ~name ~dur attrs =
+  if Dfs_obs.Tracer.active () then
+    Dfs_obs.Tracer.emit ~cat:"fault" ~name ~t0:now ~dur ~attrs ()
+
+(* -- data-path queries ----------------------------------------------------- *)
+
+let unreachable_until t ~server ~now =
+  let until = ref neg_infinity in
+  (match Schedule.server_down t.sched ~server ~now with
+  | Some w -> until := w.Schedule.up_at
+  | None -> ());
+  (match Schedule.partitioned t.sched ~now with
+  | Some w -> if w.Schedule.up_at > !until then until := w.Schedule.up_at
+  | None -> ());
+  if !until > now then Some !until else None
+
+let server_down t ~server ~now = unreachable_until t ~server ~now <> None
+
+(* The client retries on a timeout that doubles up to the profile
+   ceiling; it only notices the server is back on the retry that first
+   lands after the outage ends, so the charged stall is the cumulative
+   backoff that first reaches past [remaining]. Deterministic — no
+   randomness needed for the outage path. *)
+let backoff_stall (p : Profile.t) ~remaining =
+  let rec go acc step n =
+    if acc >= remaining then (acc, n)
+    else go (acc +. step) (Float.min (2.0 *. step) p.rpc_backoff_max) (n + 1)
+  in
+  go 0.0 p.rpc_timeout 0
+
+let max_drop_retries = 8
+
+let rpc_delay t ~server ~now =
+  match unreachable_until t ~server ~now with
+  | Some until ->
+    let stall, retries = backoff_stall t.prof ~remaining:(until -. now) in
+    t.st.rpc_retries <- t.st.rpc_retries + retries;
+    t.st.rpc_stall_s <- t.st.rpc_stall_s +. stall;
+    Dfs_obs.Metrics.add m_retries retries;
+    Dfs_obs.Metrics.observe m_stall stall;
+    span ~now ~name:"rpc-stall" ~dur:stall
+      [ ("server", Dfs_obs.Json.Int server);
+        ("retries", Dfs_obs.Json.Int retries) ];
+    stall
+  | None ->
+    if t.prof.rpc_drop_prob <= 0.0 then 0.0
+    else begin
+      (* Packet loss: geometric number of retransmissions, each costing
+         the current (doubling) timeout. *)
+      let rec go step acc n =
+        if n >= max_drop_retries then acc
+        else if Rng.bernoulli t.rng t.prof.rpc_drop_prob then begin
+          t.st.rpc_drops <- t.st.rpc_drops + 1;
+          t.st.rpc_retries <- t.st.rpc_retries + 1;
+          Dfs_obs.Metrics.incr m_drops;
+          Dfs_obs.Metrics.incr m_retries;
+          go (Float.min (2.0 *. step) t.prof.rpc_backoff_max) (acc +. step)
+            (n + 1)
+        end
+        else acc
+      in
+      let stall = go t.prof.rpc_timeout 0.0 0 in
+      if stall > 0.0 then begin
+        t.st.rpc_stall_s <- t.st.rpc_stall_s +. stall;
+        Dfs_obs.Metrics.observe m_stall stall
+      end;
+      stall
+    end
+
+let disk_penalty t =
+  if t.prof.disk_error_prob <= 0.0 then 0.0
+  else if Rng.bernoulli t.rng t.prof.disk_error_prob then begin
+    t.st.disk_errors <- t.st.disk_errors + 1;
+    Dfs_obs.Metrics.incr m_disk_errors;
+    t.prof.disk_error_penalty
+  end
+  else 0.0
+
+(* -- crash / recovery bookkeeping ------------------------------------------ *)
+
+let note_crash t ~server ~now ~duration ~lost_bytes =
+  t.st.crashes <- t.st.crashes + 1;
+  t.st.downtime_s <- t.st.downtime_s +. duration;
+  t.st.lost_bytes <- t.st.lost_bytes + lost_bytes;
+  Dfs_obs.Metrics.incr m_crashes;
+  Dfs_obs.Metrics.add m_lost lost_bytes;
+  Dfs_obs.Metrics.observe m_outage duration;
+  Dfs_obs.Metrics.observe m_lost_per_crash (float_of_int lost_bytes);
+  span ~now ~name:"crash" ~dur:duration
+    [ ("server", Dfs_obs.Json.Int server);
+      ("lost_bytes", Dfs_obs.Json.Int lost_bytes) ]
+
+let note_reboot t ~server ~now =
+  t.st.reboots <- t.st.reboots + 1;
+  Dfs_obs.Metrics.incr m_reboots;
+  span ~now ~name:"reboot" ~dur:0.0 [ ("server", Dfs_obs.Json.Int server) ]
+
+let note_partition t ~now ~duration =
+  t.st.partitions <- t.st.partitions + 1;
+  Dfs_obs.Metrics.incr m_partitions;
+  span ~now ~name:"partition" ~dur:duration []
+
+let note_recovery_rpcs t n =
+  t.st.recovery_rpcs <- t.st.recovery_rpcs + n;
+  Dfs_obs.Metrics.add m_recovery n
+
+let set_bytes_at_risk t bytes =
+  ignore t;
+  Dfs_obs.Metrics.set m_at_risk (float_of_int bytes)
+
+(* -- offline writeback queue ----------------------------------------------- *)
+
+let queue_writeback t ~server ~file ~index ~bytes =
+  Queue.add { pw_file = file; pw_index = index; pw_bytes = bytes }
+    t.queues.(server);
+  t.queued.(server) <- t.queued.(server) + bytes;
+  t.st.offline_queued_bytes <- t.st.offline_queued_bytes + bytes;
+  Dfs_obs.Metrics.add m_queued bytes
+
+let drain_writebacks t ~server f =
+  let q = t.queues.(server) in
+  while not (Queue.is_empty q) do
+    let { pw_file; pw_index; pw_bytes } = Queue.pop q in
+    t.st.replayed_bytes <- t.st.replayed_bytes + pw_bytes;
+    Dfs_obs.Metrics.add m_replayed pw_bytes;
+    f ~file:pw_file ~index:pw_index ~bytes:pw_bytes
+  done;
+  t.queued.(server) <- 0
+
+let queued_bytes t ~server = t.queued.(server)

@@ -1,0 +1,80 @@
+(** Runtime fault injection: the mutable counterpart of a {!Schedule}.
+
+    One injector serves one cluster.  It answers "is this server
+    reachable right now?", charges RPC timeout/retry/backoff delays,
+    draws per-RPC drop and per-I/O disk-error outcomes from its own RNG
+    stream (never the workload's, so enabling faults does not perturb
+    the workload), holds the offline queue of writebacks addressed to a
+    down server, and accumulates the recovery statistics that
+    {!Dfs_analysis.Recovery_stats} renders.
+
+    All draws happen in engine-execution order inside a single cluster,
+    so runs are deterministic for a fixed profile seed. *)
+
+type stats = {
+  mutable crashes : int;
+  mutable reboots : int;
+  mutable downtime_s : float;  (** summed outage durations *)
+  mutable lost_bytes : int;
+      (** dirty delayed-write bytes destroyed by crashes *)
+  mutable partitions : int;
+  mutable rpc_retries : int;  (** retransmissions, all causes *)
+  mutable rpc_drops : int;  (** retransmissions caused by packet loss *)
+  mutable rpc_stall_s : float;  (** client time spent waiting on retries *)
+  mutable disk_errors : int;
+  mutable recovery_rpcs : int;
+      (** re-registrations and state-replay RPCs after reboots *)
+  mutable offline_queued_bytes : int;
+      (** writeback bytes parked client-side while a server was down *)
+  mutable replayed_bytes : int;  (** offline bytes delivered after reboot *)
+}
+
+type t
+
+val create : profile:Profile.t -> n_servers:int -> horizon:float -> t
+
+val profile : t -> Profile.t
+
+val schedule : t -> Schedule.t
+
+val stats : t -> stats
+
+(** {1 Data-path queries} *)
+
+val server_down : t -> server:int -> now:float -> bool
+(** Down or unreachable behind a partition. *)
+
+val rpc_delay : t -> server:int -> now:float -> float
+(** Extra latency this RPC suffers: [0] in the common case; the
+    timeout/backoff stall until the server is reachable again when it is
+    down or partitioned; one-or-more retransmission timeouts when the
+    packet-loss draw fires.  Updates retry counters. *)
+
+val disk_penalty : t -> float
+(** Extra service time for one disk I/O ([0] or the profile's transient
+    error penalty). *)
+
+(** {1 Crash / recovery bookkeeping} *)
+
+val note_crash : t -> server:int -> now:float -> duration:float -> lost_bytes:int -> unit
+
+val note_reboot : t -> server:int -> now:float -> unit
+
+val note_partition : t -> now:float -> duration:float -> unit
+
+val note_recovery_rpcs : t -> int -> unit
+
+val set_bytes_at_risk : t -> int -> unit
+(** Refresh the [sim.fault.bytes_at_risk] gauge (dirty bytes currently
+    exposed to the delayed-write loss window). *)
+
+(** {1 Offline writeback queue} *)
+
+val queue_writeback : t -> server:int -> file:int -> index:int -> bytes:int -> unit
+
+val drain_writebacks :
+  t -> server:int -> (file:int -> index:int -> bytes:int -> unit) -> unit
+(** Replay queued writebacks in FIFO order and account them as
+    replayed. *)
+
+val queued_bytes : t -> server:int -> int

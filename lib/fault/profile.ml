@@ -1,0 +1,70 @@
+type t = {
+  seed : int;
+  server_mttf : float;
+  server_mttr : float;
+  rpc_drop_prob : float;
+  partition_mtbf : float;
+  partition_mttr : float;
+  disk_error_prob : float;
+  disk_error_penalty : float;
+  rpc_timeout : float;
+  rpc_backoff_max : float;
+}
+
+let none =
+  {
+    seed = 0;
+    server_mttf = infinity;
+    server_mttr = 0.0;
+    rpc_drop_prob = 0.0;
+    partition_mtbf = infinity;
+    partition_mttr = 0.0;
+    disk_error_prob = 0.0;
+    disk_error_penalty = 0.050;
+    rpc_timeout = 0.5;
+    rpc_backoff_max = 30.0;
+  }
+
+let light =
+  {
+    none with
+    seed = 1;
+    server_mttf = 6.0 *. 3600.0;
+    server_mttr = 120.0;
+    rpc_drop_prob = 1e-4;
+    partition_mtbf = 12.0 *. 3600.0;
+    partition_mttr = 30.0;
+    disk_error_prob = 1e-4;
+  }
+
+let crash_heavy =
+  {
+    none with
+    seed = 1;
+    server_mttf = 600.0;
+    server_mttr = 60.0;
+    rpc_drop_prob = 1e-3;
+    partition_mtbf = 2.0 *. 3600.0;
+    partition_mttr = 45.0;
+    disk_error_prob = 1e-3;
+  }
+
+let is_none p =
+  (not (Float.is_finite p.server_mttf))
+  && (not (Float.is_finite p.partition_mtbf))
+  && p.rpc_drop_prob <= 0.0
+  && p.disk_error_prob <= 0.0
+
+let name p =
+  if is_none p then "none"
+  else if p = { light with seed = p.seed } then "light"
+  else if p = { crash_heavy with seed = p.seed } then "heavy"
+  else "custom"
+
+let of_name = function
+  | "none" -> Some none
+  | "light" -> Some light
+  | "heavy" | "crash-heavy" -> Some crash_heavy
+  | _ -> None
+
+let with_seed p seed = { p with seed }

@@ -1,0 +1,51 @@
+(** A fault profile: the knobs of the fault-injection subsystem.
+
+    A profile is plain data; combined with a seed it fully determines the
+    fault schedule (see {!Schedule}), so two runs with the same profile
+    see byte-identical failures regardless of [DFS_JOBS].  The paper's
+    Sprite deployment had real server crashes (Section 2 mentions the
+    recovery storms that follow a reboot) and its 30-second delayed-write
+    policy explicitly accepts losing up to 30 s of dirty data in one —
+    the [crash_heavy] profile exists to measure exactly that trade. *)
+
+type t = {
+  seed : int;  (** root of every fault-schedule RNG stream *)
+  server_mttf : float;
+      (** mean time between server failures, seconds; [infinity] = never *)
+  server_mttr : float;  (** mean outage duration, seconds *)
+  rpc_drop_prob : float;  (** per-RPC probability of a lost packet *)
+  partition_mtbf : float;
+      (** mean time between network partitions; [infinity] = never *)
+  partition_mttr : float;  (** mean partition duration, seconds *)
+  disk_error_prob : float;  (** per-I/O probability of a transient error *)
+  disk_error_penalty : float;
+      (** extra service time per transient disk error (retry + recalibrate) *)
+  rpc_timeout : float;  (** client RPC timeout before the first retry *)
+  rpc_backoff_max : float;  (** retry interval ceiling, seconds *)
+}
+
+val none : t
+(** No faults at all; the simulator behaves exactly as without this
+    subsystem. *)
+
+val light : t
+(** Rare failures: roughly one server crash per simulated day across the
+    cluster, occasional dropped RPCs and transient disk errors. *)
+
+val crash_heavy : t
+(** The chaos profile: MTTF of ten simulated minutes per server, so even
+    short scaled runs see several crashes (and measurable delayed-write
+    loss). *)
+
+val is_none : t -> bool
+(** [true] when the profile can never produce a fault — used to skip
+    building an injector entirely. *)
+
+val name : t -> string
+(** ["none"], ["light"], ["heavy"], or ["custom"]. *)
+
+val of_name : string -> t option
+(** Accepts ["none"], ["light"], ["heavy"] (and the alias
+    ["crash-heavy"]). *)
+
+val with_seed : t -> int -> t

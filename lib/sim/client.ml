@@ -389,6 +389,45 @@ let swap_in_process t ~cred ~fraction =
         ~fraction);
   finish_op t 0.0
 
+(* -- crash recovery ----------------------------------------------------------- *)
+
+let recover t ~server =
+  (* Sprite stateful recovery: on noticing the reboot the client
+     re-registers, then replays its per-server state so the server can
+     rebuild its open table and last-writer map.  Replay order is sorted
+     by file id — a deterministic order independent of hash-table
+     iteration.  Returns (total RPC latency, RPC count) — the client's
+     contribution to the recovery storm. *)
+  let sid = Server.id server in
+  let latency = ref (Server.recover_register server ~client:t.cid) in
+  let rpcs = ref 1 in
+  let fds =
+    File.Tbl.fold (fun _ l acc -> List.rev_append !l acc) t.open_fd_table []
+    |> List.filter (fun fd ->
+           Dfs_trace.Ids.Server.equal fd.f_info.Fs_state.server sid)
+    |> List.sort (fun a b ->
+           compare (File.to_int a.f_info.id) (File.to_int b.f_info.id))
+  in
+  List.iter
+    (fun fd ->
+      latency :=
+        !latency
+        +. Server.recover_open server ~client:t.cid ~file:fd.f_info.id
+             ~mode:fd.f_mode;
+      incr rpcs)
+    fds;
+  List.iter
+    (fun fid ->
+      let file = File.of_int fid in
+      match Fs_state.find t.fs file with
+      | Some info when Dfs_trace.Ids.Server.equal info.server sid ->
+        latency :=
+          !latency +. Server.recover_dirty server ~client:t.cid ~file;
+        incr rpcs
+      | Some _ | None -> ())
+    (Bc.dirty_file_ids t.cache);
+  (!latency, !rpcs)
+
 (* -- housekeeping ------------------------------------------------------------ *)
 
 let tick t ~now = Bc.tick t.cache ~now

@@ -112,6 +112,14 @@ val swap_out_process : t -> cred:Cred.t -> fraction:float -> unit
 
 val swap_in_process : t -> cred:Cred.t -> fraction:float -> unit
 
+(** {1 Crash recovery} *)
+
+val recover : t -> server:Server.t -> float * int
+(** Replay this client's state to a freshly rebooted server (Sprite's
+    stateful recovery): re-register, then replay every open fd and every
+    dirty file that lives on that server, in file-id order.  Returns the
+    total RPC latency and the number of recovery RPCs issued. *)
+
 (** {1 Housekeeping} *)
 
 val tick : t -> now:float -> unit

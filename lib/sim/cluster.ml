@@ -14,7 +14,12 @@ type config = {
   memory_adjust_interval : float;
   counter_interval : float;
   simulate_infrastructure : bool;
+  fault_profile : Dfs_fault.Profile.t;
 }
+
+(* Fault windows are generated eagerly out to this horizon; runs longer
+   than this see no further injected faults. *)
+let fault_horizon = 7.0 *. 86400.0
 
 let default_config =
   {
@@ -30,6 +35,7 @@ let default_config =
     memory_adjust_interval = 10.0;
     counter_interval = 60.0;
     simulate_infrastructure = true;
+    fault_profile = Dfs_fault.Profile.none;
   }
 
 let daemon_user = Ids.User.of_int 9000
@@ -48,6 +54,7 @@ type t = {
   clients : Client.t array;
   counters : Counters.t;
   logs : Record.t list ref array;  (* newest first, one per server *)
+  faults : Dfs_fault.Injector.t option;
   mutable next_infra_pid : int;
 }
 
@@ -68,6 +75,8 @@ let servers t = t.servers
 let client t i = t.clients.(i)
 
 let counters t = t.counters
+
+let faults t = t.faults
 
 (* -- infrastructure traffic (to be scrubbed, as in the paper) ------------- *)
 
@@ -159,11 +168,19 @@ let create cfg =
   let fs = Fs_state.create ~n_servers:cfg.n_servers ~rng:(Dfs_util.Rng.split rng) () in
   let network = Network.create ~config:cfg.network_config () in
   let logs = Array.init cfg.n_servers (fun _ -> ref []) in
+  let faults =
+    if Dfs_fault.Profile.is_none cfg.fault_profile then None
+    else
+      Some
+        (Dfs_fault.Injector.create ~profile:cfg.fault_profile
+           ~n_servers:cfg.n_servers ~horizon:fault_horizon)
+  in
   let servers =
     Array.init cfg.n_servers (fun i ->
         Server.create ~id:(Ids.Server.of_int i) ~config:cfg.server_config ~fs
           ~network
           ~log:(fun r -> logs.(i) := r :: !(logs.(i)))
+          ?faults:(Option.map (fun inj -> (inj, i)) faults)
           ())
   in
   let server_of sid = servers.(Ids.Server.to_int sid) in
@@ -197,9 +214,59 @@ let create cfg =
       clients;
       counters = Counters.create ();
       logs;
+      faults;
       next_infra_pid = 0;
     }
   in
+  (* -- fault wiring: crashes, reboots, the recovery storm ------------------ *)
+  let last_reboot = ref neg_infinity in
+  (match faults with
+  | None -> ()
+  | Some inj ->
+    let sched = Dfs_fault.Injector.schedule inj in
+    Array.iteri
+      (fun i server ->
+        List.iter
+          (fun (w : Dfs_fault.Schedule.window) ->
+            Engine.at engine w.down_at (fun () ->
+                let lost = Server.crash server ~now:w.down_at in
+                Dfs_fault.Injector.note_crash inj ~server:i ~now:w.down_at
+                  ~duration:(w.up_at -. w.down_at) ~lost_bytes:lost);
+            Engine.at engine w.up_at (fun () ->
+                last_reboot := w.up_at;
+                Dfs_fault.Injector.note_reboot inj ~server:i ~now:w.up_at;
+                Server.reboot server ~now:w.up_at;
+                (* The recovery storm: every client replays its state,
+                   staggered by a deterministic per-client offset so the
+                   RPC burst has the shape (and seriality) Sprite's
+                   recovery had. *)
+                Array.iteri
+                  (fun ci c ->
+                    Engine.at engine
+                      (w.up_at +. (0.05 *. float_of_int ci))
+                      (fun () ->
+                        let _lat, rpcs = Client.recover c ~server in
+                        Dfs_fault.Injector.note_recovery_rpcs inj rpcs))
+                  clients))
+          (Dfs_fault.Schedule.server_outages sched i))
+      servers;
+    List.iter
+      (fun (w : Dfs_fault.Schedule.window) ->
+        Engine.at engine w.down_at (fun () ->
+            Dfs_fault.Injector.note_partition inj ~now:w.down_at
+              ~duration:(w.up_at -. w.down_at)))
+      (Dfs_fault.Schedule.partitions sched);
+    (* bytes currently exposed to the delayed-write loss window *)
+    Engine.every engine ~interval:cfg.daemon_interval (fun () ->
+        let dirty acc cache = acc + Bc.dirty_bytes cache in
+        let at_risk =
+          Array.fold_left (fun acc c -> dirty acc (Client.cache c)) 0 clients
+        in
+        let at_risk =
+          Array.fold_left (fun acc s -> dirty acc (Server.cache s)) at_risk
+            servers
+        in
+        Dfs_fault.Injector.set_bytes_at_risk inj at_risk));
   (* housekeeping daemons *)
   Engine.every engine ~interval:cfg.daemon_interval (fun () ->
       let now = Engine.now engine in
@@ -210,6 +277,10 @@ let create cfg =
       Array.iter (fun c -> Client.adjust_memory c ~now) clients);
   Engine.every engine ~interval:cfg.counter_interval (fun () ->
       let now = Engine.now engine in
+      (* A server reboot inside the sampling interval marks every sample
+         of the interval: the paper screened such intervals out of the
+         counter analysis, and Cache_stats does the same. *)
+      let rebooted = now -. !last_reboot < cfg.counter_interval in
       Array.iter
         (fun c ->
           Counters.record t.counters
@@ -222,7 +293,7 @@ let create cfg =
               vm_pages =
                 Dfs_vm.Vm.demand_pages (Client.vm c) ~now;
               active = Client.take_activity c;
-              rebooted = false;
+              rebooted;
             })
         clients);
   Engine.every engine ~interval:60.0 (fun () -> trace_daemon_step t);

@@ -19,6 +19,10 @@ type config = {
   counter_interval : float;  (** kernel-counter sampling period *)
   simulate_infrastructure : bool;
       (** emit trace-daemon and nightly-backup records (to be scrubbed) *)
+  fault_profile : Dfs_fault.Profile.t;
+      (** fault injection; {!Dfs_fault.Profile.none} (the default)
+          disables it entirely and leaves runs byte-identical to a build
+          without the fault subsystem *)
 }
 
 val default_config : config
@@ -53,6 +57,12 @@ val servers : t -> Server.t array
 val client : t -> int -> Client.t
 
 val counters : t -> Counters.t
+
+val faults : t -> Dfs_fault.Injector.t option
+(** The fault injector, when [fault_profile] enables one.  Crash/reboot
+    events for every outage window are scheduled at cluster creation;
+    reboots trigger the recovery storm (each client replays its open and
+    dirty state, staggered deterministically). *)
 
 val run : t -> until:float -> unit
 

@@ -21,17 +21,30 @@ let note op bytes d =
 
 type t = {
   cfg : config;
+  faults : Dfs_fault.Injector.t option;
   mutable reads : int;
   mutable writes : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
 }
 
-let create ?(config = default_config) () =
-  { cfg = config; reads = 0; writes = 0; bytes_read = 0; bytes_written = 0 }
+let create ?(config = default_config) ?faults () =
+  {
+    cfg = config;
+    faults;
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
 
 let service t bytes =
-  t.cfg.access_time +. (float_of_int bytes /. t.cfg.transfer_rate)
+  let penalty =
+    match t.faults with
+    | None -> 0.0
+    | Some inj -> Dfs_fault.Injector.disk_penalty inj
+  in
+  t.cfg.access_time +. (float_of_int bytes /. t.cfg.transfer_rate) +. penalty
 
 let read t ~bytes =
   assert (bytes >= 0);

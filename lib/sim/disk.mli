@@ -10,7 +10,9 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?faults:Dfs_fault.Injector.t -> unit -> t
+(** With [faults], each I/O may suffer a transient-error retry penalty
+    drawn from the injector (added to its service time). *)
 
 val read : t -> bytes:int -> float
 (** Account a disk read; returns its service time. *)

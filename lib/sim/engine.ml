@@ -68,6 +68,8 @@ let schedule_in t ~delay action =
   assert (delay >= 0.0);
   schedule t ~at:(t.clock +. delay) action
 
+let at t time action = ignore (schedule t ~at:(Float.max time t.clock) action)
+
 let pending t = H.length t.heap
 
 let live_pending t = H.length t.heap - t.cancelled_pending

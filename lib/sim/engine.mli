@@ -22,6 +22,11 @@ val schedule : t -> at:float -> (unit -> unit) -> handle
 val schedule_in : t -> delay:float -> (unit -> unit) -> handle
 (** Requires [delay >= 0]. *)
 
+val at : t -> float -> (unit -> unit) -> unit
+(** Fire-and-forget absolute scheduling, clamped to [now t] when the
+    requested time is already past (convenient for wiring precomputed
+    schedules, e.g. fault windows). *)
+
 val cancel : t -> handle -> unit
 (** Idempotent; a cancelled event's callback never runs.  Cancelled
     events are deleted lazily, but once they outnumber live events the

@@ -21,7 +21,8 @@ let create ?(config = default_config) () =
 let config t = t.cfg
 
 let rpc t ~kind ~bytes =
-  assert (bytes >= 0);
+  if bytes < 0 then
+    invalid_arg (Printf.sprintf "Network.rpc: negative bytes (%d)" bytes);
   let n = Option.value ~default:0 (Hashtbl.find_opt t.counts kind) in
   Hashtbl.replace t.counts kind (n + 1);
   t.rpcs <- t.rpcs + 1;

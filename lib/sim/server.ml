@@ -46,6 +46,8 @@ type t = {
   last_writer : Client.t File.Tbl.t;
   backing_files : Fs_state.file_info Client.Tbl.t;
   counters : consistency_counters;
+  faults : (Dfs_fault.Injector.t * int) option;
+      (* the cluster's injector and this server's index in it *)
   mutable pending_disk : float;  (* disk time owed to the current RPC *)
 }
 
@@ -60,8 +62,8 @@ let m_recalls = Dfs_obs.Metrics.counter "sim.server.recalls"
 
 let m_disables = Dfs_obs.Metrics.counter "sim.server.cache_disables"
 
-let create ~id ~(config : config) ~fs ~network ~log () =
-  let disk = Disk.create ~config:config.disk () in
+let create ~id ~(config : config) ~fs ~network ~log ?faults () =
+  let disk = Disk.create ~config:config.disk ?faults:(Option.map fst faults) () in
   let rec t =
     lazy
       {
@@ -95,6 +97,7 @@ let create ~id ~(config : config) ~fs ~network ~log () =
         backing_files = Client.Tbl.create 64;
         counters =
           { file_opens = 0; sharing_opens = 0; recalls = 0; cache_disables = 0 };
+        faults;
         pending_disk = 0.0;
       }
   in
@@ -131,6 +134,19 @@ let naming_rpc t ~kind =
   Traffic.add_read t.traffic Traffic.Other naming_rpc_bytes;
   Network.rpc t.network ~kind ~bytes:naming_rpc_bytes
 
+(* Extra latency the calling client suffers on this RPC when the server
+   is down/partitioned (timeout-retry-backoff until it answers again) or
+   the packet-loss draw fires.  Zero with faults off. *)
+let fault_delay t ~now =
+  match t.faults with
+  | None -> 0.0
+  | Some (inj, idx) -> Dfs_fault.Injector.rpc_delay inj ~server:idx ~now
+
+let is_down t ~now =
+  match t.faults with
+  | None -> false
+  | Some (inj, idx) -> Dfs_fault.Injector.server_down inj ~server:idx ~now
+
 (* -- open/close and the consistency protocol ----------------------------- *)
 
 let open_state t file =
@@ -155,7 +171,7 @@ let distinct_clients state =
 let any_writer state = List.exists (fun o -> o.writers > 0) state.openers
 
 let open_file t ~now ~(cred : Cred.t) ~(info : Fs_state.file_info) ~mode ~created =
-  let latency = ref (naming_rpc t ~kind:"open") in
+  let latency = ref (naming_rpc t ~kind:"open" +. fault_delay t ~now) in
   if not info.is_dir then begin
     t.counters.file_opens <- t.counters.file_opens + 1;
     Dfs_obs.Metrics.incr m_opens;
@@ -234,7 +250,7 @@ let open_file t ~now ~(cred : Cred.t) ~(info : Fs_state.file_info) ~mode ~create
 
 let close_file t ~now ~(cred : Cred.t) ~(info : Fs_state.file_info) ~mode ~final_pos
     ~bytes_read ~bytes_written =
-  let latency = naming_rpc t ~kind:"close" in
+  let latency = naming_rpc t ~kind:"close" +. fault_delay t ~now in
   if not info.is_dir then begin
     (match File.Tbl.find_opt t.open_table info.id with
     | Some state ->
@@ -273,12 +289,12 @@ let close_file t ~now ~(cred : Cred.t) ~(info : Fs_state.file_info) ~mode ~final
 
 let reposition t ~now ~cred ~(info : Fs_state.file_info) ~pos_before ~pos_after
     =
-  let latency = naming_rpc t ~kind:"seek" in
+  let latency = naming_rpc t ~kind:"seek" +. fault_delay t ~now in
   emit t ~now ~cred ~file:info.id (Record.Reposition { pos_before; pos_after });
   latency
 
 let delete_file t ~now ~cred ~(info : Fs_state.file_info) =
-  let latency = naming_rpc t ~kind:"delete" in
+  let latency = naming_rpc t ~kind:"delete" +. fault_delay t ~now in
   emit t ~now ~cred ~file:info.id
     (Record.Delete { size = info.size; is_dir = info.is_dir });
   Fs_state.delete t.fs info.id;
@@ -287,7 +303,7 @@ let delete_file t ~now ~cred ~(info : Fs_state.file_info) =
   latency
 
 let truncate_file t ~now ~cred ~(info : Fs_state.file_info) =
-  let latency = naming_rpc t ~kind:"truncate" in
+  let latency = naming_rpc t ~kind:"truncate" +. fault_delay t ~now in
   emit t ~now ~cred ~file:info.id (Record.Truncate { old_size = info.size });
   info.size <- 0;
   info.version <- info.version + 1;
@@ -299,7 +315,8 @@ let dir_read t ~now ~cred ~(info : Fs_state.file_info) ~bytes =
   Bc.read t.cache ~now ~cls:Bc.Class_file ~migrated:false ~file:info.id
     ~file_size:(max info.size bytes) ~off:0 ~len:bytes;
   emit t ~now ~cred ~file:info.id (Record.Dir_read { bytes });
-  Network.rpc t.network ~kind:"dirread" ~bytes +. take_disk_time t
+  Network.rpc t.network ~kind:"dirread" ~bytes
+  +. take_disk_time t +. fault_delay t ~now
 
 (* -- data path ------------------------------------------------------------ *)
 
@@ -319,9 +336,10 @@ let fetch t ~now ~cls ~file ~index ~bytes =
     Bc.read t.cache ~now ~cls ~migrated:false ~file ~file_size:size
       ~off:(index * Dfs_util.Units.block_size)
       ~len:bytes;
-  Network.rpc t.network ~kind:"fetch" ~bytes +. take_disk_time t
+  Network.rpc t.network ~kind:"fetch" ~bytes
+  +. take_disk_time t +. fault_delay t ~now
 
-let writeback t ~now ~file ~index ~bytes =
+let do_writeback t ~now ~kind ~file ~index ~bytes =
   Traffic.add_write t.traffic Traffic.File_data bytes;
   let size =
     match Fs_state.find t.fs file with
@@ -333,15 +351,26 @@ let writeback t ~now ~file ~index ~bytes =
       ~file_size:size
       ~off:(index * Dfs_util.Units.block_size)
       ~len:bytes;
-  ignore (Network.rpc t.network ~kind:"writeback" ~bytes);
+  ignore (Network.rpc t.network ~kind ~bytes);
   ignore (take_disk_time t)
+
+let writeback t ~now ~file ~index ~bytes =
+  match t.faults with
+  | Some (inj, idx) when Dfs_fault.Injector.server_down inj ~server:idx ~now ->
+    (* The server is down: the client's writeback daemon parks the block
+       in its offline queue; the bytes stay at risk (the client still
+       holds them) and are replayed when the server reboots. *)
+    Dfs_fault.Injector.queue_writeback inj ~server:idx
+      ~file:(File.to_int file) ~index ~bytes
+  | _ -> do_writeback t ~now ~kind:"writeback" ~file ~index ~bytes
 
 let shared_read t ~now ~cred ~(info : Fs_state.file_info) ~off ~len =
   Traffic.add_read t.traffic Traffic.Shared len;
   Bc.read t.cache ~now ~cls:Bc.Class_file ~migrated:cred.Cred.migrated
     ~file:info.id ~file_size:info.size ~off ~len;
   emit t ~now ~cred ~file:info.id (Record.Shared_read { offset = off; length = len });
-  Network.rpc t.network ~kind:"sread" ~bytes:len +. take_disk_time t
+  Network.rpc t.network ~kind:"sread" ~bytes:len
+  +. take_disk_time t +. fault_delay t ~now
 
 let shared_write t ~now ~cred ~(info : Fs_state.file_info) ~off ~len =
   Traffic.add_write t.traffic Traffic.Shared len;
@@ -350,7 +379,8 @@ let shared_write t ~now ~cred ~(info : Fs_state.file_info) ~off ~len =
   info.version <- info.version + 1;
   emit t ~now ~cred ~file:info.id
     (Record.Shared_write { offset = off; length = len });
-  Network.rpc t.network ~kind:"swrite" ~bytes:len +. take_disk_time t
+  Network.rpc t.network ~kind:"swrite" ~bytes:len
+  +. take_disk_time t +. fault_delay t ~now
 
 (* -- paging backing files -------------------------------------------------- *)
 
@@ -370,7 +400,8 @@ let backing_write t ~now ~client ~bytes =
   if bytes > info.size then info.size <- bytes;
   Bc.write t.cache ~now ~cls:Bc.Class_paging ~migrated:false ~file:info.id
     ~file_size:info.size ~off:0 ~len:bytes;
-  Network.rpc t.network ~kind:"page-out" ~bytes +. take_disk_time t
+  Network.rpc t.network ~kind:"page-out" ~bytes
+  +. take_disk_time t +. fault_delay t ~now
 
 let backing_read t ~now ~client ~bytes =
   Traffic.add_read t.traffic Traffic.Paging_backing bytes;
@@ -378,9 +409,65 @@ let backing_read t ~now ~client ~bytes =
   if bytes > info.size then info.size <- bytes;
   Bc.read t.cache ~now ~cls:Bc.Class_paging ~migrated:false ~file:info.id
     ~file_size:info.size ~off:0 ~len:bytes;
-  Network.rpc t.network ~kind:"page-in" ~bytes +. take_disk_time t
+  Network.rpc t.network ~kind:"page-in" ~bytes
+  +. take_disk_time t +. fault_delay t ~now
 
 let tick t ~now = Bc.tick t.cache ~now
+
+(* -- crash and Sprite-style stateful recovery ------------------------------ *)
+
+let crash t ~now =
+  (* Volatile state dies with the machine: the open table and last-writer
+     map (clients will replay them during recovery) and every block in
+     the server cache.  Dirty server-cache blocks are delayed writes that
+     never reached the disk — the paper's 30-second loss window made
+     real. *)
+  File.Tbl.reset t.open_table;
+  File.Tbl.reset t.last_writer;
+  Bc.crash t.cache ~now
+
+let reboot t ~now =
+  match t.faults with
+  | None -> ()
+  | Some (inj, idx) ->
+    (* Deliver the writebacks that clients parked while we were down. *)
+    Dfs_fault.Injector.drain_writebacks inj ~server:idx
+      (fun ~file ~index ~bytes ->
+        do_writeback t ~now ~kind:"recov-writeback" ~file:(File.of_int file)
+          ~index ~bytes)
+
+let recover_register t ~client =
+  ignore client;
+  naming_rpc t ~kind:"recov-register"
+
+let recover_open t ~client ~file ~mode =
+  (* Replay of a pre-crash open.  Rebuilds the open table silently: no
+     trace record, no consistency counters — the open already happened
+     and was accounted before the crash; this is state reconstruction,
+     not new activity.  Sharing-driven cache disables are likewise not
+     re-derived (each client's fds kept their cacheable flags). *)
+  let state = open_state t file in
+  (match
+     List.find_opt (fun o -> Client.equal o.oc_client client) state.openers
+   with
+  | Some o ->
+    if is_reader mode then o.readers <- o.readers + 1;
+    if is_writer mode then o.writers <- o.writers + 1
+  | None ->
+    state.openers <-
+      {
+        oc_client = client;
+        readers = (if is_reader mode then 1 else 0);
+        writers = (if is_writer mode then 1 else 0);
+      }
+      :: state.openers);
+  naming_rpc t ~kind:"recov-open"
+
+let recover_dirty t ~client ~file =
+  (* The client re-asserts "I hold dirty data for this file", restoring
+     the last-writer map so post-reboot opens recall correctly. *)
+  File.Tbl.replace t.last_writer file client;
+  naming_rpc t ~kind:"recov-dirty"
 
 let is_cacheable t file =
   match File.Tbl.find_opt t.open_table file with

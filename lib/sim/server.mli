@@ -49,8 +49,14 @@ val create :
   fs:Fs_state.t ->
   network:Network.t ->
   log:(Dfs_trace.Record.t -> unit) ->
+  ?faults:Dfs_fault.Injector.t * int ->
   unit ->
   t
+(** [faults] is the cluster's injector paired with this server's index
+    in it.  With faults on, every RPC entry point charges the injector's
+    timeout/retry delay, writebacks addressed to a down server are
+    parked in its offline queue, and transient disk errors lengthen disk
+    service times. *)
 
 val id : t -> Dfs_trace.Ids.Server.t
 
@@ -142,6 +148,39 @@ val backing_write :
 
 val tick : t -> now:float -> unit
 (** The server cache's delayed-write daemon (dirty data to disk). *)
+
+(** {1 Crash and recovery (Sprite's stateful recovery protocol)} *)
+
+val is_down : t -> now:float -> bool
+(** Whether the fault schedule has this server down (or partitioned
+    away) at [now]; always false with faults off. *)
+
+val crash : t -> now:float -> int
+(** Power loss: clears the open table and last-writer map and drops the
+    server cache.  Returns the dirty (delayed-write) bytes destroyed —
+    data inside the paper's 30-second loss window. *)
+
+val reboot : t -> now:float -> unit
+(** Back up: replay the writebacks clients parked while the server was
+    down (as ["recov-writeback"] RPCs). *)
+
+val recover_register : t -> client:Dfs_trace.Ids.Client.t -> float
+(** A client re-introducing itself after the reboot; returns the RPC
+    latency. *)
+
+val recover_open :
+  t ->
+  client:Dfs_trace.Ids.Client.t ->
+  file:Dfs_trace.Ids.File.t ->
+  mode:Dfs_trace.Record.open_mode ->
+  float
+(** Replay one pre-crash open into the rebuilt open table.  Emits no
+    trace record and bumps no consistency counters — it reconstructs
+    state, it is not new activity. *)
+
+val recover_dirty :
+  t -> client:Dfs_trace.Ids.Client.t -> file:Dfs_trace.Ids.File.t -> float
+(** Re-assert last-writer state for a file the client holds dirty. *)
 
 (** {1 Introspection} *)
 

@@ -38,8 +38,11 @@ let lines_of_channel ic =
 
 let fold_file path ~init ~f =
   let ic = open_in path in
+  (* [close_in_noerr]: a raising close inside [~finally] would mask the
+     real failure (and [Fun.protect] would turn it into [Finally_raised]);
+     the descriptor is released either way. *)
   Fun.protect
-    ~finally:(fun () -> close_in ic)
+    ~finally:(fun () -> close_in_noerr ic)
     (fun () -> parse_lines (lines_of_channel ic) ~init ~f)
 
 let of_file path =

@@ -87,6 +87,9 @@ let trace n =
 
 let all () = List.init 8 (fun i -> trace (i + 1))
 
+let with_faults p profile =
+  { p with cluster_config = { p.cluster_config with fault_profile = profile } }
+
 let scaled p ~factor =
   assert (factor > 0.0 && factor <= 1.0);
   {

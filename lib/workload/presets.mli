@@ -24,6 +24,11 @@ val trace : int -> preset
 
 val all : unit -> preset list
 
+val with_faults : preset -> Dfs_fault.Profile.t -> preset
+(** The same preset with fault injection enabled (or disabled again with
+    {!Dfs_fault.Profile.none}).  The fault schedule derives only from
+    the profile's own seed, so the underlying workload is unchanged. *)
+
 val scaled : preset -> factor:float -> preset
 (** Shrink a preset's duration by [factor] (e.g. 0.1 for a ~2.4-hour
     run), starting mid-morning so the short window covers the busy part

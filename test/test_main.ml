@@ -8,6 +8,7 @@ let () =
       ("cache", Test_cache.suite);
       ("vm", Test_vm.suite);
       ("sim", Test_sim.suite);
+      ("fault", Test_fault.suite);
       ("workload", Test_workload.suite);
       ("analysis", Test_analysis.suite);
       ("consistency", Test_consistency.suite);
