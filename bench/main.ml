@@ -6,16 +6,14 @@
       (duration controlled by DFS_SCALE / DFS_FULL; see Dfs_core.Dataset);
    2. regenerates EVERY table and figure of the paper's evaluation, printing
       measured values next to the published ones;
-   3. runs one bechamel micro-benchmark per table/figure, timing the
-      analysis pass that produces it, plus ablation benchmarks for the
-      design choices called out in DESIGN.md (writeback delay, cache size,
+   3. runs micro-benchmarks over the analysis passes (one fused
+      single-pass covers table 1, table 3 and figs 1-4; the rest are
+      timed individually), plus ablation benchmarks for the design
+      choices called out in DESIGN.md (writeback delay, cache size,
       migration host policy, local vs. remote paging).
 
    Use DFS_FULL=1 for full 24-hour traces (takes tens of minutes), or
    DFS_SCALE=0.02 for a quick look. *)
-
-open Bechamel
-open Toolkit
 
 let scale () =
   match Sys.getenv_opt "DFS_SCALE" with
@@ -105,23 +103,18 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall ~experiments
   close_out oc;
   Dfs_obs.Log.info "wrote run telemetry to %s" path
 
-(* -- part 3: bechamel micro-benchmarks ---------------------------------------- *)
+(* -- part 3: micro-benchmarks ------------------------------------------------- *)
 
 let analysis_tests (ds : Dfs_core.Dataset.t) =
   let run = List.hd ds.runs in
-  let trace = run.trace in
+  let batch = run.batch in
   let stats () = List.concat_map Dfs_core.Dataset.client_cache_stats ds.runs in
-  let t name f = Test.make ~name (Staged.stage f) in
+  let t name f = (name, fun () -> ignore (Sys.opaque_identity (f ()))) in
   [
-    t "table1/trace-stats" (fun () -> Dfs_analysis.Trace_stats.of_trace trace);
+    (* one sweep drives table 1, table 3 and figs 1-4 *)
+    t "fused/single-pass" (fun () -> Dfs_analysis.Fused.analyze batch);
     t "table2/activity-10min" (fun () ->
-        Dfs_analysis.Activity.analyze ~interval:600.0 trace);
-    t "table3/access-patterns" (fun () ->
-        Dfs_analysis.Access_patterns.of_trace trace);
-    t "fig1/run-lengths" (fun () -> Dfs_analysis.Run_length.of_trace trace);
-    t "fig2/file-sizes" (fun () -> Dfs_analysis.File_size.of_trace trace);
-    t "fig3/open-times" (fun () -> Dfs_analysis.Open_time.of_trace trace);
-    t "fig4/lifetimes" (fun () -> Dfs_analysis.Lifetime.analyze trace);
+        Dfs_analysis.Activity.analyze ~interval:600.0 batch);
     t "table4/cache-sizes" (fun () ->
         Dfs_analysis.Cache_stats.cache_sizes
           (Dfs_sim.Cluster.counters run.cluster));
@@ -137,47 +130,61 @@ let analysis_tests (ds : Dfs_core.Dataset.t) =
         Dfs_analysis.Cache_stats.replacements (stats ()));
     t "table9/cleanings" (fun () -> Dfs_analysis.Cache_stats.cleanings (stats ()));
     t "table10/consistency-replay" (fun () ->
-        Dfs_analysis.Consistency_stats.analyze trace);
+        Dfs_analysis.Consistency_stats.analyze batch);
     t "table11/polling-60s" (fun () ->
-        Dfs_consistency.Polling.simulate ~interval:60.0 trace);
+        Dfs_consistency.Polling.simulate ~interval:60.0 batch);
     t "table12/mechanisms" (fun () ->
-        let streams = Dfs_consistency.Shared_events.extract trace in
+        let streams = Dfs_consistency.Shared_events.extract batch in
         ( Dfs_consistency.Sprite.simulate streams,
           Dfs_consistency.Sprite_modified.simulate streams,
           Dfs_consistency.Token.simulate streams ));
   ]
 
-(* Measurement stays sequential on purpose: concurrent Benchmark.all
-   calls would contend for cores (corrupting each other's timings) and
-   bechamel's GC-stabilization loop requires the live-word count to
-   settle, which it never does while other domains allocate.  Only the
-   OLS analysis passes fan out over the pool.  Results print in test
-   order (the old code iterated a hashtable, so even sequential output
-   order was arbitrary). *)
-let run_bechamel pool tests =
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
-  in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-  in
-  let raws = List.map (fun test -> Benchmark.all cfg instances test) tests in
-  let timed =
-    Dfs_util.Pool.map pool
-      (fun raw ->
-        let results = Analyze.all ols Instance.monotonic_clock raw in
-        Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [])
-      raws
-  in
-  print_endline "== bechamel: time per analysis pass ==";
+(* This sampler used to be bechamel, but bechamel's [Benchmark.run]
+   unconditionally "stabilizes" the GC with repeated [Gc.compact] before
+   every test element.  With eight finished clusters live, each compact
+   walks a multi-GB heap and costs seconds — far more than any measured
+   function — so the stabilization dominated the whole bench (~2.5 s per
+   test regardless of quota).  This loop keeps bechamel's methodology —
+   a geometric ladder of batched runs with a least-squares fit of time
+   against run count — and skips the compaction.  Measurement stays
+   sequential on purpose: concurrent tests would contend for cores and
+   corrupt each other's timings. *)
+let microbench_quota = 0.5
+let microbench_limit = 200
+
+(* ms per run: slope of elapsed time vs. batched run count, fit through
+   the origin over a 1.5x geometric ladder. *)
+let measure_slope fn =
+  ignore (Sys.opaque_identity (fn ()));
+  (* warm up *)
+  let t0 = Unix.gettimeofday () in
+  let sxx = ref 0.0 and sxy = ref 0.0 in
+  let runs = ref 1 and samples = ref 0 in
+  while
+    Unix.gettimeofday () -. t0 < microbench_quota
+    && !samples < microbench_limit
+  do
+    let r = !runs in
+    let s = Unix.gettimeofday () in
+    for _ = 1 to r do
+      fn ()
+    done;
+    let dt = Unix.gettimeofday () -. s in
+    let rf = float_of_int r in
+    sxx := !sxx +. (rf *. rf);
+    sxy := !sxy +. (rf *. dt);
+    runs := max (r + 1) (int_of_float (1.5 *. rf));
+    incr samples
+  done;
+  !sxy /. !sxx
+
+let run_microbench tests =
+  print_endline "== microbench: time per analysis pass ==";
   List.iter
-    (List.iter (fun (name, result) ->
-         match Analyze.OLS.estimates result with
-         | Some [ est ] ->
-           Printf.printf "  %-42s %12.3f ms/run\n" name (est /. 1e6)
-         | _ -> Printf.printf "  %-42s (no estimate)\n" name))
-    timed;
+    (fun (name, fn) ->
+      Printf.printf "  %-42s %12.3f ms/run\n" name (1e3 *. measure_slope fn))
+    tests;
   print_newline ()
 
 (* -- ablations ------------------------------------------------------------------ *)
@@ -276,8 +283,10 @@ let ablation_migration_policy () =
         }
       in
       let cluster, _ = Dfs_workload.Presets.run p in
-      let trace = Dfs_sim.Cluster.merged_trace_array cluster in
-      let r = Dfs_analysis.Activity.analyze ~interval:10.0 trace in
+      let batch =
+        Dfs_trace.Record_batch.of_list (Dfs_sim.Cluster.merged_trace cluster)
+      in
+      let r = Dfs_analysis.Activity.analyze ~interval:10.0 batch in
       Printf.printf "  migration %-3s: peak 10s total %6.0f KB/s\n"
         (if migration then "on" else "off")
         r.peak_total_throughput)
@@ -320,6 +329,16 @@ let ablation_local_paging () =
     (100.0 *. float_of_int backing /. float_of_int (max 1 (Dfs_sim.Traffic.total t)))
 
 let () =
+  (* The simulation phase allocates heavily (every event, RPC and cache
+     op); a larger minor heap and a lazier major GC trade memory we have
+     for collections we don't need.  Purely a speed knob — results are
+     identical. *)
+  Gc.set
+    {
+      (Gc.get ()) with
+      Gc.minor_heap_size = 8 * 1024 * 1024;
+      space_overhead = 200;
+    };
   let t0 = Unix.gettimeofday () in
   let pool = Dfs_util.Pool.create () in
   let faults = fault_profile () in
@@ -349,14 +368,24 @@ let () =
    Format.printf "=== table 7 footnote: the server-side cache ===@.%a@.@."
      Dfs_analysis.Server_stats.pp
      (Dfs_analysis.Server_stats.analyze servers));
-  print_string (Dfs_core.Claims.scorecard ds);
-  print_newline ();
-  run_bechamel pool (analysis_tests ds);
-  ablation_writeback_delay ();
-  ablation_cache_ceiling ();
-  ablation_migration_policy ();
-  ablation_local_paging ();
-  ablation_lfs_crossover ds;
+  let time_phase name f =
+    let t = Unix.gettimeofday () in
+    let r = f () in
+    Dfs_obs.Metrics.set
+      (Dfs_obs.Metrics.gauge (Printf.sprintf "phase.%s.wall_s" name))
+      (Unix.gettimeofday () -. t);
+    r
+  in
+  time_phase "scorecard" (fun () ->
+      print_string (Dfs_core.Claims.scorecard ds);
+      print_newline ());
+  time_phase "microbench" (fun () -> run_microbench (analysis_tests ds));
+  time_phase "ablations" (fun () ->
+      ablation_writeback_delay ();
+      ablation_cache_ceiling ();
+      ablation_migration_policy ();
+      ablation_local_paging ();
+      ablation_lfs_crossover ds);
   let total_wall = Unix.gettimeofday () -. t0 in
   write_run_report ~scale:ds.Dfs_core.Dataset.scale
     ~jobs:(Dfs_util.Pool.jobs pool) ~faults ~sim_wall ~analysis_wall

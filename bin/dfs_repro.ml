@@ -259,12 +259,28 @@ let scaled_preset n scale =
     Dfs_workload.Presets.scaled preset
       ~factor:(Dfs_core.Dataset.default_scale ())
 
+let trace_format_arg =
+  let doc =
+    "Trace file format: $(b,text) (tab-separated, one record per line) or \
+     $(b,binary) (compact varint/delta columnar encoding). Readers detect \
+     the format from the file header either way."
+  in
+  Arg.(value & opt string "text" & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+let parse_trace_format s =
+  match Dfs_trace.Writer.format_of_string s with
+  | Ok f -> f
+  | Error e ->
+    Dfs_obs.Log.error "%s" e;
+    exit 1
+
 let simulate_cmd =
   let out_arg =
     let doc = "Directory to write per-server trace files into." in
     Arg.(value & opt string "traces" & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run () n scale out metrics_out trace_out =
+  let run () n scale out format metrics_out trace_out =
+    let format = parse_trace_format format in
     with_obs ~metrics_out ~trace_out (fun () ->
         let preset = scaled_preset n scale in
         Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
@@ -277,7 +293,7 @@ let simulate_cmd =
               Filename.concat out
                 (Printf.sprintf "%s-server%d.trace" preset.name i)
             in
-            Dfs_trace.Writer.with_file path (fun w ->
+            Dfs_trace.Writer.with_file ~format path (fun w ->
                 List.iter (Dfs_trace.Writer.write w) records);
             Printf.printf "wrote %s (%d records)\n" path (List.length records))
           (Dfs_sim.Cluster.server_traces cluster))
@@ -287,7 +303,7 @@ let simulate_cmd =
        ~doc:"Simulate one trace preset and write per-server trace files")
     Term.(
       const run $ verbosity_term $ trace_n_arg $ scale_arg $ out_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ trace_format_arg $ metrics_out_arg $ trace_out_arg)
 
 (* -- analyze --------------------------------------------------------------------- *)
 
@@ -311,11 +327,11 @@ let analyze_cmd =
       Dfs_trace.Merge.scrub ~self_users:Dfs_sim.Cluster.self_users
         (Dfs_trace.Merge.merge streams)
     in
-    let marr = Array.of_list merged in
-    let stats = Dfs_analysis.Trace_stats.of_trace marr in
+    let mbatch = Dfs_trace.Record_batch.of_list merged in
+    let stats = Dfs_analysis.Trace_stats.of_batch mbatch in
     Format.printf "%a@." Dfs_analysis.Trace_stats.pp stats;
-    let act600 = Dfs_analysis.Activity.analyze ~interval:600.0 marr in
-    let act10 = Dfs_analysis.Activity.analyze ~interval:10.0 marr in
+    let act600 = Dfs_analysis.Activity.analyze ~interval:600.0 mbatch in
+    let act10 = Dfs_analysis.Activity.analyze ~interval:10.0 mbatch in
     Format.printf "%a@.%a@." Dfs_analysis.Activity.pp act600
       Dfs_analysis.Activity.pp act10
   in

@@ -54,10 +54,10 @@ let () =
   Cluster.run cluster ~until:7200.0;
 
   let trace = Cluster.merged_trace cluster in
-  let all = Dfs_analysis.Activity.analyze ~interval:10.0 (Array.of_list trace) in
+  let batch = Dfs_trace.Record_batch.of_list trace in
+  let all = Dfs_analysis.Activity.analyze ~interval:10.0 batch in
   let mig =
-    Dfs_analysis.Activity.analyze ~migrated_only:true ~interval:10.0
-      (Array.of_list trace)
+    Dfs_analysis.Activity.analyze ~migrated_only:true ~interval:10.0 batch
   in
   Printf.printf "10-second peak throughput, all traffic:      %8.0f KB/s\n"
     all.peak_total_throughput;

@@ -28,7 +28,10 @@ let () =
   Printf.printf "simulated users: %d\n" (Dfs_workload.Driver.n_users driver);
 
   (* User activity (Table 2's measurement). *)
-  let act = Dfs_analysis.Activity.analyze ~interval:600.0 (Array.of_list trace) in
+  let act =
+    Dfs_analysis.Activity.analyze ~interval:600.0
+      (Dfs_trace.Record_batch.of_list trace)
+  in
   Format.printf "%a@.@." Dfs_analysis.Activity.pp act;
 
   (* Access patterns (Table 3's headline). *)

@@ -34,24 +34,41 @@ let bump_class cr ~seq ~bytes =
     { cr with total; other_sequential = bump cr.other_sequential ~bytes }
   | Session.Random -> { cr with total; random = bump cr.random ~bytes }
 
+type acc = {
+  mutable ro : class_report;
+  mutable wo : class_report;
+  mutable rw : class_report;
+  mutable grand : cell;
+}
+
+let acc_create () =
+  { ro = zero_class; wo = zero_class; rw = zero_class; grand = zero_cell }
+
+let acc_add acc (a : Session.access) =
+  if not a.a_is_dir then
+    match Session.usage a with
+    | None -> ()
+    | Some u ->
+      let bytes = Session.bytes a in
+      let seq = Session.sequentiality a in
+      acc.grand <- bump acc.grand ~bytes;
+      (match u with
+      | Session.Read_only -> acc.ro <- bump_class acc.ro ~seq ~bytes
+      | Session.Write_only -> acc.wo <- bump_class acc.wo ~seq ~bytes
+      | Session.Read_write -> acc.rw <- bump_class acc.rw ~seq ~bytes)
+
+let acc_finish acc =
+  {
+    read_only = acc.ro;
+    write_only = acc.wo;
+    read_write = acc.rw;
+    grand_total = acc.grand;
+  }
+
 let analyze accesses =
-  let ro = ref zero_class and wo = ref zero_class and rw = ref zero_class in
-  let grand = ref zero_cell in
-  List.iter
-    (fun (a : Session.access) ->
-      if not a.a_is_dir then
-        match Session.usage a with
-        | None -> ()
-        | Some u ->
-          let bytes = Session.bytes a in
-          let seq = Session.sequentiality a in
-          grand := bump !grand ~bytes;
-          (match u with
-          | Session.Read_only -> ro := bump_class !ro ~seq ~bytes
-          | Session.Write_only -> wo := bump_class !wo ~seq ~bytes
-          | Session.Read_write -> rw := bump_class !rw ~seq ~bytes))
-    accesses;
-  { read_only = !ro; write_only = !wo; read_write = !rw; grand_total = !grand }
+  let acc = acc_create () in
+  List.iter (acc_add acc) accesses;
+  acc_finish acc
 
 let of_trace trace = analyze (Session.of_trace trace)
 

@@ -22,6 +22,15 @@ type t = {
   grand_total : cell;
 }
 
+type acc
+(** Incremental accumulator for the fused analysis pass. *)
+
+val acc_create : unit -> acc
+
+val acc_add : acc -> Session.access -> unit
+
+val acc_finish : acc -> t
+
 val analyze : Session.access list -> t
 
 val of_trace : Dfs_trace.Record.t array -> t

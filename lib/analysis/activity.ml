@@ -1,5 +1,6 @@
 module Record = Dfs_trace.Record
 module Ids = Dfs_trace.Ids
+module B = Dfs_trace.Record_batch
 
 type report = {
   interval : float;
@@ -12,8 +13,8 @@ type report = {
   peak_total_throughput : float;
 }
 
-let analyze ?(migrated_only = false) ~interval trace =
-  if Array.length trace = 0 then
+let analyze ?(migrated_only = false) ~interval batch =
+  if B.length batch = 0 then
     {
       interval;
       avg_active_users = 0.0;
@@ -25,10 +26,12 @@ let analyze ?(migrated_only = false) ~interval trace =
       peak_total_throughput = 0.0;
     }
   else begin
-    let t0 = (trace.(0) : Record.t).time in
-    let t_end =
-      Array.fold_left (fun acc (r : Record.t) -> Float.max acc r.time) t0 trace
-    in
+    let t0 = B.time batch 0 in
+    let t_end = ref t0 in
+    for i = 0 to B.length batch - 1 do
+      t_end := Float.max !t_end (B.time batch i)
+    done;
+    let t_end = !t_end in
     let n_buckets =
       max 1 (1 + int_of_float ((t_end -. t0) /. interval))
     in
@@ -52,22 +55,21 @@ let analyze ?(migrated_only = false) ~interval trace =
       | None -> Hashtbl.replace bytes_tbl key (ref n)
     in
     let relevant (migrated : bool) = (not migrated_only) || migrated in
-    Array.iter
-      (fun (r : Record.t) ->
-        if relevant r.migrated then begin
-          mark_active (bucket r.time) r.user;
-          (* shared (pass-through) transfers carry their size directly *)
-          match r.kind with
-          | Record.Shared_read { length; _ } | Record.Shared_write { length; _ }
-            ->
-            add_bytes (bucket r.time) r.user length
-          | Record.Dir_read { bytes } -> add_bytes (bucket r.time) r.user bytes
-          | Record.Open _ | Record.Close _ | Record.Reposition _
-          | Record.Delete _ | Record.Truncate _ ->
-            ()
-        end)
-      trace;
-    Session.run_boundaries trace ~f:(fun a time run ->
+    for i = 0 to B.length batch - 1 do
+      if relevant (B.migrated batch i) then begin
+        let time = B.time batch i and user = B.user_id batch i in
+        mark_active (bucket time) user;
+        (* shared (pass-through) transfers carry their size directly: the
+           length for shared reads/writes (payload column b), the byte
+           count for directory reads (column a) *)
+        let tag = B.tag batch i in
+        if tag = B.tag_shared_read || tag = B.tag_shared_write then
+          add_bytes (bucket time) user (B.b batch i)
+        else if tag = B.tag_dir_read then
+          add_bytes (bucket time) user (B.a batch i)
+      end
+    done;
+    Session.run_boundaries_batch batch ~f:(fun a time run ->
         if relevant a.a_migrated && not a.a_is_dir then
           add_bytes (bucket time) a.a_user run);
     (* active-user statistics over every interval, empty ones included *)

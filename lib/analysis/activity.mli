@@ -20,7 +20,7 @@ type report = {
 val analyze :
   ?migrated_only:bool ->
   interval:float ->
-  Dfs_trace.Record.t array ->
+  Dfs_trace.Record_batch.t ->
   report
 (** With [migrated_only] (Table 2's second column), a user is active only
     when a migrated process acted for them, and only migrated processes'

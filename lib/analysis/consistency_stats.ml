@@ -1,11 +1,12 @@
 module Record = Dfs_trace.Record
 module Ids = Dfs_trace.Ids
+module B = Dfs_trace.Record_batch
 
 type t = { file_opens : int; sharing_opens : int; recall_opens : int }
 
 type opener = { client : int; mutable count : int; mutable writers : int }
 
-let analyze trace =
+let analyze batch =
   let file_opens = ref 0 and sharing = ref 0 and recalls = ref 0 in
   let open_tbl : opener list ref Ids.File.Tbl.t = Ids.File.Tbl.create 1024 in
   let last_writer : int Ids.File.Tbl.t = Ids.File.Tbl.create 256 in
@@ -17,28 +18,26 @@ let analyze trace =
   let handle_modes : (int * int * int, Record.open_mode list ref) Hashtbl.t =
     Hashtbl.create 1024
   in
-  let handle_key (r : Record.t) =
-    ( Ids.Client.to_int r.client,
-      Ids.Process.to_int r.pid,
-      Ids.File.to_int r.file )
-  in
-  Array.iter
-    (fun (r : Record.t) ->
-      match r.kind with
-      | Record.Open { mode; is_dir = false; _ } ->
+  let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
+  for i = 0 to B.length batch - 1 do
+    let tag = B.tag batch i in
+    if tag = B.tag_open then begin
+      if not (B.is_dir batch i) then begin
+        let mode = B.open_mode batch i in
+        let file = B.file_id batch i in
         incr file_opens;
-        let cl = Ids.Client.to_int r.client in
-        (match Ids.File.Tbl.find_opt last_writer r.file with
+        let cl = B.client batch i in
+        (match Ids.File.Tbl.find_opt last_writer file with
         | Some w when w <> cl ->
           incr recalls;
-          Ids.File.Tbl.remove last_writer r.file
+          Ids.File.Tbl.remove last_writer file
         | Some _ | None -> ());
         let openers =
-          match Ids.File.Tbl.find_opt open_tbl r.file with
+          match Ids.File.Tbl.find_opt open_tbl file with
           | Some l -> l
           | None ->
             let l = ref [] in
-            Ids.File.Tbl.replace open_tbl r.file l;
+            Ids.File.Tbl.replace open_tbl file l;
             l
         in
         (match List.find_opt (fun o -> o.client = cl) !openers with
@@ -47,51 +46,55 @@ let analyze trace =
           if is_writer mode then o.writers <- o.writers + 1
         | None ->
           openers :=
-            { client = cl; count = 1; writers = (if is_writer mode then 1 else 0) }
+            {
+              client = cl;
+              count = 1;
+              writers = (if is_writer mode then 1 else 0);
+            }
             :: !openers);
         if
           List.length !openers >= 2
           && List.exists (fun o -> o.writers > 0) !openers
         then incr sharing;
         let modes =
-          match Hashtbl.find_opt handle_modes (handle_key r) with
+          match Hashtbl.find_opt handle_modes (handle_key i) with
           | Some l -> l
           | None ->
             let l = ref [] in
-            Hashtbl.replace handle_modes (handle_key r) l;
+            Hashtbl.replace handle_modes (handle_key i) l;
             l
         in
         modes := mode :: !modes
-      | Record.Close { bytes_written; _ } -> (
-        match Hashtbl.find_opt handle_modes (handle_key r) with
-        | None -> ()
-        | Some modes ->
-          (match !modes with
-          | [] -> ()
-          | mode :: rest ->
-            modes := rest;
-            if rest = [] then Hashtbl.remove handle_modes (handle_key r);
-            let cl = Ids.Client.to_int r.client in
-            (match Ids.File.Tbl.find_opt open_tbl r.file with
-            | Some openers -> (
-              match List.find_opt (fun o -> o.client = cl) !openers with
-              | Some o ->
-                o.count <- o.count - 1;
-                if is_writer mode then o.writers <- max 0 (o.writers - 1);
-                if o.count <= 0 then begin
-                  openers := List.filter (fun o' -> o'.client <> cl) !openers;
-                  if !openers = [] then Ids.File.Tbl.remove open_tbl r.file
-                end
-              | None -> ())
-            | None -> ());
-            if bytes_written > 0 then
-              Ids.File.Tbl.replace last_writer r.file cl))
-      | Record.Delete _ ->
-        Ids.File.Tbl.remove last_writer r.file
-      | Record.Open _ | Record.Reposition _ | Record.Truncate _
-      | Record.Dir_read _ | Record.Shared_read _ | Record.Shared_write _ ->
-        ())
-    trace;
+      end
+    end
+    else if tag = B.tag_close then begin
+      match Hashtbl.find_opt handle_modes (handle_key i) with
+      | None -> ()
+      | Some modes -> (
+        match !modes with
+        | [] -> ()
+        | mode :: rest ->
+          modes := rest;
+          if rest = [] then Hashtbl.remove handle_modes (handle_key i);
+          let cl = B.client batch i in
+          let file = B.file_id batch i in
+          (match Ids.File.Tbl.find_opt open_tbl file with
+          | Some openers -> (
+            match List.find_opt (fun o -> o.client = cl) !openers with
+            | Some o ->
+              o.count <- o.count - 1;
+              if is_writer mode then o.writers <- max 0 (o.writers - 1);
+              if o.count <= 0 then begin
+                openers := List.filter (fun o' -> o'.client <> cl) !openers;
+                if !openers = [] then Ids.File.Tbl.remove open_tbl file
+              end
+            | None -> ())
+          | None -> ());
+          if B.d batch i > 0 then Ids.File.Tbl.replace last_writer file cl)
+    end
+    else if tag = B.tag_delete then
+      Ids.File.Tbl.remove last_writer (B.file_id batch i)
+  done;
   { file_opens = !file_opens; sharing_opens = !sharing; recall_opens = !recalls }
 
 let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b

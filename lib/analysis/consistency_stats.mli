@@ -14,7 +14,7 @@ type t = {
   recall_opens : int;
 }
 
-val analyze : Dfs_trace.Record.t array -> t
+val analyze : Dfs_trace.Record_batch.t -> t
 
 val sharing_pct : t -> float
 

@@ -7,6 +7,11 @@ type t = {
   by_bytes : Dfs_util.Cdf.t;
 }
 
+val create : unit -> t
+(** Empty accumulator; feed it with {!add} (the fused pass does). *)
+
+val add : t -> Session.access -> unit
+
 val analyze : Session.access list -> t
 
 val of_trace : Dfs_trace.Record.t array -> t

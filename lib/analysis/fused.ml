@@ -1,0 +1,39 @@
+type t = {
+  stats : Trace_stats.t;
+  file_size : File_size.t;
+  open_time : Open_time.t;
+  run_length : Run_length.t;
+  access_patterns : Access_patterns.t;
+  lifetime : Lifetime.t;
+  accesses : Session.access list;
+}
+
+let analyze batch =
+  let ts = Trace_stats.acc_create () in
+  let fs = File_size.create () in
+  let ot = Open_time.create () in
+  let rl = Run_length.create () in
+  let ap = Access_patterns.acc_create () in
+  let lt = Lifetime.acc_create () in
+  let accesses_rev = ref [] in
+  Session.sweep batch
+    ~on_record:(fun i ->
+      Trace_stats.acc_record ts batch i;
+      Lifetime.acc_record lt batch i)
+    ~on_access:(fun a ->
+      accesses_rev := a :: !accesses_rev;
+      Trace_stats.acc_access ts a;
+      File_size.add fs a;
+      Open_time.add ot a;
+      Run_length.add rl a;
+      Access_patterns.acc_add ap a;
+      Lifetime.acc_access lt a);
+  {
+    stats = Trace_stats.acc_finish ts;
+    file_size = fs;
+    open_time = ot;
+    run_length = rl;
+    access_patterns = Access_patterns.acc_finish ap;
+    lifetime = Lifetime.acc_finish lt;
+    accesses = List.rev !accesses_rev;
+  }

@@ -1,0 +1,22 @@
+(** Fused single-pass analysis.
+
+    One sweep over a record batch drives the per-record and per-access
+    folds of {!Trace_stats}, {!File_size}, {!Open_time}, {!Run_length},
+    {!Access_patterns} and {!Lifetime} together, instead of six
+    independent scans that each rebuild the session reconstruction.
+    Per-access accumulators are fed at close time — the same order as
+    {!Session.of_batch} returns accesses — so every result is identical
+    to running the standalone analyses.  [accesses] is that
+    reconstruction, shared so callers need not recompute it. *)
+
+type t = {
+  stats : Trace_stats.t;
+  file_size : File_size.t;
+  open_time : Open_time.t;
+  run_length : Run_length.t;
+  access_patterns : Access_patterns.t;
+  lifetime : Lifetime.t;
+  accesses : Session.access list;
+}
+
+val analyze : Dfs_trace.Record_batch.t -> t

@@ -1,5 +1,6 @@
 module Record = Dfs_trace.Record
 module Ids = Dfs_trace.Ids
+module B = Dfs_trace.Record_batch
 
 type t = {
   by_files : Dfs_util.Cdf.t;
@@ -14,37 +15,17 @@ type write_state = { mutable oldest : float; mutable newest : float }
    the oldest..newest age range. *)
 let byte_samples = 8
 
-let analyze ?accesses trace =
+(* [writes] are write-bearing closes in close-time order, [deaths] the
+   deletes/truncates in record order; the stable sort interleaves them by
+   time with writes winning ties, exactly as the single-pass list
+   construction always has. *)
+let of_events ~writes ~deaths =
   let by_files = Dfs_util.Cdf.create () in
   let by_bytes = Dfs_util.Cdf.create () in
   let aged = ref 0 and unknown = ref 0 in
   let states : write_state Ids.File.Tbl.t = Ids.File.Tbl.create 1024 in
-  (* Interleave write-bearing closes with deletes/truncates in time order:
-     closes are emitted by the session scan at close time, which is also
-     their position in the record list, so a single merge suffices. *)
   let events =
-    let accesses =
-      (match accesses with Some l -> l | None -> Session.of_trace trace)
-      |> List.filter (fun (a : Session.access) ->
-             (not a.a_is_dir) && a.a_bytes_written > 0)
-      |> List.map (fun a -> (a.Session.a_close_time, `Write a))
-    in
-    let deaths =
-      Array.fold_left
-        (fun acc (r : Record.t) ->
-          match r.kind with
-          | Record.Delete { size; is_dir = false } ->
-            (r.time, `Death (r.file, size)) :: acc
-          | Record.Truncate { old_size } ->
-            (r.time, `Death (r.file, old_size)) :: acc
-          | Record.Delete _ | Record.Open _ | Record.Close _
-          | Record.Reposition _ | Record.Dir_read _ | Record.Shared_read _
-          | Record.Shared_write _ ->
-            acc)
-        [] trace
-      |> List.rev
-    in
-    List.sort (fun (a, _) (b, _) -> Float.compare a b) (accesses @ deaths)
+    List.sort (fun (a, _) (b, _) -> Float.compare a b) (writes @ deaths)
   in
   let record_death ~now ~file ~size =
     match Ids.File.Tbl.find_opt states file with
@@ -90,6 +71,47 @@ let analyze ?accesses trace =
     deaths_aged = !aged;
     deaths_unknown = !unknown;
   }
+
+type event = [ `Write of Session.access | `Death of Ids.File.t * int ]
+
+type acc = {
+  mutable writes_rev : (float * event) list;
+  mutable deaths_rev : (float * event) list;
+}
+
+let acc_create () = { writes_rev = []; deaths_rev = [] }
+
+let acc_access acc (a : Session.access) =
+  if (not a.a_is_dir) && a.a_bytes_written > 0 then
+    acc.writes_rev <- (a.a_close_time, `Write a) :: acc.writes_rev
+
+let acc_record acc batch i =
+  let tag = B.tag batch i in
+  if tag = B.tag_delete then begin
+    if not (B.is_dir batch i) then
+      acc.deaths_rev <-
+        (B.time batch i, `Death (B.file_id batch i, B.a batch i))
+        :: acc.deaths_rev
+  end
+  else if tag = B.tag_truncate then
+    acc.deaths_rev <-
+      (B.time batch i, `Death (B.file_id batch i, B.a batch i))
+      :: acc.deaths_rev
+
+let acc_finish acc =
+  of_events ~writes:(List.rev acc.writes_rev) ~deaths:(List.rev acc.deaths_rev)
+
+let analyze ?accesses trace =
+  let batch = B.of_array trace in
+  let acc = acc_create () in
+  let accesses =
+    match accesses with Some l -> l | None -> Session.of_batch batch
+  in
+  List.iter (acc_access acc) accesses;
+  for i = 0 to B.length batch - 1 do
+    acc_record acc batch i
+  done;
+  acc_finish acc
 
 let default_xs = Dfs_util.Cdf.log_xs ~lo:1.0 ~hi:10_000_000.0 ~per_decade:3
 

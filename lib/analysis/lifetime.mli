@@ -18,6 +18,22 @@ type t = {
 
 val analyze : ?accesses:Session.access list -> Dfs_trace.Record.t array -> t
 
+(** Incremental accumulator used by the fused analysis pass: feed every
+    record index with {!acc_record} (collects deletes/truncates in record
+    order) and every completed access with {!acc_access} (collects
+    write-bearing closes in close order); {!acc_finish} merges the two
+    event lists by time and ages the deaths. *)
+
+type acc
+
+val acc_create : unit -> acc
+
+val acc_record : acc -> Dfs_trace.Record_batch.t -> int -> unit
+
+val acc_access : acc -> Session.access -> unit
+
+val acc_finish : acc -> t
+
 val default_xs : float array
 (** 1 second to 10 M seconds, log spaced. *)
 

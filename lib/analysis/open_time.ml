@@ -1,12 +1,14 @@
 type t = { by_opens : Dfs_util.Cdf.t }
 
+let create () = { by_opens = Dfs_util.Cdf.create () }
+
+let add t (a : Session.access) =
+  if not a.a_is_dir then Dfs_util.Cdf.add t.by_opens (Session.duration a)
+
 let analyze accesses =
-  let by_opens = Dfs_util.Cdf.create () in
-  List.iter
-    (fun (a : Session.access) ->
-      if not a.a_is_dir then Dfs_util.Cdf.add by_opens (Session.duration a))
-    accesses;
-  { by_opens }
+  let t = create () in
+  List.iter (add t) accesses;
+  t
 
 let of_trace trace = analyze (Session.of_trace trace)
 

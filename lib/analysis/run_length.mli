@@ -10,6 +10,11 @@ type t = {
   by_bytes : Dfs_util.Cdf.t;  (** weighted by bytes transferred *)
 }
 
+val create : unit -> t
+(** Empty accumulator; feed it with {!add} (the fused pass does). *)
+
+val add : t -> Session.access -> unit
+
 val analyze : Session.access list -> t
 (** Directory accesses are excluded, as in Section 4. *)
 

@@ -1,5 +1,6 @@
 module Record = Dfs_trace.Record
 module Ids = Dfs_trace.Ids
+module B = Dfs_trace.Record_batch
 
 type access = {
   a_user : Ids.User.t;
@@ -62,12 +63,27 @@ type pending = {
   mutable repositions : int;
 }
 
-let handle_key (r : Record.t) =
-  ( Ids.Client.to_int r.client,
-    Ids.Process.to_int r.pid,
-    Ids.File.to_int r.file )
+let finish (p : pending) close_time ~size ~bytes_read ~bytes_written =
+  {
+    a_user = p.p_user;
+    a_client = p.p_client;
+    a_migrated = p.p_migrated;
+    a_file = p.p_file;
+    a_is_dir = p.p_is_dir;
+    a_mode = p.p_mode;
+    a_open_time = p.p_open_time;
+    a_close_time = close_time;
+    a_size_open = p.p_size_open;
+    a_size_close = size;
+    a_bytes_read = bytes_read;
+    a_bytes_written = bytes_written;
+    a_runs = List.rev p.runs_rev;
+    a_repositions = p.repositions;
+  }
 
-let scan trace ~on_boundary ~on_close =
+(* The scan walks the batch columns directly; the only allocations are
+   one [pending] per open and the handle-table bookkeeping. *)
+let scan batch ~on_record ~on_boundary ~on_close =
   let open_tbl : (int * int * int, pending list) Hashtbl.t =
     Hashtbl.create 1024
   in
@@ -88,78 +104,68 @@ let scan trace ~on_boundary ~on_close =
       Some p
     | Some [] | None -> None
   in
-  Array.iter
-    (fun (r : Record.t) ->
-      match r.kind with
-      | Record.Open { mode; created = _; is_dir; size; start_pos } ->
-        push (handle_key r)
-          {
-            p_user = r.user;
-            p_client = r.client;
-            p_migrated = r.migrated;
-            p_file = r.file;
-            p_is_dir = is_dir;
-            p_mode = mode;
-            p_open_time = r.time;
-            p_size_open = size;
-            run_start = start_pos;
-            runs_rev = [];
-            repositions = 0;
-          }
-      | Record.Reposition { pos_before; pos_after } -> (
-        match top (handle_key r) with
-        | None -> ()
-        | Some p ->
-          let run = pos_before - p.run_start in
-          if run > 0 then begin
-            p.runs_rev <- run :: p.runs_rev;
-            on_boundary p r.time run
-          end;
-          p.run_start <- pos_after;
-          p.repositions <- p.repositions + 1)
-      | Record.Close { size; final_pos; bytes_read; bytes_written } -> (
-        match pop (handle_key r) with
-        | None -> ()
-        | Some p ->
-          let run = final_pos - p.run_start in
-          if run > 0 then begin
-            p.runs_rev <- run :: p.runs_rev;
-            on_boundary p r.time run
-          end;
-          on_close p r.time ~size ~bytes_read ~bytes_written)
-      | Record.Delete _ | Record.Truncate _ | Record.Dir_read _
-      | Record.Shared_read _ | Record.Shared_write _ ->
-        ())
-    trace
+  let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
+  let n = B.length batch in
+  for i = 0 to n - 1 do
+    on_record i;
+    let tag = B.tag batch i in
+    if tag = B.tag_open then
+      push (handle_key i)
+        {
+          p_user = B.user_id batch i;
+          p_client = Ids.Client.of_int (B.client batch i);
+          p_migrated = B.migrated batch i;
+          p_file = B.file_id batch i;
+          p_is_dir = B.is_dir batch i;
+          p_mode = B.open_mode batch i;
+          p_open_time = B.time batch i;
+          p_size_open = B.a batch i;
+          run_start = B.b batch i;
+          runs_rev = [];
+          repositions = 0;
+        }
+    else if tag = B.tag_reposition then begin
+      match top (handle_key i) with
+      | None -> ()
+      | Some p ->
+        let run = B.a batch i - p.run_start in
+        if run > 0 then begin
+          p.runs_rev <- run :: p.runs_rev;
+          on_boundary p (B.time batch i) run
+        end;
+        p.run_start <- B.b batch i;
+        p.repositions <- p.repositions + 1
+    end
+    else if tag = B.tag_close then begin
+      match pop (handle_key i) with
+      | None -> ()
+      | Some p ->
+        let run = B.b batch i - p.run_start in
+        if run > 0 then begin
+          p.runs_rev <- run :: p.runs_rev;
+          on_boundary p (B.time batch i) run
+        end;
+        on_close p (B.time batch i) ~size:(B.a batch i)
+          ~bytes_read:(B.c batch i) ~bytes_written:(B.d batch i)
+    end
+  done
 
-let finish (p : pending) close_time ~size ~bytes_read ~bytes_written =
-  {
-    a_user = p.p_user;
-    a_client = p.p_client;
-    a_migrated = p.p_migrated;
-    a_file = p.p_file;
-    a_is_dir = p.p_is_dir;
-    a_mode = p.p_mode;
-    a_open_time = p.p_open_time;
-    a_close_time = close_time;
-    a_size_open = p.p_size_open;
-    a_size_close = size;
-    a_bytes_read = bytes_read;
-    a_bytes_written = bytes_written;
-    a_runs = List.rev p.runs_rev;
-    a_repositions = p.repositions;
-  }
+let no_record = ignore
 
-let of_trace trace =
-  let acc = ref [] in
-  scan trace
-    ~on_boundary:(fun _ _ _ -> ())
+let no_boundary _ _ _ = ()
+
+let sweep batch ~on_record ~on_access =
+  scan batch ~on_record ~on_boundary:no_boundary
     ~on_close:(fun p time ~size ~bytes_read ~bytes_written ->
-      acc := finish p time ~size ~bytes_read ~bytes_written :: !acc);
+      on_access (finish p time ~size ~bytes_read ~bytes_written))
+
+let of_batch batch =
+  let acc = ref [] in
+  sweep batch ~on_record:no_record ~on_access:(fun a -> acc := a :: !acc);
   List.rev !acc
 
-let run_boundaries trace ~f =
-  scan trace
+let run_boundaries_batch batch ~f =
+  scan batch ~on_record:no_record
     ~on_boundary:(fun p time run ->
       (* expose the in-progress access; totals are placeholders *)
       let partial =
@@ -167,3 +173,7 @@ let run_boundaries trace ~f =
       in
       f partial time run)
     ~on_close:(fun _ _ ~size:_ ~bytes_read:_ ~bytes_written:_ -> ())
+
+let of_trace trace = of_batch (B.of_array trace)
+
+let run_boundaries trace ~f = run_boundaries_batch (B.of_array trace) ~f

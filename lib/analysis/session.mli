@@ -41,14 +41,30 @@ val bytes : access -> int
 
 val duration : access -> float
 
-val of_trace : Dfs_trace.Record.t array -> access list
+val of_batch : Dfs_trace.Record_batch.t -> access list
 (** Replay the trace and return completed accesses in close-time order.
     Opens with no matching close (trace cut off) are dropped, as are
     closes with no matching open. *)
 
-val run_boundaries :
-  Dfs_trace.Record.t array -> f:(access -> float -> int -> unit) -> unit
+val of_trace : Dfs_trace.Record.t array -> access list
+(** {!of_batch} on a boxed-record trace (converts first). *)
+
+val sweep :
+  Dfs_trace.Record_batch.t ->
+  on_record:(int -> unit) ->
+  on_access:(access -> unit) ->
+  unit
+(** One pass over the batch: [on_record i] fires for every record index in
+    order (for fused per-record folds), [on_access] for every completed
+    access in close-time order — the same order {!of_batch} returns. *)
+
+val run_boundaries_batch :
+  Dfs_trace.Record_batch.t -> f:(access -> float -> int -> unit) -> unit
 (** Lower-level interface for interval analyses: invokes [f access time
     run_bytes] at each run boundary (reposition or close), attributing the
     run's bytes at the moment they are known.  [access] is the in-progress
     access (its totals may be incomplete at callback time). *)
+
+val run_boundaries :
+  Dfs_trace.Record.t array -> f:(access -> float -> int -> unit) -> unit
+(** {!run_boundaries_batch} on a boxed-record trace. *)

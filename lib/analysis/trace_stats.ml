@@ -1,5 +1,6 @@
 module Record = Dfs_trace.Record
 module Ids = Dfs_trace.Ids
+module B = Dfs_trace.Record_batch
 
 type t = {
   duration_hours : float;
@@ -19,63 +20,101 @@ type t = {
 
 let mb bytes = float_of_int bytes /. 1048576.0
 
-let of_trace ?accesses trace =
-  let users = ref Ids.User.Set.empty in
-  let migration_users = ref Ids.User.Set.empty in
-  let opens = ref 0
-  and closes = ref 0
-  and seeks = ref 0
-  and deletes = ref 0
-  and truncates = ref 0
-  and sreads = ref 0
-  and swrites = ref 0 in
-  let dir_bytes = ref 0 in
-  let t_min = ref infinity and t_max = ref neg_infinity in
+type acc = {
+  mutable users : Ids.User.Set.t;
+  mutable migration_users : Ids.User.Set.t;
+  mutable opens : int;
+  mutable closes : int;
+  mutable seeks : int;
+  mutable deletes : int;
+  mutable truncates : int;
+  mutable sreads : int;
+  mutable swrites : int;
+  mutable dir_bytes : int;
+  mutable t_min : float;
+  mutable t_max : float;
   (* Regular-file byte totals come from the access reconstruction so that
      directory closes are excluded. *)
-  let read_bytes = ref 0 and written_bytes = ref 0 in
-  let accesses =
-    match accesses with Some l -> l | None -> Session.of_trace trace
-  in
-  List.iter
-    (fun (a : Session.access) ->
-      if not a.a_is_dir then begin
-        read_bytes := !read_bytes + a.a_bytes_read;
-        written_bytes := !written_bytes + a.a_bytes_written
-      end)
-    accesses;
-  Array.iter
-    (fun (r : Record.t) ->
-      users := Ids.User.Set.add r.user !users;
-      if r.migrated then migration_users := Ids.User.Set.add r.user !migration_users;
-      if r.time < !t_min then t_min := r.time;
-      if r.time > !t_max then t_max := r.time;
-      match r.kind with
-      | Record.Open _ -> incr opens
-      | Record.Close _ -> incr closes
-      | Record.Reposition _ -> incr seeks
-      | Record.Delete _ -> incr deletes
-      | Record.Truncate _ -> incr truncates
-      | Record.Dir_read { bytes } -> dir_bytes := !dir_bytes + bytes
-      | Record.Shared_read _ -> incr sreads
-      | Record.Shared_write _ -> incr swrites)
-    trace;
+  mutable read_bytes : int;
+  mutable written_bytes : int;
+}
+
+let acc_create () =
+  {
+    users = Ids.User.Set.empty;
+    migration_users = Ids.User.Set.empty;
+    opens = 0;
+    closes = 0;
+    seeks = 0;
+    deletes = 0;
+    truncates = 0;
+    sreads = 0;
+    swrites = 0;
+    dir_bytes = 0;
+    t_min = infinity;
+    t_max = neg_infinity;
+    read_bytes = 0;
+    written_bytes = 0;
+  }
+
+let acc_record acc batch i =
+  let user = B.user_id batch i in
+  acc.users <- Ids.User.Set.add user acc.users;
+  if B.migrated batch i then
+    acc.migration_users <- Ids.User.Set.add user acc.migration_users;
+  let time = B.time batch i in
+  if time < acc.t_min then acc.t_min <- time;
+  if time > acc.t_max then acc.t_max <- time;
+  let tag = B.tag batch i in
+  if tag = B.tag_open then acc.opens <- acc.opens + 1
+  else if tag = B.tag_close then acc.closes <- acc.closes + 1
+  else if tag = B.tag_reposition then acc.seeks <- acc.seeks + 1
+  else if tag = B.tag_delete then acc.deletes <- acc.deletes + 1
+  else if tag = B.tag_truncate then acc.truncates <- acc.truncates + 1
+  else if tag = B.tag_dir_read then acc.dir_bytes <- acc.dir_bytes + B.a batch i
+  else if tag = B.tag_shared_read then acc.sreads <- acc.sreads + 1
+  else acc.swrites <- acc.swrites + 1
+
+let acc_access acc (a : Session.access) =
+  if not a.a_is_dir then begin
+    acc.read_bytes <- acc.read_bytes + a.a_bytes_read;
+    acc.written_bytes <- acc.written_bytes + a.a_bytes_written
+  end
+
+let acc_finish acc =
   {
     duration_hours =
-      (if !t_max > !t_min then (!t_max -. !t_min) /. 3600.0 else 0.0);
-    different_users = Ids.User.Set.cardinal !users;
-    users_of_migration = Ids.User.Set.cardinal !migration_users;
-    mbytes_read_files = mb !read_bytes;
-    mbytes_written_files = mb !written_bytes;
-    mbytes_read_dirs = mb !dir_bytes;
-    open_events = !opens;
-    close_events = !closes;
-    reposition_events = !seeks;
-    delete_events = !deletes;
-    truncate_events = !truncates;
-    shared_read_events = !sreads;
-    shared_write_events = !swrites;
+      (if acc.t_max > acc.t_min then (acc.t_max -. acc.t_min) /. 3600.0
+       else 0.0);
+    different_users = Ids.User.Set.cardinal acc.users;
+    users_of_migration = Ids.User.Set.cardinal acc.migration_users;
+    mbytes_read_files = mb acc.read_bytes;
+    mbytes_written_files = mb acc.written_bytes;
+    mbytes_read_dirs = mb acc.dir_bytes;
+    open_events = acc.opens;
+    close_events = acc.closes;
+    reposition_events = acc.seeks;
+    delete_events = acc.deletes;
+    truncate_events = acc.truncates;
+    shared_read_events = acc.sreads;
+    shared_write_events = acc.swrites;
   }
+
+let of_batch ?accesses batch =
+  let acc = acc_create () in
+  (match accesses with
+  | Some l ->
+    List.iter (acc_access acc) l;
+    for i = 0 to B.length batch - 1 do
+      acc_record acc batch i
+    done
+  | None ->
+    Session.sweep batch
+      ~on_record:(fun i -> acc_record acc batch i)
+      ~on_access:(acc_access acc));
+  acc_finish acc
+
+let of_trace ?accesses trace = of_batch ?accesses (B.of_array trace)
 
 let pp ppf t =
   Format.fprintf ppf

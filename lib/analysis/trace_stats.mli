@@ -16,11 +16,28 @@ type t = {
   shared_write_events : int;
 }
 
-val of_trace : ?accesses:Session.access list -> Dfs_trace.Record.t array -> t
+val of_batch : ?accesses:Session.access list -> Dfs_trace.Record_batch.t -> t
 (** Event counts straight off the records; megabytes read/written come
     from the per-access totals carried on closes of regular files
     (directory data is counted separately, from directory-read records).
     Pass [accesses] to reuse an already-computed access reconstruction
     (e.g. {!Dfs_core.Dataset.sessions}) instead of rebuilding it. *)
+
+val of_trace : ?accesses:Session.access list -> Dfs_trace.Record.t array -> t
+(** {!of_batch} on a boxed-record trace. *)
+
+(** Incremental accumulator used by the fused analysis pass: feed every
+    record index with {!acc_record} and every completed access with
+    {!acc_access} (all contributions are commutative). *)
+
+type acc
+
+val acc_create : unit -> acc
+
+val acc_record : acc -> Dfs_trace.Record_batch.t -> int -> unit
+
+val acc_access : acc -> Session.access -> unit
+
+val acc_finish : acc -> t
 
 val pp : Format.formatter -> t -> unit

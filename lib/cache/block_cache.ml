@@ -129,6 +129,18 @@ type dirty_info = {
          that could plausibly have expired. *)
 }
 
+(* Dense indices for the per-reason timing stats.  [clean_block] and
+   [evict_one] are on the simulation's hottest path (every writeback and
+   eviction), so the lookup must not walk an assoc list. *)
+let clean_index = function
+  | Clean_delay -> 0
+  | Clean_fsync -> 1
+  | Clean_recall -> 2
+  | Clean_vm -> 3
+  | Clean_eviction -> 4
+
+let replace_index = function Replace_for_block -> 0 | Replace_to_vm -> 1
+
 type t = {
   cfg : config;
   backend : backend;
@@ -138,9 +150,15 @@ type t = {
   mutable capacity : int;
   mutable dirty_count : int;
   stats : stats;
+  cleaning_stats : Dfs_util.Stats.t array;  (* indexed by [clean_index] *)
+  replacement_stats : Dfs_util.Stats.t array;  (* by [replace_index] *)
 }
 
 let create ?(config = default_config) backend =
+  (* The dense arrays are the store; the public assoc lists share the
+     same (mutable) [Stats.t] values, so both views always agree. *)
+  let cleaning_stats = Array.init 5 (fun _ -> Dfs_util.Stats.create ()) in
+  let replacement_stats = Array.init 2 (fun _ -> Dfs_util.Stats.create ()) in
   {
     cfg = config;
     backend;
@@ -159,13 +177,15 @@ let create ?(config = default_config) backend =
         dirty_bytes_discarded = 0;
         cleanings =
           List.map
-            (fun r -> (r, Dfs_util.Stats.create ()))
+            (fun r -> (r, cleaning_stats.(clean_index r)))
             [ Clean_delay; Clean_fsync; Clean_recall; Clean_vm; Clean_eviction ];
         replacements =
           List.map
-            (fun r -> (r, Dfs_util.Stats.create ()))
+            (fun r -> (r, replacement_stats.(replace_index r)))
             [ Replace_for_block; Replace_to_vm ];
       };
+    cleaning_stats;
+    replacement_stats;
   }
 
 let config t = t.cfg
@@ -216,9 +236,9 @@ let note_clean t b =
     | None -> assert false
   end
 
-let cleaning_stat t reason = List.assoc reason t.stats.cleanings
+let cleaning_stat t reason = t.cleaning_stats.(clean_index reason)
 
-let replacement_stat t reason = List.assoc reason t.stats.replacements
+let replacement_stat t reason = t.replacement_stats.(replace_index reason)
 
 let clean_block t ~now b ~reason =
   if b.dirty then begin

@@ -1,5 +1,6 @@
 module Record = Dfs_trace.Record
 module Ids = Dfs_trace.Ids
+module B = Dfs_trace.Record_batch
 
 type report = {
   interval : float;
@@ -20,7 +21,7 @@ type entry = { mutable seen : int; mutable last_check : float }
 
 type file_state = { mutable version : int; mutable last_writer : int }
 
-let simulate ~interval trace =
+let simulate ~interval batch =
   let files : file_state Ids.File.Tbl.t = Ids.File.Tbl.create 1024 in
   let cache : (int * int, entry) Hashtbl.t = Hashtbl.create 4096 in
   (* (client, file) -> entry *)
@@ -71,62 +72,62 @@ let simulate ~interval trace =
   let handles : (int * int * int, bool list ref) Hashtbl.t =
     Hashtbl.create 1024
   in
-  let handle_key (r : Record.t) =
-    ( Ids.Client.to_int r.client,
-      Ids.Process.to_int r.pid,
-      Ids.File.to_int r.file )
-  in
-  Array.iter
-    (fun (r : Record.t) ->
-      users := Ids.User.Set.add r.user !users;
-      if r.time < !t_min then t_min := r.time;
-      if r.time > !t_max then t_max := r.time;
-      let client = Ids.Client.to_int r.client in
-      match r.kind with
-      | Record.Open { mode; is_dir = false; _ } ->
+  let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
+  for i = 0 to B.length batch - 1 do
+    let time = B.time batch i and user = B.user_id batch i in
+    users := Ids.User.Set.add user !users;
+    if time < !t_min then t_min := time;
+    if time > !t_max then t_max := time;
+    let client = B.client batch i in
+    let file () = B.file_id batch i in
+    let tag = B.tag batch i in
+    if tag = B.tag_open then begin
+      if not (B.is_dir batch i) then begin
         incr file_opens;
-        if r.migrated then incr migrated_opens;
+        let migrated = B.migrated batch i in
+        if migrated then incr migrated_opens;
         let reads =
-          match mode with
+          match B.open_mode batch i with
           | Record.Read_only | Record.Read_write -> true
           | Record.Write_only -> false
         in
-        let stale = if reads then read ~now:r.time ~client r.file else false in
+        let stale = if reads then read ~now:time ~client (file ()) else false in
         if stale then begin
           incr errors;
           incr opens_with_error;
-          if r.migrated then incr migrated_opens_with_error;
-          affected := Ids.User.Set.add r.user !affected
+          if migrated then incr migrated_opens_with_error;
+          affected := Ids.User.Set.add user !affected
         end;
         let l =
-          match Hashtbl.find_opt handles (handle_key r) with
+          match Hashtbl.find_opt handles (handle_key i) with
           | Some l -> l
           | None ->
             let l = ref [] in
-            Hashtbl.replace handles (handle_key r) l;
+            Hashtbl.replace handles (handle_key i) l;
             l
         in
         l := reads :: !l
-      | Record.Close { bytes_written; _ } -> (
-        match Hashtbl.find_opt handles (handle_key r) with
-        | Some ({ contents = _ :: rest } as l) ->
-          l := rest;
-          if rest = [] then Hashtbl.remove handles (handle_key r);
-          if bytes_written > 0 then publish ~client r.file
-        | Some { contents = [] } | None ->
-          if bytes_written > 0 then publish ~client r.file)
-      | Record.Shared_read _ ->
-        if read ~now:r.time ~client r.file then begin
-          incr errors;
-          affected := Ids.User.Set.add r.user !affected
-        end
-      | Record.Shared_write _ -> publish ~client r.file
-      | Record.Delete _ ->
-        Ids.File.Tbl.remove files r.file
-      | Record.Open _ | Record.Reposition _ | Record.Truncate _
-      | Record.Dir_read _ ->
-        ())
-    trace;
+      end
+    end
+    else if tag = B.tag_close then begin
+      let bytes_written = B.d batch i in
+      match Hashtbl.find_opt handles (handle_key i) with
+      | Some ({ contents = _ :: rest } as l) ->
+        l := rest;
+        if rest = [] then Hashtbl.remove handles (handle_key i);
+        if bytes_written > 0 then publish ~client (file ())
+      | Some { contents = [] } | None ->
+        if bytes_written > 0 then publish ~client (file ())
+    end
+    else if tag = B.tag_shared_read then begin
+      if read ~now:time ~client (file ()) then begin
+        incr errors;
+        affected := Ids.User.Set.add user !affected
+      end
+    end
+    else if tag = B.tag_shared_write then publish ~client (file ())
+    else if tag = B.tag_delete then Ids.File.Tbl.remove files (file ())
+  done;
   let duration_hours =
     if !t_max > !t_min then (!t_max -. !t_min) /. 3600.0 else 0.0
   in

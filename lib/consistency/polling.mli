@@ -25,7 +25,7 @@ type report = {
   seen_user_ids : Dfs_trace.Ids.User.Set.t;
 }
 
-val simulate : interval:float -> Dfs_trace.Record.t array -> report
+val simulate : interval:float -> Dfs_trace.Record_batch.t -> report
 
 val pct_users_affected : report -> float
 

@@ -22,67 +22,63 @@ let is_writer = function
 
 (* The close record does not carry the open mode; recover it from the
    handle's matching open, tracked per (client, pid, file). *)
-let extract trace =
+let extract batch =
+  let module B = Dfs_trace.Record_batch in
   let shared_files = ref Ids.File.Set.empty in
-  Array.iter
-    (fun (r : Record.t) ->
-      match r.kind with
-      | Record.Shared_read _ | Record.Shared_write _ ->
-        shared_files := Ids.File.Set.add r.file !shared_files
-      | _ -> ())
-    trace;
+  for i = 0 to B.length batch - 1 do
+    let tag = B.tag batch i in
+    if tag = B.tag_shared_read || tag = B.tag_shared_write then
+      shared_files := Ids.File.Set.add (B.file_id batch i) !shared_files
+  done;
   let handle_modes : (int * int * int, Record.open_mode list ref) Hashtbl.t =
     Hashtbl.create 256
   in
-  let handle_key (r : Record.t) =
-    ( Ids.Client.to_int r.client,
-      Ids.Process.to_int r.pid,
-      Ids.File.to_int r.file )
-  in
+  let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
   let per_file : timed list ref Ids.File.Tbl.t = Ids.File.Tbl.create 64 in
-  let emit (r : Record.t) ev =
+  let emit i ev =
     let l =
-      match Ids.File.Tbl.find_opt per_file r.file with
+      match Ids.File.Tbl.find_opt per_file (B.file_id batch i) with
       | Some l -> l
       | None ->
         let l = ref [] in
-        Ids.File.Tbl.replace per_file r.file l;
+        Ids.File.Tbl.replace per_file (B.file_id batch i) l;
         l
     in
-    l := { time = r.time; ev } :: !l
+    l := { time = B.time batch i; ev } :: !l
   in
-  Array.iter
-    (fun (r : Record.t) ->
-      if Ids.File.Set.mem r.file !shared_files then begin
-        let client = Ids.Client.to_int r.client in
-        match r.kind with
-        | Record.Open { mode; is_dir = false; _ } ->
+  for i = 0 to B.length batch - 1 do
+    if Ids.File.Set.mem (B.file_id batch i) !shared_files then begin
+      let client = B.client batch i in
+      let tag = B.tag batch i in
+      if tag = B.tag_open then begin
+        if not (B.is_dir batch i) then begin
+          let mode = B.open_mode batch i in
           let modes =
-            match Hashtbl.find_opt handle_modes (handle_key r) with
+            match Hashtbl.find_opt handle_modes (handle_key i) with
             | Some l -> l
             | None ->
               let l = ref [] in
-              Hashtbl.replace handle_modes (handle_key r) l;
+              Hashtbl.replace handle_modes (handle_key i) l;
               l
           in
           modes := mode :: !modes;
-          emit r (Open { client; writer = is_writer mode })
-        | Record.Close _ -> (
-          match Hashtbl.find_opt handle_modes (handle_key r) with
-          | Some ({ contents = mode :: rest } as modes) ->
-            modes := rest;
-            if rest = [] then Hashtbl.remove handle_modes (handle_key r);
-            emit r (Close { client; writer = is_writer mode })
-          | Some { contents = [] } | None -> ())
-        | Record.Shared_read { offset; length } ->
-          emit r (Read { client; off = offset; len = length })
-        | Record.Shared_write { offset; length } ->
-          emit r (Write { client; off = offset; len = length })
-        | Record.Open _ | Record.Reposition _ | Record.Delete _
-        | Record.Truncate _ | Record.Dir_read _ ->
-          ()
-      end)
-    trace;
+          emit i (Open { client; writer = is_writer mode })
+        end
+      end
+      else if tag = B.tag_close then begin
+        match Hashtbl.find_opt handle_modes (handle_key i) with
+        | Some ({ contents = mode :: rest } as modes) ->
+          modes := rest;
+          if rest = [] then Hashtbl.remove handle_modes (handle_key i);
+          emit i (Close { client; writer = is_writer mode })
+        | Some { contents = [] } | None -> ()
+      end
+      else if tag = B.tag_shared_read then
+        emit i (Read { client; off = B.a batch i; len = B.b batch i })
+      else if tag = B.tag_shared_write then
+        emit i (Write { client; off = B.a batch i; len = B.b batch i })
+    end
+  done;
   Ids.File.Tbl.fold
     (fun file events acc ->
       let events = List.rev !events in

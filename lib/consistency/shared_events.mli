@@ -22,7 +22,7 @@ type stream = {
   requests : int;  (** number of Read/Write events *)
 }
 
-val extract : Dfs_trace.Record.t array -> stream list
+val extract : Dfs_trace.Record_batch.t -> stream list
 (** One stream per file that experienced write-sharing (i.e. has at least
     one shared read/write record). *)
 

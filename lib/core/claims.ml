@@ -29,7 +29,7 @@ let per_trace (ds : Dataset.t) f = List.map (fun r -> f r) ds.runs
 
 let activity ?(migrated_only = false) ~interval ds =
   per_trace ds (fun r ->
-      A.Activity.analyze ~migrated_only ~interval r.Dataset.trace)
+      A.Activity.analyze ~migrated_only ~interval r.Dataset.batch)
 
 let avg_tput ?migrated_only ~interval ds =
   mean
@@ -55,7 +55,7 @@ let server_traffic (ds : Dataset.t) =
     (Dfs_sim.Traffic.create ()) ds.runs
 
 let polling ~interval ds =
-  per_trace ds (fun r -> C.Polling.simulate ~interval r.Dataset.trace)
+  per_trace ds (fun r -> C.Polling.simulate ~interval r.Dataset.batch)
 
 (* -- the claims ------------------------------------------------------------- *)
 
@@ -99,7 +99,7 @@ let all =
       c_hi = 100.0;
       c_measure =
         (fun ds ->
-          let pats = per_trace ds (fun r -> A.Access_patterns.of_trace r.trace) in
+          let pats = per_trace ds (fun r -> (Dataset.fused r).A.Fused.access_patterns) in
           mean
             (List.map
                (fun (p : A.Access_patterns.t) ->
@@ -123,7 +123,7 @@ let all =
         (fun ds ->
           mean
             (per_trace ds (fun r ->
-                 let f = A.Run_length.of_trace r.trace in
+                 let f = (Dataset.fused r).A.Fused.run_length in
                  100.0 *. Dfs_util.Cdf.fraction_below f.by_runs 10240.0)));
     };
     {
@@ -140,7 +140,7 @@ let all =
         (fun ds ->
           mean
             (per_trace ds (fun r ->
-                 let f = A.Run_length.of_trace r.trace in
+                 let f = (Dataset.fused r).A.Fused.run_length in
                  100.0 *. (1.0 -. Dfs_util.Cdf.fraction_below f.by_bytes 1048576.0))));
     };
     {
@@ -156,7 +156,7 @@ let all =
           mean
             (per_trace ds (fun r ->
                  100.0
-                 *. A.Open_time.fraction_under (A.Open_time.of_trace r.trace) 0.25)));
+                 *. A.Open_time.fraction_under (Dataset.fused r).A.Fused.open_time 0.25)));
     };
     {
       c_id = "short-file-lifetimes";
@@ -171,7 +171,7 @@ let all =
           mean
             (per_trace ds (fun r ->
                  100.0
-                 *. A.Lifetime.fraction_files_under (A.Lifetime.analyze r.trace) 30.0)));
+                 *. A.Lifetime.fraction_files_under (Dataset.fused r).A.Fused.lifetime 30.0)));
     };
     {
       c_id = "byte-lifetimes-longer";
@@ -188,7 +188,7 @@ let all =
           mean
             (per_trace ds (fun r ->
                  100.0
-                 *. A.Lifetime.fraction_bytes_under (A.Lifetime.analyze r.trace) 30.0)));
+                 *. A.Lifetime.fraction_bytes_under (Dataset.fused r).A.Fused.lifetime 30.0)));
     };
     {
       c_id = "cache-size";
@@ -324,7 +324,7 @@ let all =
           mean
             (per_trace ds (fun r ->
                  A.Consistency_stats.sharing_pct
-                   (A.Consistency_stats.analyze r.trace))));
+                   (A.Consistency_stats.analyze r.batch))));
     };
     {
       c_id = "recall-rate";
@@ -341,7 +341,7 @@ let all =
           mean
             (per_trace ds (fun r ->
                  A.Consistency_stats.recall_pct
-                   (A.Consistency_stats.analyze r.trace))));
+                   (A.Consistency_stats.analyze r.batch))));
     };
     {
       c_id = "polling-users-affected";
@@ -393,7 +393,7 @@ let all =
           let ratios =
             List.filter_map
               (fun (r : Dataset.run) ->
-                let streams = C.Shared_events.extract r.trace in
+                let streams = C.Shared_events.extract r.batch in
                 let d = C.Shared_events.total_requested streams in
                 if d = 0 then None
                 else

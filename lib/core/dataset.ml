@@ -1,20 +1,21 @@
 module Presets = Dfs_workload.Presets
 
-(* Session reconstruction is needed by half a dozen analyses; computing
-   it once per run and sharing the result is the point of this memo.
-   Filled on first demand under a double-checked mutex — OCaml's [Lazy]
-   is not safe to force from several domains, and analyses of different
-   runs do race on a parallel bench. *)
+(* The fused single-pass analysis (session reconstruction plus the six
+   per-record/per-access folds) is needed by half a dozen experiments;
+   computing it once per run and sharing the result is the point of this
+   memo.  Filled on first demand under a double-checked mutex — OCaml's
+   [Lazy] is not safe to force from several domains, and analyses of
+   different runs do race on a parallel bench. *)
 type memo = {
   lock : Mutex.t;
-  mutable accesses : Dfs_analysis.Session.access list option;
+  mutable fused : Dfs_analysis.Fused.t option;
 }
 
 type run = {
   preset : Presets.preset;
   cluster : Dfs_sim.Cluster.t;
   driver : Dfs_workload.Driver.t;
-  trace : Dfs_trace.Record.t array;
+  batch : Dfs_trace.Record_batch.t;
   memo : memo;
 }
 
@@ -36,7 +37,7 @@ let simulate_preset ~scale ~faults n =
     (preset.duration /. 3600.0);
   let t0 = Unix.gettimeofday () in
   let cluster, driver = Presets.run preset in
-  let trace = Dfs_sim.Cluster.merged_trace_array cluster in
+  let batch = Dfs_trace.Record_batch.of_list (Dfs_sim.Cluster.merged_trace cluster) in
   let elapsed = Unix.gettimeofday () -. t0 in
   (* Engine self-profiling: wall time per simulated run phase. *)
   Dfs_obs.Metrics.set
@@ -48,8 +49,8 @@ let simulate_preset ~scale ~faults n =
     preset;
     cluster;
     driver;
-    trace;
-    memo = { lock = Mutex.create (); accesses = None };
+    batch;
+    memo = { lock = Mutex.create (); fused = None };
   }
 
 let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults () =
@@ -69,20 +70,22 @@ let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults () =
     (float_of_int (Dfs_util.Pool.jobs pool));
   { scale; jobs = Dfs_util.Pool.jobs pool; runs }
 
-let sessions run =
-  match run.memo.accesses with
-  | Some l -> l
+let fused run =
+  match run.memo.fused with
+  | Some f -> f
   | None ->
     Mutex.lock run.memo.lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock run.memo.lock)
       (fun () ->
-        match run.memo.accesses with
-        | Some l -> l
+        match run.memo.fused with
+        | Some f -> f
         | None ->
-          let l = Dfs_analysis.Session.of_trace run.trace in
-          run.memo.accesses <- Some l;
-          l)
+          let f = Dfs_analysis.Fused.analyze run.batch in
+          run.memo.fused <- Some f;
+          f)
+
+let sessions run = (fused run).Dfs_analysis.Fused.accesses
 
 let client_cache_stats run =
   Array.to_list
@@ -105,4 +108,4 @@ let merged_counters t =
     t.runs;
   merged
 
-let traces t = List.map (fun r -> r.trace) t.runs
+let traces t = List.map (fun r -> r.batch) t.runs

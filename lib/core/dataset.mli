@@ -10,13 +10,13 @@
     result is byte-identical whatever the job count. *)
 
 type memo
-(** Per-run cache of derived analysis inputs; see {!sessions}. *)
+(** Per-run cache of derived analysis results; see {!fused}. *)
 
 type run = {
   preset : Dfs_workload.Presets.preset;
   cluster : Dfs_sim.Cluster.t;  (** finished run *)
   driver : Dfs_workload.Driver.t;
-  trace : Dfs_trace.Record.t array;  (** merged, scrubbed, time-ordered *)
+  batch : Dfs_trace.Record_batch.t;  (** merged, scrubbed, time-ordered *)
   memo : memo;
 }
 
@@ -41,10 +41,14 @@ val default_scale : unit -> float
 (** 1.0 when the environment variable [DFS_FULL] is set, else 0.05 —
     enough for stable shapes while keeping the whole suite fast. *)
 
+val fused : run -> Dfs_analysis.Fused.t
+(** The run's fused single-pass analysis (trace stats, size/open-time/
+    run-length distributions, access patterns, lifetimes and the access
+    reconstruction), computed in one sweep on first use and shared by
+    every experiment on this run.  Safe to call from several domains. *)
+
 val sessions : run -> Dfs_analysis.Session.access list
-(** The run's access reconstruction ({!Dfs_analysis.Session.of_trace}),
-    computed on first use and shared by every analysis of this run.
-    Safe to call from several domains. *)
+(** The access reconstruction from {!fused}. *)
 
 val client_cache_stats : run -> Dfs_cache.Block_cache.stats list
 
@@ -52,4 +56,4 @@ val merged_counters : t -> Dfs_sim.Counters.t
 (** All runs' counter samples concatenated (Table 4 uses every machine
     and day). *)
 
-val traces : t -> Dfs_trace.Record.t array list
+val traces : t -> Dfs_trace.Record_batch.t list

@@ -60,7 +60,7 @@ let table1 =
     in
     let stats =
       per_trace ds (fun r ->
-          A.Trace_stats.of_trace ~accesses:(Dataset.sessions r) r.trace)
+          (Dataset.fused r).A.Fused.stats)
     in
     let row label f fmt =
       Table.add_row tbl (label :: List.map (fun s -> fmt (f s)) stats)
@@ -112,7 +112,7 @@ let table2 =
   let run (ds : Dataset.t) =
     let analyze ~migrated_only ~interval =
       per_trace ds (fun r ->
-          A.Activity.analyze ~migrated_only ~interval r.trace)
+          A.Activity.analyze ~migrated_only ~interval r.batch)
     in
     let render ~label ~interval ~(paper_all : Paper.activity_col)
         ~(paper_mig : Paper.activity_col) ~bsd_users ~bsd_tput =
@@ -219,7 +219,7 @@ let table2 =
 let table3 =
   let run (ds : Dataset.t) =
     let reports =
-      per_trace ds (fun r -> A.Access_patterns.analyze (Dataset.sessions r))
+      per_trace ds (fun r -> (Dataset.fused r).A.Fused.access_patterns)
     in
     let tbl =
       Table.create ~caption:"Table 3. File access patterns (percent)."
@@ -313,7 +313,7 @@ let fig1 =
   let run (ds : Dataset.t) =
     let per =
       per_trace ds (fun r ->
-          (r.preset.name, A.Run_length.analyze (Dataset.sessions r)))
+          (r.preset.name, (Dataset.fused r).A.Fused.run_length))
     in
     let pooled_runs = Cdf.create () and pooled_bytes = Cdf.create () in
     List.iter
@@ -365,7 +365,7 @@ let fig1 =
 let fig2 =
   let run (ds : Dataset.t) =
     let per =
-      per_trace ds (fun r -> A.File_size.analyze (Dataset.sessions r))
+      per_trace ds (fun r -> (Dataset.fused r).A.Fused.file_size)
     in
     let pooled_files = Cdf.create () and pooled_bytes = Cdf.create () in
     List.iter
@@ -406,7 +406,7 @@ let fig2 =
 let fig3 =
   let run (ds : Dataset.t) =
     let per =
-      per_trace ds (fun r -> A.Open_time.analyze (Dataset.sessions r))
+      per_trace ds (fun r -> (Dataset.fused r).A.Fused.open_time)
     in
     let pooled = Cdf.create () in
     List.iter
@@ -457,7 +457,7 @@ let fig4 =
   let run (ds : Dataset.t) =
     let per =
       per_trace ds (fun r ->
-          A.Lifetime.analyze ~accesses:(Dataset.sessions r) r.trace)
+          (Dataset.fused r).A.Fused.lifetime)
     in
     let pooled_files = Cdf.create () and pooled_bytes = Cdf.create () in
     List.iter
@@ -862,7 +862,7 @@ let table9 =
 
 let table10 =
   let run (ds : Dataset.t) =
-    let reports = per_trace ds (fun r -> A.Consistency_stats.analyze r.trace) in
+    let reports = per_trace ds (fun r -> A.Consistency_stats.analyze r.batch) in
     let sharing = List.map A.Consistency_stats.sharing_pct reports in
     let recall = List.map A.Consistency_stats.recall_pct reports in
     let tbl =
@@ -906,7 +906,7 @@ let table11 =
   let run (ds : Dataset.t) =
     let render ~interval ~(paper : Paper.t11_col) =
       let reports =
-        per_trace ds (fun r -> C.Polling.simulate ~interval r.trace)
+        per_trace ds (fun r -> C.Polling.simulate ~interval r.batch)
       in
       let all_affected =
         List.fold_left
@@ -991,7 +991,7 @@ let table12 =
     let per =
       List.filter_map
         (fun (r : Dataset.run) ->
-          let streams = C.Shared_events.extract r.trace in
+          let streams = C.Shared_events.extract r.batch in
           let demand_bytes = C.Shared_events.total_requested streams in
           let demand_requests = C.Shared_events.total_requests streams in
           (* short scaled traces can have no write-sharing at all; they

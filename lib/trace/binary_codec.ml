@@ -1,0 +1,231 @@
+let magic = "\xD7DFSB\x01"
+
+let is_binary s =
+  String.length s >= String.length magic
+  && String.sub s 0 (String.length magic) = magic
+
+(* Payload varints per kind tag (Record_batch columns a..d). *)
+let payload_arity = [| 2; 4; 2; 1; 1; 1; 2; 2 |]
+
+(* Flag bits a well-formed tag byte may carry, per kind. Anything outside
+   this mask marks a corrupt stream. *)
+let flag_mask = function
+  | 0 -> 0xF8 (* open: migrated, mode, created, is_dir *)
+  | 3 -> 0x88 (* delete: migrated, is_dir *)
+  | _ -> 0x08 (* others: migrated only *)
+
+let tag_ok raw =
+  let kind = raw land 0x07 in
+  raw land lnot (flag_mask kind) land 0xF8 = 0
+  && (kind <> 0 || (raw lsr 4) land 0x03 <> 3)
+
+(* -- varints -------------------------------------------------------------- *)
+
+let[@inline] zigzag n = (n lsl 1) lxor (n asr 62)
+
+let[@inline] unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+let[@inline] zigzag64 n = Int64.logxor (Int64.shift_left n 1) (Int64.shift_right n 63)
+
+let[@inline] unzigzag64 n =
+  Int64.logxor
+    (Int64.shift_right_logical n 1)
+    (Int64.neg (Int64.logand n 1L))
+
+let add_varint buf n =
+  (* Unsigned LEB128 over the 63-bit native int (always zigzagged first,
+     so [n] is non-negative). *)
+  let n = ref n in
+  while !n land lnot 0x7F <> 0 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!n land 0x7F)));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !n)
+
+let add_varint64 buf n =
+  let n = ref n in
+  while Int64.logand !n (Int64.lognot 0x7FL) <> 0L do
+    Buffer.add_char buf
+      (Char.unsafe_chr (0x80 lor (Int64.to_int (Int64.logand !n 0x7FL))));
+    n := Int64.shift_right_logical !n 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr (Int64.to_int !n))
+
+exception Truncated
+
+let read_varint s pos =
+  (* Returns the raw (zigzagged) value; raises [Truncated] past the end. *)
+  let len = String.length s in
+  let n = ref 0 and shift = ref 0 and i = ref pos and continue = ref true in
+  while !continue do
+    if !i >= len then raise Truncated;
+    let byte = Char.code (String.unsafe_get s !i) in
+    incr i;
+    n := !n lor ((byte land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    continue := byte land 0x80 <> 0
+  done;
+  (!n, !i)
+
+let read_varint64 s pos =
+  let len = String.length s in
+  let n = ref 0L and shift = ref 0 and i = ref pos and continue = ref true in
+  while !continue do
+    if !i >= len then raise Truncated;
+    let byte = Char.code (String.unsafe_get s !i) in
+    incr i;
+    n :=
+      Int64.logor !n
+        (Int64.shift_left (Int64.of_int (byte land 0x7F)) !shift);
+    shift := !shift + 7;
+    continue := byte land 0x80 <> 0
+  done;
+  (!n, !i)
+
+(* -- encoding ------------------------------------------------------------- *)
+
+module Encoder = struct
+  type t = {
+    buf : Buffer.t;
+    mutable time_bits : int64;
+    mutable server : int;
+    mutable client : int;
+    mutable user : int;
+    mutable pid : int;
+    mutable file : int;
+  }
+
+  let create () =
+    {
+      buf = Buffer.create 64;
+      time_bits = 0L;
+      server = 0;
+      client = 0;
+      user = 0;
+      pid = 0;
+      file = 0;
+    }
+
+  let encode_fields t ~time ~server ~client ~user ~pid ~file ~raw_tag ~a ~b ~c
+      ~d =
+    let buf = t.buf in
+    Buffer.clear buf;
+    Buffer.add_char buf (Char.unsafe_chr raw_tag);
+    let bits = Int64.bits_of_float time in
+    add_varint64 buf (zigzag64 (Int64.sub bits t.time_bits));
+    t.time_bits <- bits;
+    add_varint buf (zigzag (server - t.server));
+    t.server <- server;
+    add_varint buf (zigzag (client - t.client));
+    t.client <- client;
+    add_varint buf (zigzag (user - t.user));
+    t.user <- user;
+    add_varint buf (zigzag (pid - t.pid));
+    t.pid <- pid;
+    add_varint buf (zigzag (file - t.file));
+    t.file <- file;
+    let arity = payload_arity.(raw_tag land 0x07) in
+    add_varint buf (zigzag a);
+    if arity >= 2 then add_varint buf (zigzag b);
+    if arity >= 3 then begin
+      add_varint buf (zigzag c);
+      add_varint buf (zigzag d)
+    end;
+    Buffer.contents buf
+
+  let encode t (r : Record.t) =
+    let raw_tag, a, b, c, d = Record_batch.pack_kind r.kind ~migrated:r.migrated in
+    encode_fields t ~time:r.time
+      ~server:(Ids.Server.to_int r.server)
+      ~client:(Ids.Client.to_int r.client)
+      ~user:(Ids.User.to_int r.user)
+      ~pid:(Ids.Process.to_int r.pid)
+      ~file:(Ids.File.to_int r.file)
+      ~raw_tag ~a ~b ~c ~d
+end
+
+let encode_batch batch =
+  let out = Buffer.create (32 * Record_batch.length batch + 16) in
+  Buffer.add_string out magic;
+  let enc = Encoder.create () in
+  for i = 0 to Record_batch.length batch - 1 do
+    Buffer.add_string out
+      (Encoder.encode_fields enc
+         ~time:(Record_batch.time batch i)
+         ~server:(Record_batch.server batch i)
+         ~client:(Record_batch.client batch i)
+         ~user:(Record_batch.user batch i)
+         ~pid:(Record_batch.pid batch i)
+         ~file:(Record_batch.file batch i)
+         ~raw_tag:(Record_batch.raw_tag batch i)
+         ~a:(Record_batch.a batch i) ~b:(Record_batch.b batch i)
+         ~c:(Record_batch.c batch i) ~d:(Record_batch.d batch i))
+  done;
+  Buffer.contents out
+
+(* -- decoding ------------------------------------------------------------- *)
+
+let decode_string s =
+  if not (is_binary s) then
+    Error
+      (Printf.sprintf "bad binary trace magic %S"
+         (String.sub s 0 (min (String.length s) (String.length magic))))
+  else begin
+    let len = String.length s in
+    let builder = Record_batch.Builder.create ~capacity:(max 16 (len / 16)) () in
+    let pos = ref (String.length magic) in
+    let time_bits = ref 0L in
+    let server = ref 0
+    and client = ref 0
+    and user = ref 0
+    and pid = ref 0
+    and file = ref 0 in
+    let err = ref None in
+    (try
+       while !pos < len do
+         let record_start = !pos in
+         let raw_tag = Char.code (String.unsafe_get s !pos) in
+         incr pos;
+         if not (tag_ok raw_tag) then begin
+           err :=
+             Some
+               (Printf.sprintf "byte %d: malformed tag 0x%02x" record_start
+                  raw_tag);
+           raise Exit
+         end;
+         let delta, p = read_varint64 s !pos in
+         pos := p;
+         time_bits := Int64.add !time_bits (unzigzag64 delta);
+         let time = Int64.float_of_bits !time_bits in
+         let delta_of r =
+           let v, p = read_varint s !pos in
+           pos := p;
+           r := !r + unzigzag v;
+           !r
+         in
+         let server = delta_of server in
+         let client = delta_of client in
+         let user = delta_of user in
+         let pid = delta_of pid in
+         let file = delta_of file in
+         let arity = payload_arity.(raw_tag land 0x07) in
+         let payload () =
+           let v, p = read_varint s !pos in
+           pos := p;
+           unzigzag v
+         in
+         let a = payload () in
+         let b = if arity >= 2 then payload () else 0 in
+         let c = if arity >= 3 then payload () else 0 in
+         let d = if arity >= 3 then payload () else 0 in
+         Record_batch.Builder.add_raw builder ~time ~server ~client ~user
+           ~pid ~file ~raw_tag ~a ~b ~c ~d
+       done
+     with
+    | Exit -> ()
+    | Truncated ->
+      err := Some "truncated binary trace (unexpected end of data)");
+    match !err with
+    | None -> Ok (Record_batch.Builder.finish builder)
+    | Some e -> Error e
+  end

@@ -1,0 +1,39 @@
+(** Compact binary trace format.
+
+    Layout: a 6-byte magic+version header ({!magic}), then one variable
+    length record after another with no framing:
+
+    {v tag byte        kind + flag bits (Record_batch tag layout)
+       time            varint64 of zigzag(delta of IEEE-754 bits vs prev)
+       server..file    5 zigzag varints, each a delta vs the previous record
+       payload         1-4 zigzag varints, count fixed by the kind v}
+
+    Encoding the time as a delta of the float's bit pattern is lossless
+    (round-trips are exact, unlike the text codec's [%.6f]) and small for
+    sorted traces: doubles of nearby magnitude share high bits, so the
+    bit delta of consecutive timestamps is a small integer. *)
+
+val magic : string
+(** ["\xD7DFSB\x01"] — an invalid-UTF-8 first byte so a binary trace can
+    never be confused with the text header, then format id and version. *)
+
+val is_binary : string -> bool
+(** Does the buffer start with {!magic}? (Prefix check only.) *)
+
+(** Streaming encoder; carries the delta state between records. *)
+module Encoder : sig
+  type t
+
+  val create : unit -> t
+
+  val encode : t -> Record.t -> string
+  (** Bytes for one record (header not included). Records must be encoded
+      in the order they will be decoded. *)
+end
+
+val encode_batch : Record_batch.t -> string
+(** Whole trace as one string, magic included. *)
+
+val decode_string : string -> (Record_batch.t, string) result
+(** Decode a whole binary trace (magic included). Reports truncation,
+    bad magic, and malformed tag bytes. *)

@@ -9,7 +9,14 @@ val header : string
 (** The version header line (without newline). *)
 
 val encode : Record.t -> string
-(** One line, without the trailing newline. *)
+(** One line, without the trailing newline.
+
+    Precision contract: times are printed with [%.6f], so one
+    encode/decode cycle quantizes the time to the nearest microsecond
+    (within 5e-7 of the original); times already quantized — including
+    everything previously read from a text trace — round-trip exactly,
+    as does every other field.  Use the binary format
+    ({!Binary_codec}) when bit-exact times matter. *)
 
 val decode : string -> (Record.t, string) result
 (** Parse one line. The error string describes the first problem found. *)

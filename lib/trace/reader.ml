@@ -24,9 +24,34 @@ let parse_lines lines ~init ~f =
 
 let lines_of_string s = String.split_on_char '\n' s |> List.to_seq
 
+let fold_string s ~init ~f =
+  if Binary_codec.is_binary s then
+    Result.map
+      (fun batch ->
+        let acc = ref init in
+        Record_batch.iter (fun r -> acc := f !acc r) batch;
+        !acc)
+      (Binary_codec.decode_string s)
+  else parse_lines (lines_of_string s) ~init ~f
+
 let of_string s =
-  Result.map List.rev
-    (parse_lines (lines_of_string s) ~init:[] ~f:(fun acc r -> r :: acc))
+  if Binary_codec.is_binary s then
+    Result.map
+      (fun batch -> Array.to_list (Record_batch.to_array batch))
+      (Binary_codec.decode_string s)
+  else
+    Result.map List.rev
+      (parse_lines (lines_of_string s) ~init:[] ~f:(fun acc r -> r :: acc))
+
+let batch_of_string s =
+  if Binary_codec.is_binary s then Binary_codec.decode_string s
+  else begin
+    let builder = Record_batch.Builder.create () in
+    Result.map
+      (fun () -> Record_batch.Builder.finish builder)
+      (parse_lines (lines_of_string s) ~init:() ~f:(fun () r ->
+           Record_batch.Builder.add builder r))
+  end
 
 let lines_of_channel ic =
   let rec next () =
@@ -36,14 +61,36 @@ let lines_of_channel ic =
   in
   next
 
-let fold_file path ~init ~f =
-  let ic = open_in path in
+let read_all ic =
+  let len = in_channel_length ic in
+  really_input_string ic len
+
+let with_channel path k =
+  let ic = open_in_bin path in
   (* [close_in_noerr]: a raising close inside [~finally] would mask the
      real failure (and [Fun.protect] would turn it into [Finally_raised]);
      the descriptor is released either way. *)
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse_lines (lines_of_channel ic) ~init ~f)
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> k ic)
+
+let sniff_binary ic =
+  (* Peek at the first magic-sized chunk without consuming it. *)
+  let n = String.length Binary_codec.magic in
+  let buf = Bytes.create n in
+  let got = input ic buf 0 n in
+  seek_in ic 0;
+  got = n && Bytes.to_string buf = Binary_codec.magic
+
+let fold_file path ~init ~f =
+  with_channel path (fun ic ->
+      if sniff_binary ic then fold_string (read_all ic) ~init ~f
+      else parse_lines (lines_of_channel ic) ~init ~f)
 
 let of_file path =
-  Result.map List.rev (fold_file path ~init:[] ~f:(fun acc r -> r :: acc))
+  with_channel path (fun ic ->
+      if sniff_binary ic then of_string (read_all ic)
+      else
+        Result.map List.rev
+          (parse_lines (lines_of_channel ic) ~init:[] ~f:(fun acc r ->
+               r :: acc)))
+
+let batch_of_file path = with_channel path (fun ic -> batch_of_string (read_all ic))

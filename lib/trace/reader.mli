@@ -1,7 +1,10 @@
 (** Trace parsing.
 
-    Readers check the version header and report the first malformed line
-    with its line number. *)
+    Every entry point sniffs the header and dispatches to the text codec
+    ({!Codec}) or the binary one ({!Binary_codec}) automatically, so
+    callers never name the format on the read side. Readers check the
+    version header and report the first malformed line (text) or byte
+    offset (binary). *)
 
 val of_string : string -> (Record.t list, string) result
 (** Parse a whole trace held in memory. *)
@@ -10,4 +13,10 @@ val of_file : string -> (Record.t list, string) result
 
 val fold_file :
   string -> init:'a -> f:('a -> Record.t -> 'a) -> ('a, string) result
-(** Streaming fold over a trace file; does not hold records in memory. *)
+(** Streaming fold over a trace file. For text traces this does not hold
+    records in memory; a binary trace is decoded to a batch first. *)
+
+val batch_of_string : string -> (Record_batch.t, string) result
+(** Parse straight into a struct-of-arrays batch (either format). *)
+
+val batch_of_file : string -> (Record_batch.t, string) result

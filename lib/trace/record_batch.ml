@@ -1,0 +1,304 @@
+type t = {
+  len : int;
+  times : float array;
+  servers : int array;
+  clients : int array;
+  users : int array;
+  pids : int array;
+  files : int array;
+  tags : Bytes.t;
+  col_a : int array;
+  col_b : int array;
+  col_c : int array;
+  col_d : int array;
+}
+
+let length t = t.len
+
+let tag_open = 0
+
+let tag_close = 1
+
+let tag_reposition = 2
+
+let tag_delete = 3
+
+let tag_truncate = 4
+
+let tag_dir_read = 5
+
+let tag_shared_read = 6
+
+let tag_shared_write = 7
+
+let bit_migrated = 0x08
+
+let bit_created = 0x40
+
+let bit_is_dir = 0x80
+
+let mode_shift = 4
+
+let[@inline] time t i = Array.unsafe_get t.times i
+
+let[@inline] server t i = Array.unsafe_get t.servers i
+
+let[@inline] client t i = Array.unsafe_get t.clients i
+
+let[@inline] user t i = Array.unsafe_get t.users i
+
+let[@inline] pid t i = Array.unsafe_get t.pids i
+
+let[@inline] file t i = Array.unsafe_get t.files i
+
+let[@inline] user_id t i = Ids.User.of_int (user t i)
+
+let[@inline] file_id t i = Ids.File.of_int (file t i)
+
+let[@inline] raw_tag t i = Char.code (Bytes.unsafe_get t.tags i)
+
+let[@inline] tag t i = raw_tag t i land 0x07
+
+let[@inline] migrated t i = raw_tag t i land bit_migrated <> 0
+
+let mode_of_bits = function
+  | 0 -> Record.Read_only
+  | 1 -> Record.Write_only
+  | 2 -> Record.Read_write
+  | n -> invalid_arg (Printf.sprintf "Record_batch: bad open mode bits %d" n)
+
+let mode_to_bits = function
+  | Record.Read_only -> 0
+  | Record.Write_only -> 1
+  | Record.Read_write -> 2
+
+let[@inline] open_mode t i = mode_of_bits ((raw_tag t i lsr mode_shift) land 0x03)
+
+let[@inline] created t i = raw_tag t i land bit_created <> 0
+
+let[@inline] is_dir t i = raw_tag t i land bit_is_dir <> 0
+
+let[@inline] a t i = Array.unsafe_get t.col_a i
+
+let[@inline] b t i = Array.unsafe_get t.col_b i
+
+let[@inline] c t i = Array.unsafe_get t.col_c i
+
+let[@inline] d t i = Array.unsafe_get t.col_d i
+
+(* -- packing ------------------------------------------------------------- *)
+
+let pack_kind kind ~migrated =
+  let mig = if migrated then bit_migrated else 0 in
+  match (kind : Record.kind) with
+  | Open { mode; created; is_dir; size; start_pos } ->
+    let tag =
+      tag_open lor mig
+      lor (mode_to_bits mode lsl mode_shift)
+      lor (if created then bit_created else 0)
+      lor if is_dir then bit_is_dir else 0
+    in
+    (tag, size, start_pos, 0, 0)
+  | Close { size; final_pos; bytes_read; bytes_written } ->
+    (tag_close lor mig, size, final_pos, bytes_read, bytes_written)
+  | Reposition { pos_before; pos_after } ->
+    (tag_reposition lor mig, pos_before, pos_after, 0, 0)
+  | Delete { size; is_dir } ->
+    (tag_delete lor mig lor (if is_dir then bit_is_dir else 0), size, 0, 0, 0)
+  | Truncate { old_size } -> (tag_truncate lor mig, old_size, 0, 0, 0)
+  | Dir_read { bytes } -> (tag_dir_read lor mig, bytes, 0, 0, 0)
+  | Shared_read { offset; length } ->
+    (tag_shared_read lor mig, offset, length, 0, 0)
+  | Shared_write { offset; length } ->
+    (tag_shared_write lor mig, offset, length, 0, 0)
+
+let unpack_kind ~raw_tag ~a ~b ~c ~d : Record.kind =
+  match raw_tag land 0x07 with
+  | 0 ->
+    Open
+      {
+        mode = mode_of_bits ((raw_tag lsr mode_shift) land 0x03);
+        created = raw_tag land bit_created <> 0;
+        is_dir = raw_tag land bit_is_dir <> 0;
+        size = a;
+        start_pos = b;
+      }
+  | 1 -> Close { size = a; final_pos = b; bytes_read = c; bytes_written = d }
+  | 2 -> Reposition { pos_before = a; pos_after = b }
+  | 3 -> Delete { size = a; is_dir = raw_tag land bit_is_dir <> 0 }
+  | 4 -> Truncate { old_size = a }
+  | 5 -> Dir_read { bytes = a }
+  | 6 -> Shared_read { offset = a; length = b }
+  | _ -> Shared_write { offset = a; length = b }
+
+(* -- conversions --------------------------------------------------------- *)
+
+let kind t i =
+  unpack_kind ~raw_tag:(raw_tag t i) ~a:(a t i) ~b:(b t i) ~c:(c t i)
+    ~d:(d t i)
+
+let get t i : Record.t =
+  {
+    time = time t i;
+    server = Ids.Server.of_int (server t i);
+    client = Ids.Client.of_int (client t i);
+    user = user_id t i;
+    pid = Ids.Process.of_int (pid t i);
+    migrated = migrated t i;
+    file = file_id t i;
+    kind = kind t i;
+  }
+
+let to_array t = Array.init t.len (get t)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let equal x y =
+  x.len = y.len
+  &&
+  let ok = ref true in
+  (try
+     for i = 0 to x.len - 1 do
+       if
+         not
+           (Float.equal (time x i) (time y i)
+           && server x i = server y i
+           && client x i = client y i
+           && user x i = user y i
+           && pid x i = pid y i
+           && file x i = file y i
+           && raw_tag x i = raw_tag y i
+           && a x i = a y i
+           && b x i = b y i
+           && c x i = c y i
+           && d x i = d y i)
+       then begin
+         ok := false;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !ok
+
+(* -- builder ------------------------------------------------------------- *)
+
+module Builder = struct
+  type batch = t
+
+  type t = {
+    mutable len : int;
+    mutable times : float array;
+    mutable servers : int array;
+    mutable clients : int array;
+    mutable users : int array;
+    mutable pids : int array;
+    mutable files : int array;
+    mutable tags : Bytes.t;
+    mutable col_a : int array;
+    mutable col_b : int array;
+    mutable col_c : int array;
+    mutable col_d : int array;
+  }
+
+  let create ?(capacity = 1024) () =
+    let capacity = max 16 capacity in
+    {
+      len = 0;
+      times = Array.make capacity 0.0;
+      servers = Array.make capacity 0;
+      clients = Array.make capacity 0;
+      users = Array.make capacity 0;
+      pids = Array.make capacity 0;
+      files = Array.make capacity 0;
+      tags = Bytes.make capacity '\000';
+      col_a = Array.make capacity 0;
+      col_b = Array.make capacity 0;
+      col_c = Array.make capacity 0;
+      col_d = Array.make capacity 0;
+    }
+
+  let length t = t.len
+
+  let grow t =
+    let cap = Array.length t.times in
+    let cap' = cap * 2 in
+    let gi old =
+      let fresh = Array.make cap' 0 in
+      Array.blit old 0 fresh 0 cap;
+      fresh
+    in
+    let gf old =
+      let fresh = Array.make cap' 0.0 in
+      Array.blit old 0 fresh 0 cap;
+      fresh
+    in
+    t.times <- gf t.times;
+    t.servers <- gi t.servers;
+    t.clients <- gi t.clients;
+    t.users <- gi t.users;
+    t.pids <- gi t.pids;
+    t.files <- gi t.files;
+    (let fresh = Bytes.make cap' '\000' in
+     Bytes.blit t.tags 0 fresh 0 cap;
+     t.tags <- fresh);
+    t.col_a <- gi t.col_a;
+    t.col_b <- gi t.col_b;
+    t.col_c <- gi t.col_c;
+    t.col_d <- gi t.col_d
+
+  let add_raw t ~time ~server ~client ~user ~pid ~file ~raw_tag ~a ~b ~c ~d =
+    if t.len = Array.length t.times then grow t;
+    let i = t.len in
+    Array.unsafe_set t.times i time;
+    Array.unsafe_set t.servers i server;
+    Array.unsafe_set t.clients i client;
+    Array.unsafe_set t.users i user;
+    Array.unsafe_set t.pids i pid;
+    Array.unsafe_set t.files i file;
+    Bytes.unsafe_set t.tags i (Char.unsafe_chr (raw_tag land 0xFF));
+    Array.unsafe_set t.col_a i a;
+    Array.unsafe_set t.col_b i b;
+    Array.unsafe_set t.col_c i c;
+    Array.unsafe_set t.col_d i d;
+    t.len <- i + 1
+
+  let add t (r : Record.t) =
+    let raw_tag, a, b, c, d = pack_kind r.kind ~migrated:r.migrated in
+    add_raw t ~time:r.time
+      ~server:(Ids.Server.to_int r.server)
+      ~client:(Ids.Client.to_int r.client)
+      ~user:(Ids.User.to_int r.user)
+      ~pid:(Ids.Process.to_int r.pid)
+      ~file:(Ids.File.to_int r.file)
+      ~raw_tag ~a ~b ~c ~d
+
+  let finish t : batch =
+    let n = t.len in
+    {
+      len = n;
+      times = Array.sub t.times 0 n;
+      servers = Array.sub t.servers 0 n;
+      clients = Array.sub t.clients 0 n;
+      users = Array.sub t.users 0 n;
+      pids = Array.sub t.pids 0 n;
+      files = Array.sub t.files 0 n;
+      tags = Bytes.sub t.tags 0 n;
+      col_a = Array.sub t.col_a 0 n;
+      col_b = Array.sub t.col_b 0 n;
+      col_c = Array.sub t.col_c 0 n;
+      col_d = Array.sub t.col_d 0 n;
+    }
+end
+
+let of_array records =
+  let builder = Builder.create ~capacity:(max 16 (Array.length records)) () in
+  Array.iter (Builder.add builder) records;
+  Builder.finish builder
+
+let of_list records =
+  let builder = Builder.create ~capacity:(max 16 (List.length records)) () in
+  List.iter (Builder.add builder) records;
+  Builder.finish builder

@@ -1,0 +1,144 @@
+(** Struct-of-arrays trace storage.
+
+    A batch holds the same information as a [Record.t array], laid out as
+    columns: one float array for timestamps, int arrays for the ids and
+    the per-kind integer payload, and a tag byte per record packing the
+    event kind with its boolean flags.  Analyses iterate the columns with
+    the accessors below instead of pattern-matching boxed variants; none
+    of the accessors allocate.
+
+    Tag byte layout:
+    {v bits 0-2  kind (see the tag_* constants)
+       bit  3    migrated
+       bits 4-5  open mode (Open records)
+       bit  6    created   (Open records)
+       bit  7    is_dir    (Open and Delete records) v}
+
+    Payload columns [a]-[d] by kind:
+    {v open      a=size       b=start_pos
+       close     a=size       b=final_pos  c=bytes_read  d=bytes_written
+       seek      a=pos_before b=pos_after
+       delete    a=size
+       truncate  a=old_size
+       dirread   a=bytes
+       sread     a=offset     b=length
+       swrite    a=offset     b=length v} *)
+
+type t
+
+val length : t -> int
+
+(** {1 Kind tags} *)
+
+val tag_open : int
+val tag_close : int
+val tag_reposition : int
+val tag_delete : int
+val tag_truncate : int
+val tag_dir_read : int
+val tag_shared_read : int
+val tag_shared_write : int
+
+(** {1 Cursor accessors}
+
+    All O(1) and allocation-free. Indices are not bounds-checked beyond
+    the usual array checks; iterate with [for i = 0 to length b - 1]. *)
+
+val time : t -> int -> float
+
+val server : t -> int -> int
+
+val client : t -> int -> int
+
+val user : t -> int -> int
+
+val pid : t -> int -> int
+
+val file : t -> int -> int
+
+val user_id : t -> int -> Ids.User.t
+
+val file_id : t -> int -> Ids.File.t
+
+val tag : t -> int -> int
+(** Kind index 0-7; compare against the [tag_*] constants. *)
+
+val raw_tag : t -> int -> int
+(** The full tag byte including flag bits, as stored. *)
+
+val migrated : t -> int -> bool
+
+val open_mode : t -> int -> Record.open_mode
+(** Meaningful for [tag_open] records only. *)
+
+val created : t -> int -> bool
+
+val is_dir : t -> int -> bool
+
+val a : t -> int -> int
+
+val b : t -> int -> int
+
+val c : t -> int -> int
+
+val d : t -> int -> int
+
+(** {1 Conversions} *)
+
+val of_array : Record.t array -> t
+
+val of_list : Record.t list -> t
+
+val get : t -> int -> Record.t
+(** Rebuild the boxed record at an index (allocates). *)
+
+val kind : t -> int -> Record.kind
+(** Rebuild just the boxed kind at an index (allocates). *)
+
+val to_array : t -> Record.t array
+
+val iter : (Record.t -> unit) -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural equality of contents (exact float comparison on times). *)
+
+(** {1 Building} *)
+
+module Builder : sig
+  type batch := t
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val length : t -> int
+
+  val add : t -> Record.t -> unit
+
+  val add_raw :
+    t ->
+    time:float ->
+    server:int ->
+    client:int ->
+    user:int ->
+    pid:int ->
+    file:int ->
+    raw_tag:int ->
+    a:int ->
+    b:int ->
+    c:int ->
+    d:int ->
+    unit
+  (** Append from already-decoded columns (the binary codec's fast path).
+      [raw_tag] is the full tag byte, flags included. *)
+
+  val finish : t -> batch
+  (** Trim and return the batch. The builder must not be reused. *)
+end
+
+val pack_kind : Record.kind -> migrated:bool -> int * int * int * int * int
+(** [pack_kind kind ~migrated] is [(raw_tag, a, b, c, d)]. *)
+
+val unpack_kind : raw_tag:int -> a:int -> b:int -> c:int -> d:int -> Record.kind
+(** Inverse of {!pack_kind} (allocates the variant). Raises
+    [Invalid_argument] on an out-of-range mode in an open tag. *)

@@ -1,41 +1,57 @@
+type format = Text | Binary
+
+let format_of_string = function
+  | "text" -> Ok Text
+  | "binary" -> Ok Binary
+  | s -> Error (Printf.sprintf "bad trace format %S (expected text|binary)" s)
+
+let format_to_string = function Text -> "text" | Binary -> "binary"
+
+type mode = Text_mode | Binary_mode of Binary_codec.Encoder.t
+
 type t = {
   emit : string -> unit;
   do_flush : unit -> unit;
   mutable count : int;
-  mutable wrote_header : bool;
+  mode : mode;
 }
 
-let make emit do_flush = { emit; do_flush; count = 0; wrote_header = false }
+(* The header goes out at creation, not on the first record, so a trace
+   with zero records is still a valid (header-only) file. *)
+let make format emit do_flush =
+  let mode =
+    match format with
+    | Text ->
+      emit Codec.header;
+      emit "\n";
+      Text_mode
+    | Binary ->
+      emit Binary_codec.magic;
+      Binary_mode (Binary_codec.Encoder.create ())
+  in
+  { emit; do_flush; count = 0; mode }
 
-let to_buffer buf =
-  make
-    (fun s ->
-      Buffer.add_string buf s;
-      Buffer.add_char buf '\n')
-    (fun () -> ())
+let to_buffer ?(format = Text) buf =
+  make format (Buffer.add_string buf) (fun () -> ())
 
-let to_channel oc =
-  make
-    (fun s ->
-      output_string oc s;
-      output_char oc '\n')
-    (fun () -> Stdlib.flush oc)
+let to_channel ?(format = Text) oc =
+  make format (output_string oc) (fun () -> Stdlib.flush oc)
 
 let write t r =
-  if not t.wrote_header then begin
-    t.emit Codec.header;
-    t.wrote_header <- true
-  end;
-  t.emit (Codec.encode r);
+  (match t.mode with
+  | Text_mode ->
+    t.emit (Codec.encode r);
+    t.emit "\n"
+  | Binary_mode enc -> t.emit (Binary_codec.Encoder.encode enc r));
   t.count <- t.count + 1
 
 let count t = t.count
 
 let flush t = t.do_flush ()
 
-let with_file path f =
-  let oc = open_out path in
-  let t = to_channel oc in
+let with_file ?format path f =
+  let oc = open_out_bin path in
+  let t = to_channel ?format oc in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->

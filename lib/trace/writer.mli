@@ -1,14 +1,24 @@
 (** Trace sinks.
 
     Each simulated file server writes its own trace (the paper gathered
-    traces on the four servers only); a writer prepends the format header
-    and encodes one record per line. *)
+    traces on the four servers only). A writer prepends the format header
+    and then encodes records either as text lines ({!Codec}) or in the
+    compact binary format ({!Binary_codec}); readers pick the decoder by
+    sniffing the header. *)
+
+type format = Text | Binary
+
+val format_of_string : string -> (format, string) result
+(** Parses ["text"] and ["binary"] (the [--trace-format] CLI values). *)
+
+val format_to_string : format -> string
 
 type t
 
-val to_buffer : Buffer.t -> t
+val to_buffer : ?format:format -> Buffer.t -> t
+(** Defaults to [Text], as do the other constructors. *)
 
-val to_channel : out_channel -> t
+val to_channel : ?format:format -> out_channel -> t
 
 val write : t -> Record.t -> unit
 
@@ -17,6 +27,6 @@ val count : t -> int
 
 val flush : t -> unit
 
-val with_file : string -> (t -> 'a) -> 'a
-(** [with_file path f] opens [path], runs [f], and closes the file even if
-    [f] raises. *)
+val with_file : ?format:format -> string -> (t -> 'a) -> 'a
+(** [with_file path f] opens [path] (binary-safe), runs [f], and closes
+    the file even if [f] raises. *)

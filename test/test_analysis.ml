@@ -7,6 +7,7 @@ module Ids = Dfs_trace.Ids
 
 (* analyses consume dense arrays; tests hand-build traces as lists *)
 let arr = Array.of_list
+let bat = Dfs_trace.Record_batch.of_list
 
 let mk ?(time = 0.0) ?(client = 0) ?(user = 0) ?(pid = 0) ?(migrated = false)
     ?(file = 0) kind =
@@ -215,7 +216,7 @@ let test_activity_basic () =
         cl ~time:19.0 ~user:2 ~file:2 ~size:10 ~final_pos:0 ();
       ]
   in
-  let r = Activity.analyze ~interval:10.0 (arr trace) in
+  let r = Activity.analyze ~interval:10.0 (bat trace) in
   Alcotest.(check int) "max active" 1 r.max_active_users;
   Alcotest.(check (float 1e-6)) "avg active (2 intervals)" 1.0 r.avg_active_users;
   (* user 1's interval: 1024 B over 10 s = 0.1 KB/s; user 2's: 0 *)
@@ -228,8 +229,8 @@ let test_activity_migrated_filter () =
     whole_read ~t:0.0 ~user:1 ~file:1 ~size:2048 ()
     @ whole_read ~t:1.0 ~user:2 ~migrated:true ~pid:9 ~file:2 ~size:1024 ()
   in
-  let all = Activity.analyze ~interval:10.0 (arr trace) in
-  let mig = Activity.analyze ~migrated_only:true ~interval:10.0 (arr trace) in
+  let all = Activity.analyze ~interval:10.0 (bat trace) in
+  let mig = Activity.analyze ~migrated_only:true ~interval:10.0 (bat trace) in
   Alcotest.(check int) "two active users" 2 all.max_active_users;
   Alcotest.(check int) "one migrated user" 1 mig.max_active_users;
   Alcotest.(check (float 1e-6)) "migrated bytes only" 0.1 mig.peak_user_throughput
@@ -241,11 +242,11 @@ let test_activity_shared_and_dir_bytes_counted () =
       mk ~time:1.0 ~user:1 ~file:2 (Record.Dir_read { bytes = 5120 });
     ]
   in
-  let r = Activity.analyze ~interval:10.0 (arr trace) in
+  let r = Activity.analyze ~interval:10.0 (bat trace) in
   Alcotest.(check (float 1e-6)) "10 KB over 10 s" 1.0 r.peak_user_throughput
 
 let test_activity_empty () =
-  let r = Activity.analyze ~interval:10.0 [||] in
+  let r = Activity.analyze ~interval:10.0 (bat []) in
   Alcotest.(check int) "no users" 0 r.max_active_users;
   Alcotest.(check (float 1e-9)) "no tput" 0.0 r.peak_total_throughput
 
@@ -440,7 +441,7 @@ let test_consistency_stats_sharing_and_recall () =
         ~bytes_written:10 ();
     ]
   in
-  let t = Consistency_stats.analyze (arr trace) in
+  let t = Consistency_stats.analyze (bat trace) in
   Alcotest.(check int) "file opens" 4 t.file_opens;
   Alcotest.(check int) "one recall" 1 t.recall_opens;
   Alcotest.(check int) "one sharing open" 1 t.sharing_opens;
@@ -457,7 +458,7 @@ let test_consistency_stats_same_client_no_actions () =
       cl ~time:2.5 ~client:0 ~pid:3 ~file:1 ~size:10 ~bytes_read:10 ();
     ]
   in
-  let t = Consistency_stats.analyze (arr trace) in
+  let t = Consistency_stats.analyze (bat trace) in
   Alcotest.(check int) "no sharing on one client" 0 t.sharing_opens;
   Alcotest.(check int) "no recall for own reopen" 0 t.recall_opens
 
@@ -565,7 +566,7 @@ let test_consistency_replay_matches_server () =
   Dfs_sim.Client.close c0 fd0;
   Dfs_sim.Client.close c1 fd1;
   let counters = Dfs_sim.Server.consistency server in
-  let replay = Consistency_stats.analyze (arr (List.rev !log)) in
+  let replay = Consistency_stats.analyze (bat (List.rev !log)) in
   Alcotest.(check int) "opens agree" counters.file_opens replay.file_opens;
   Alcotest.(check int) "recalls agree" counters.recalls replay.recall_opens;
   Alcotest.(check int) "sharing agrees" counters.sharing_opens

@@ -4,6 +4,7 @@
 open Dfs_consistency
 module Record = Dfs_trace.Record
 module Ids = Dfs_trace.Ids
+let batch = Dfs_trace.Record_batch.of_list
 
 let bs = Dfs_util.Units.block_size
 
@@ -51,7 +52,7 @@ let sharing_trace =
 (* -- shared event extraction ------------------------------------------------------ *)
 
 let test_extract_stream () =
-  match Shared_events.extract (Array.of_list sharing_trace) with
+  match Shared_events.extract (batch sharing_trace) with
   | [ s ] ->
     Alcotest.(check int) "file id" 1 (Ids.File.to_int s.file);
     Alcotest.(check int) "requested bytes" 400 s.requested_bytes;
@@ -68,10 +69,10 @@ let test_extract_ignores_unshared_files () =
       cl ~time:1.0 ~client:0 ~pid:1 ~file:5 ();
     ]
   in
-  Alcotest.(check int) "no streams" 0 (List.length (Shared_events.extract (Array.of_list trace)))
+  Alcotest.(check int) "no streams" 0 (List.length (Shared_events.extract (batch trace)))
 
 let test_extract_writer_flag_from_open () =
-  match Shared_events.extract (Array.of_list sharing_trace) with
+  match Shared_events.extract (batch sharing_trace) with
   | [ s ] ->
     let opens =
       List.filter_map
@@ -88,7 +89,7 @@ let test_extract_writer_flag_from_open () =
 (* -- Sprite baseline ---------------------------------------------------------------- *)
 
 let test_sprite_exact_demand () =
-  let streams = Shared_events.extract (Array.of_list sharing_trace) in
+  let streams = Shared_events.extract (batch sharing_trace) in
   let r = Sprite.simulate streams in
   Alcotest.(check int) "bytes = demand" 400 r.Overhead.bytes_transferred;
   Alcotest.(check int) "rpcs = requests" 4 r.Overhead.rpcs;
@@ -101,7 +102,7 @@ let test_sprite_exact_demand () =
 let test_modified_same_as_sprite_while_sharing () =
   (* every request in sharing_trace happens while both clients hold the
      file, so the modified scheme also passes everything through *)
-  let streams = Shared_events.extract (Array.of_list sharing_trace) in
+  let streams = Shared_events.extract (batch sharing_trace) in
   let r = Sprite_modified.simulate streams in
   Alcotest.(check int) "bytes equal demand during sharing" 400
     r.Overhead.bytes_transferred
@@ -128,7 +129,7 @@ let test_modified_caches_after_sharing_ends () =
     @ tail_writes
     @ [ cl ~time:100.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:100 () ]
   in
-  let streams = Shared_events.extract (Array.of_list trace) in
+  let streams = Shared_events.extract (batch trace) in
   let sprite = Sprite.simulate streams in
   let modified = Sprite_modified.simulate streams in
   (* demand: 100 read + 100 written; sprite moves exactly 200 bytes in 11
@@ -155,7 +156,7 @@ let test_modified_flushes_on_resharing () =
       cl ~time:7.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:50 ();
     ]
   in
-  let streams = Shared_events.extract (Array.of_list trace) in
+  let streams = Shared_events.extract (batch trace) in
   let r = Sprite_modified.simulate streams in
   (* the cached write (50 dirty bytes) is flushed at the sharing
      transition, and the pass-through read moves 50 more *)
@@ -183,7 +184,7 @@ let test_token_caching_wins_on_rereads () =
         cl ~time:31.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:bs ();
       ]
   in
-  let streams = Shared_events.extract (Array.of_list trace) in
+  let streams = Shared_events.extract (batch trace) in
   let sprite = Sprite.simulate streams in
   let token = Token.simulate streams in
   Alcotest.(check bool) "token moves fewer bytes than sprite" true
@@ -213,7 +214,7 @@ let test_token_pingpong_costs () =
         cl ~time:61.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:160 ();
       ]
   in
-  let streams = Shared_events.extract (Array.of_list trace) in
+  let streams = Shared_events.extract (batch trace) in
   let sprite = Sprite.simulate streams in
   let token = Token.simulate streams in
   Alcotest.(check bool) "fine-grained sharing hurts the token scheme" true
@@ -230,7 +231,7 @@ let test_token_single_client_cheap () =
       cl ~time:4.0 ~client:0 ~pid:1 ~file:1 ~bytes_written:bs ();
     ]
   in
-  let streams = Shared_events.extract (Array.of_list trace) in
+  let streams = Shared_events.extract (batch trace) in
   let token = Token.simulate streams in
   (* 1 write token + maybe a read-token upgrade + final flush; reads hit *)
   Alcotest.(check bool) "few RPCs" true (token.Overhead.rpcs <= 4)
@@ -258,7 +259,7 @@ let test_polling_stale_read_detected () =
     @ publish ~t:20.0 ~client:0 ~file:1 ~user:0
     @ read_open ~t:40.0 ~client:1 ~file:1 ~user:1
   in
-  let r = Polling.simulate ~interval:60.0 (Array.of_list trace) in
+  let r = Polling.simulate ~interval:60.0 (batch trace) in
   Alcotest.(check int) "one error" 1 r.errors;
   Alcotest.(check int) "one user affected" 1 r.users_affected;
   Alcotest.(check int) "open error counted" 1 r.opens_with_error
@@ -271,7 +272,7 @@ let test_polling_refresh_prevents_error () =
     (* re-read AFTER the window expires: client revalidates *)
     @ read_open ~t:80.0 ~client:1 ~file:1 ~user:1
   in
-  let r = Polling.simulate ~interval:60.0 (Array.of_list trace) in
+  let r = Polling.simulate ~interval:60.0 (batch trace) in
   Alcotest.(check int) "no error" 0 r.errors
 
 let test_polling_short_interval_fewer_errors () =
@@ -281,8 +282,8 @@ let test_polling_short_interval_fewer_errors () =
     @ publish ~t:20.0 ~client:0 ~file:1 ~user:0
     @ read_open ~t:40.0 ~client:1 ~file:1 ~user:1
   in
-  let r60 = Polling.simulate ~interval:60.0 (Array.of_list trace) in
-  let r3 = Polling.simulate ~interval:3.0 (Array.of_list trace) in
+  let r60 = Polling.simulate ~interval:60.0 (batch trace) in
+  let r3 = Polling.simulate ~interval:3.0 (batch trace) in
   Alcotest.(check int) "60s errs" 1 r60.errors;
   Alcotest.(check int) "3s errs" 0 r3.errors
 
@@ -292,7 +293,7 @@ let test_polling_own_writes_never_stale () =
     @ publish ~t:5.0 ~client:0 ~file:1 ~user:0
     @ read_open ~t:10.0 ~client:0 ~file:1 ~user:0
   in
-  let r = Polling.simulate ~interval:60.0 (Array.of_list trace) in
+  let r = Polling.simulate ~interval:60.0 (batch trace) in
   Alcotest.(check int) "own writes visible" 0 r.errors
 
 let test_polling_shared_reads_checked () =
@@ -305,7 +306,7 @@ let test_polling_shared_reads_checked () =
       cl ~time:4.0 ~client:1 ~user:1 ~pid:2 ~file:1 ();
     ]
   in
-  let r = Polling.simulate ~interval:60.0 (Array.of_list trace) in
+  let r = Polling.simulate ~interval:60.0 (batch trace) in
   Alcotest.(check int) "stale fine-grained read" 1 r.errors
 
 let test_polling_migrated_accounting () =
@@ -325,7 +326,7 @@ let test_polling_migrated_accounting () =
           (Record.Close { size = 0; final_pos = 0; bytes_read = 0; bytes_written = 0 });
       ]
   in
-  let r = Polling.simulate ~interval:60.0 (Array.of_list trace) in
+  let r = Polling.simulate ~interval:60.0 (batch trace) in
   Alcotest.(check int) "migrated open error" 1 r.migrated_opens_with_error;
   Alcotest.(check int) "migrated opens" 1 r.migrated_opens
 
@@ -340,7 +341,7 @@ let test_polling_delete_resets () =
   (* after deletion the file state restarts; the version counter resets,
      so the re-read may or may not be flagged — the simulation must at
      least not crash and keep counts consistent *)
-  let r = Polling.simulate ~interval:60.0 (Array.of_list trace) in
+  let r = Polling.simulate ~interval:60.0 (batch trace) in
   Alcotest.(check bool) "errors bounded by opens" true
     (r.opens_with_error <= r.file_opens)
 

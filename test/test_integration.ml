@@ -72,7 +72,7 @@ let test_consistency_actions_only_under_multiclient () =
         (o + k.file_opens, s + k.sharing_opens, r + k.recalls))
       (0, 0, 0) (Cluster.servers c)
   in
-  let replay = Dfs_analysis.Consistency_stats.analyze (Array.of_list t) in
+  let replay = Dfs_analysis.Consistency_stats.analyze (Dfs_trace.Record_batch.of_list t) in
   let live_opens, live_sharing, live_recalls = live in
   (* the live count includes infrastructure accesses that the merged trace
      scrubs, so replayed counts can be slightly lower, never higher *)

@@ -115,11 +115,13 @@ let test_dataset_deterministic_across_jobs () =
   List.iter2
     (fun (a : Dfs_core.Dataset.run) (b : Dfs_core.Dataset.run) ->
       Alcotest.(check string) "preset order" a.preset.name b.preset.name;
-      Alcotest.(check int) "trace length" (Array.length a.trace)
-        (Array.length b.trace);
-      Alcotest.(check bool) "identical merged traces" true (a.trace = b.trace);
-      let sa = Dfs_analysis.Trace_stats.of_trace a.trace in
-      let sb = Dfs_analysis.Trace_stats.of_trace b.trace in
+      Alcotest.(check int) "trace length"
+        (Dfs_trace.Record_batch.length a.batch)
+        (Dfs_trace.Record_batch.length b.batch);
+      Alcotest.(check bool) "identical merged traces" true
+        (Dfs_trace.Record_batch.equal a.batch b.batch);
+      let sa = Dfs_analysis.Trace_stats.of_batch a.batch in
+      let sb = Dfs_analysis.Trace_stats.of_batch b.batch in
       Alcotest.(check bool) "identical trace stats" true (sa = sb))
     seq.runs par.runs
 

@@ -255,6 +255,120 @@ let test_filter_duration () =
   in
   Alcotest.(check (float 1e-9)) "span" 4.0 (Filter.duration rs)
 
+(* -- binary codec ------------------------------------------------------------------ *)
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let encode_trace ~format records =
+  let buf = Buffer.create 4096 in
+  let w = Writer.to_buffer ~format buf in
+  List.iter (Writer.write w) records;
+  Buffer.contents buf
+
+let decode_trace s =
+  match Reader.of_string s with
+  | Ok rs -> rs
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_binary_roundtrip_all_kinds () =
+  let back = decode_trace (encode_trace ~format:Writer.Binary records_for_io) in
+  Alcotest.(check int) "count" (List.length records_for_io) (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "record equal (incl. exact time)" true
+        (Record.equal a b))
+    records_for_io back
+
+let test_binary_roundtrip_presets () =
+  (* Round-trip the merged trace of all eight presets through both codecs;
+     the decoded batches must agree record for record, and the analyses on
+     them must be indistinguishable. *)
+  List.iter
+    (fun n ->
+      let p = Dfs_workload.Presets.scaled (Dfs_workload.Presets.trace n) ~factor:0.002 in
+      let cluster, _ = Dfs_workload.Presets.run p in
+      let records = Dfs_sim.Cluster.merged_trace cluster in
+      let text = encode_trace ~format:Writer.Text records in
+      let binary = encode_trace ~format:Writer.Binary records in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace%d: binary is smaller" n)
+        true
+        (String.length binary < String.length text);
+      (* the binary codec must reproduce the raw simulated records
+         bit-for-bit, times included *)
+      let from_binary = decode_trace binary in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace%d: binary roundtrip exact" n)
+        true
+        (List.length from_binary = List.length records
+        && List.for_all2 Record.equal records from_binary);
+      (* once times have gone through the text codec's %.6f quantization,
+         the two formats carry identical data and every analysis agrees *)
+      let quantized = decode_trace text in
+      let requantized = decode_trace (encode_trace ~format:Writer.Binary quantized) in
+      let bt =
+        match Reader.batch_of_string text with
+        | Ok b -> b
+        | Error e -> Alcotest.failf "trace%d text: %s" n e
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace%d: batches equal across formats" n)
+        true
+        (Record_batch.equal bt (Record_batch.of_list requantized));
+      let st = Dfs_analysis.Trace_stats.of_batch bt
+      and sb =
+        Dfs_analysis.Trace_stats.of_batch (Record_batch.of_list requantized)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace%d: analysis equal across formats" n)
+        true (st = sb))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_binary_rejects_truncation () =
+  let s = encode_trace ~format:Writer.Binary records_for_io in
+  List.iter
+    (fun k ->
+      match Reader.of_string (String.sub s 0 k) with
+      | Ok _ -> Alcotest.failf "accepted %d-byte prefix" k
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "prefix %d reports truncation" k)
+          true
+          (contains_sub ~sub:"truncated" e
+          || contains_sub ~sub:"malformed" e))
+    [ 7; 10; String.length s - 1 ]
+
+let test_binary_rejects_bad_magic () =
+  let s = encode_trace ~format:Writer.Binary records_for_io in
+  (* bump the version byte: not recognized as binary v1, not a text header *)
+  let bad = Bytes.of_string s in
+  Bytes.set bad 5 '\x02';
+  (match Binary_codec.decode_string (Bytes.to_string bad) with
+  | Ok _ -> Alcotest.fail "accepted bad version byte"
+  | Error e ->
+    Alcotest.(check bool) "mentions magic" true
+      (contains_sub ~sub:"magic" e));
+  match Reader.of_string (Bytes.to_string bad) with
+  | Ok _ -> Alcotest.fail "reader accepted bad version byte"
+  | Error _ -> ()
+
+let test_binary_rejects_malformed_tag () =
+  (* 0xFF sets flag bits no kind allows; 0x30 is an open with mode bits 3 *)
+  List.iter
+    (fun tag ->
+      let s = Binary_codec.magic ^ String.make 1 (Char.chr tag) in
+      match Binary_codec.decode_string s with
+      | Ok _ -> Alcotest.failf "accepted tag 0x%02x" tag
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "tag 0x%02x reports malformed" tag)
+          true
+          (contains_sub ~sub:"malformed tag" e))
+    [ 0xFF; 0x30 ]
+
 (* -- properties -------------------------------------------------------------------- *)
 
 let gen_kind =
@@ -269,16 +383,55 @@ let gen_record =
       (triple (float_bound_inclusive 1e6) (int_bound 3) (int_bound 50))
       gen_kind)
 
-let arb_record = QCheck.make gen_record
+let gen_full_record =
+  QCheck.Gen.(
+    map2
+      (fun (t, s, c) ((u, p, f), m, kind) ->
+        mk ~time:(Float.abs t) ~server:s ~client:c ~user:u ~pid:p ~file:f
+          ~migrated:m kind)
+      (triple (float_bound_inclusive 1e6) (int_bound 3) (int_bound 50))
+      (triple
+         (triple (int_bound 9999) (int_bound 99999) (int_bound 999999))
+         bool gen_kind))
 
+let arb_record = QCheck.make gen_record
+let arb_full_record = QCheck.make gen_full_record
+
+(* The text codec's time-precision contract: times are printed with
+   [%.6f], so one encode/decode quantizes the time to the nearest
+   microsecond; every other field round-trips exactly. *)
 let prop_codec_roundtrip =
-  QCheck.Test.make ~name:"codec roundtrip (random records)" ~count:300 arb_record
-    (fun r ->
+  QCheck.Test.make ~name:"text codec roundtrip (random records)" ~count:300
+    arb_full_record (fun r ->
       match Codec.decode (Codec.encode r) with
       | Ok r' ->
-        (* times survive to microsecond precision *)
-        Float.abs (r'.time -. r.time) < 1e-5 && r'.kind = r.kind
+        (* times survive to microsecond precision... *)
+        Float.abs (r'.time -. r.time) <= 5e-7
+        (* ...and everything else must be untouched *)
+        && Record.equal { r with time = r'.time } r'
       | Error _ -> false)
+
+(* A time that already went through [%.6f] is a fixed point: re-encoding
+   is the identity on the whole record, bit-for-bit. *)
+let prop_text_codec_exact_on_quantized =
+  QCheck.Test.make ~name:"text codec exact on quantized times" ~count:300
+    arb_full_record (fun r ->
+      let quantized =
+        { r with Record.time = float_of_string (Printf.sprintf "%.6f" r.time) }
+      in
+      match Codec.decode (Codec.encode quantized) with
+      | Ok r' -> Record.equal quantized r'
+      | Error _ -> false)
+
+(* The binary codec stores the raw IEEE-754 bits, so it is exact on ANY
+   time, quantized or not. *)
+let prop_binary_codec_exact =
+  QCheck.Test.make ~name:"binary codec exact on random traces" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 40) arb_full_record)
+    (fun rs ->
+      (* order is preserved as written — no sort, the codec must not care *)
+      let back = decode_trace (encode_trace ~format:Writer.Binary rs) in
+      List.length back = List.length rs && List.for_all2 Record.equal rs back)
 
 let prop_merge_sorted =
   QCheck.Test.make ~name:"merge output is time-sorted" ~count:100
@@ -293,7 +446,13 @@ let prop_merge_sorted =
       && List.length merged = List.length a + List.length b)
 
 let qcheck_tests =
-  List.map QCheck_alcotest.to_alcotest [ prop_codec_roundtrip; prop_merge_sorted ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_codec_roundtrip;
+      prop_text_codec_exact_on_quantized;
+      prop_binary_codec_exact;
+      prop_merge_sorted;
+    ]
 
 let suite =
   [
@@ -317,5 +476,10 @@ let suite =
     ("filter migrated", `Quick, test_filter_migrated);
     ("filter files_only", `Quick, test_filter_files_only);
     ("filter duration", `Quick, test_filter_duration);
+    ("binary roundtrip all kinds", `Quick, test_binary_roundtrip_all_kinds);
+    ("binary roundtrip all presets", `Slow, test_binary_roundtrip_presets);
+    ("binary rejects truncation", `Quick, test_binary_rejects_truncation);
+    ("binary rejects bad magic", `Quick, test_binary_rejects_bad_magic);
+    ("binary rejects malformed tag", `Quick, test_binary_rejects_malformed_tag);
   ]
   @ qcheck_tests
