@@ -70,10 +70,14 @@ let fault_profile () =
 let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall ~experiments
     ~total_wall =
   let module J = Dfs_obs.Json in
+  let gc = Gc.quick_stat () in
+  let trace_counter name =
+    Dfs_obs.Metrics.value (Dfs_obs.Metrics.counter name)
+  in
   let report =
     J.Obj
       [
-        ("schema", J.String "dfs-bench-run/3");
+        ("schema", J.String "dfs-bench-run/4");
         ("scale", J.Float scale);
         ("jobs", J.Int jobs);
         ( "faults",
@@ -88,6 +92,27 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall ~experiments
               ("analysis_wall_s", J.Float analysis_wall);
             ] );
         ("total_wall_s", J.Float total_wall);
+        (* peak-heap telemetry: the regression gate for the streaming
+           trace pipeline's bounded-memory claim *)
+        ( "gc",
+          J.Obj
+            [
+              ("top_heap_words", J.Int gc.Gc.top_heap_words);
+              ("heap_words", J.Int gc.Gc.heap_words);
+              ("major_collections", J.Int gc.Gc.major_collections);
+            ] );
+        ( "trace",
+          J.Obj
+            [
+              ("chunk_records", J.Int (Dfs_core.Dataset.default_chunk_records ()));
+              ( "spill_dir",
+                match Dfs_core.Dataset.default_spill_dir () with
+                | Some d -> J.String d
+                | None -> J.Null );
+              ("chunks_sealed", J.Int (trace_counter "trace.sink.chunks_sealed"));
+              ("chunks_spilled", J.Int (trace_counter "trace.sink.chunks_spilled"));
+              ("spilled_bytes", J.Int (trace_counter "trace.sink.spilled_bytes"));
+            ] );
         ( "experiments",
           J.List
             (List.map
@@ -107,7 +132,7 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall ~experiments
 
 let analysis_tests (ds : Dfs_core.Dataset.t) =
   let run = List.hd ds.runs in
-  let batch = run.batch in
+  let batch = Dfs_core.Dataset.batch run in
   let stats () = List.concat_map Dfs_core.Dataset.client_cache_stats ds.runs in
   let t name f = (name, fun () -> ignore (Sys.opaque_identity (f ()))) in
   [

@@ -44,6 +44,24 @@ let fault_seed_arg =
   in
   Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"N" ~doc)
 
+(* -- trace pipeline memory bounds ------------------------------------------ *)
+
+let chunk_records_arg =
+  let doc =
+    "Records per sealed trace chunk in the streaming trace pipeline. \
+     Defaults to DFS_CHUNK_RECORDS, else 32768. Results are identical \
+     whatever the value."
+  in
+  Arg.(value & opt (some int) None & info [ "chunk-records" ] ~docv:"N" ~doc)
+
+let spill_dir_arg =
+  let doc =
+    "Spill sealed trace chunks to this directory as binary trace segments \
+     instead of keeping them in memory, bounding peak heap. Defaults to \
+     DFS_SPILL_DIR, else in-memory chunks. Results are identical either way."
+  in
+  Arg.(value & opt (some string) None & info [ "spill-dir" ] ~docv:"DIR" ~doc)
+
 let fault_profile faults fault_seed =
   match faults with
   | None -> None
@@ -143,8 +161,9 @@ let with_obs ~metrics_out ~trace_out f =
     trace_out;
   result
 
-let make_dataset ?faults scale traces jobs =
-  Dfs_core.Dataset.generate ?scale ~traces ?jobs ?faults ()
+let make_dataset ?faults ?chunk_records ?spill_dir scale traces jobs =
+  Dfs_core.Dataset.generate ?scale ~traces ?jobs ?faults ?chunk_records
+    ?spill_dir ()
 
 (* -- list ------------------------------------------------------------------ *)
 
@@ -165,7 +184,8 @@ let experiment_cmd =
     let doc = "Experiment ids (table1..table12, fig1..fig4)." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run () ids scale traces jobs faults fault_seed metrics_out trace_out =
+  let run () ids scale traces jobs faults fault_seed chunk_records spill_dir
+      metrics_out trace_out =
     let unknown =
       List.filter (fun id -> Dfs_core.Experiment.find id = None) ids
     in
@@ -177,8 +197,8 @@ let experiment_cmd =
     end;
     with_obs ~metrics_out ~trace_out (fun () ->
         let ds =
-          make_dataset ?faults:(fault_profile faults fault_seed) scale traces
-            jobs
+          make_dataset ?faults:(fault_profile faults fault_seed)
+            ?chunk_records ?spill_dir scale traces jobs
         in
         List.iter
           (fun id ->
@@ -193,16 +213,18 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
     Term.(
       const run $ verbosity_term $ ids_arg $ scale_arg $ traces_arg $ jobs_arg
-      $ faults_arg $ fault_seed_arg $ metrics_out_arg $ trace_out_arg)
+      $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* -- all ----------------------------------------------------------------------- *)
 
 let all_cmd =
-  let run () scale traces jobs faults fault_seed metrics_out trace_out =
+  let run () scale traces jobs faults fault_seed chunk_records spill_dir
+      metrics_out trace_out =
     with_obs ~metrics_out ~trace_out (fun () ->
         let ds =
-          make_dataset ?faults:(fault_profile faults fault_seed) scale traces
-            jobs
+          make_dataset ?faults:(fault_profile faults fault_seed)
+            ?chunk_records ?spill_dir scale traces jobs
         in
         List.iter
           (fun (e : Dfs_core.Experiment.t) ->
@@ -214,7 +236,8 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Reproduce every table and figure")
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
-      $ faults_arg $ fault_seed_arg $ metrics_out_arg $ trace_out_arg)
+      $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* -- facts -------------------------------------------------------------------- *)
 
@@ -223,12 +246,12 @@ let facts_cmd =
     let doc = "Emit the scorecard as a markdown table (for EXPERIMENTS.md)." in
     Arg.(value & flag & info [ "markdown" ] ~doc)
   in
-  let run () scale traces jobs faults fault_seed markdown metrics_out trace_out
-      =
+  let run () scale traces jobs faults fault_seed chunk_records spill_dir
+      markdown metrics_out trace_out =
     with_obs ~metrics_out ~trace_out (fun () ->
         let ds =
-          make_dataset ?faults:(fault_profile faults fault_seed) scale traces
-            jobs
+          make_dataset ?faults:(fault_profile faults fault_seed)
+            ?chunk_records ?spill_dir scale traces jobs
         in
         if markdown then print_string (Dfs_core.Claims.markdown ds)
         else begin
@@ -242,8 +265,8 @@ let facts_cmd =
          "Check the paper's headline findings (the prose claims) against           the simulation")
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
-      $ faults_arg $ fault_seed_arg $ markdown_arg $ metrics_out_arg
-      $ trace_out_arg)
+      $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
+      $ markdown_arg $ metrics_out_arg $ trace_out_arg)
 
 (* -- simulate ------------------------------------------------------------------- *)
 

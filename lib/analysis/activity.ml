@@ -13,8 +13,20 @@ type report = {
   peak_total_throughput : float;
 }
 
-let analyze ?(migrated_only = false) ~interval batch =
-  if B.length batch = 0 then
+(* [batches] must be replayable: the analysis makes one pass to find the
+   time span, then a second for the bucket folds. *)
+let analyze_seq ?(migrated_only = false) ~interval batches =
+  (* time span; [t0] is the first record's time, as before *)
+  let t0 = ref nan and t_end = ref neg_infinity in
+  Seq.iter
+    (fun batch ->
+      let n = B.length batch in
+      if n > 0 && Float.is_nan !t0 then t0 := B.time batch 0;
+      for i = 0 to n - 1 do
+        t_end := Float.max !t_end (B.time batch i)
+      done)
+    batches;
+  if Float.is_nan !t0 then
     {
       interval;
       avg_active_users = 0.0;
@@ -26,12 +38,8 @@ let analyze ?(migrated_only = false) ~interval batch =
       peak_total_throughput = 0.0;
     }
   else begin
-    let t0 = B.time batch 0 in
-    let t_end = ref t0 in
-    for i = 0 to B.length batch - 1 do
-      t_end := Float.max !t_end (B.time batch i)
-    done;
-    let t_end = !t_end in
+    let t0 = !t0 in
+    let t_end = Float.max !t_end t0 in
     let n_buckets =
       max 1 (1 + int_of_float ((t_end -. t0) /. interval))
     in
@@ -55,21 +63,24 @@ let analyze ?(migrated_only = false) ~interval batch =
       | None -> Hashtbl.replace bytes_tbl key (ref n)
     in
     let relevant (migrated : bool) = (not migrated_only) || migrated in
-    for i = 0 to B.length batch - 1 do
-      if relevant (B.migrated batch i) then begin
-        let time = B.time batch i and user = B.user_id batch i in
-        mark_active (bucket time) user;
-        (* shared (pass-through) transfers carry their size directly: the
-           length for shared reads/writes (payload column b), the byte
-           count for directory reads (column a) *)
-        let tag = B.tag batch i in
-        if tag = B.tag_shared_read || tag = B.tag_shared_write then
-          add_bytes (bucket time) user (B.b batch i)
-        else if tag = B.tag_dir_read then
-          add_bytes (bucket time) user (B.a batch i)
-      end
-    done;
-    Session.run_boundaries_batch batch ~f:(fun a time run ->
+    Seq.iter
+      (fun batch ->
+        for i = 0 to B.length batch - 1 do
+          if relevant (B.migrated batch i) then begin
+            let time = B.time batch i and user = B.user_id batch i in
+            mark_active (bucket time) user;
+            (* shared (pass-through) transfers carry their size directly:
+               the length for shared reads/writes (payload column b), the
+               byte count for directory reads (column a) *)
+            let tag = B.tag batch i in
+            if tag = B.tag_shared_read || tag = B.tag_shared_write then
+              add_bytes (bucket time) user (B.b batch i)
+            else if tag = B.tag_dir_read then
+              add_bytes (bucket time) user (B.a batch i)
+          end
+        done)
+      batches;
+    Session.run_boundaries_seq batches ~f:(fun a time run ->
         if relevant a.a_migrated && not a.a_is_dir then
           add_bytes (bucket time) a.a_user run);
     (* active-user statistics over every interval, empty ones included *)
@@ -125,6 +136,9 @@ let analyze ?(migrated_only = false) ~interval batch =
       peak_total_throughput = peak_total;
     }
   end
+
+let analyze ?migrated_only ~interval batch =
+  analyze_seq ?migrated_only ~interval (Seq.return batch)
 
 let pp ppf r =
   Format.fprintf ppf

@@ -26,4 +26,13 @@ val analyze :
     when a migrated process acted for them, and only migrated processes'
     bytes count. *)
 
+val analyze_seq :
+  ?migrated_only:bool ->
+  interval:float ->
+  Dfs_trace.Record_batch.t Seq.t ->
+  report
+(** {!analyze} over a chunked trace.  The sequence must be replayable
+    (e.g. {!Dfs_trace.Sink.to_seq}): the analysis traverses it once for
+    the time span and again for the interval folds. *)
+
 val pp : Format.formatter -> report -> unit

@@ -6,7 +6,7 @@ type t = { file_opens : int; sharing_opens : int; recall_opens : int }
 
 type opener = { client : int; mutable count : int; mutable writers : int }
 
-let analyze batch =
+let analyze_seq batches =
   let file_opens = ref 0 and sharing = ref 0 and recalls = ref 0 in
   let open_tbl : opener list ref Ids.File.Tbl.t = Ids.File.Tbl.create 1024 in
   let last_writer : int Ids.File.Tbl.t = Ids.File.Tbl.create 256 in
@@ -18,6 +18,7 @@ let analyze batch =
   let handle_modes : (int * int * int, Record.open_mode list ref) Hashtbl.t =
     Hashtbl.create 1024
   in
+  Seq.iter (fun batch ->
   let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
   for i = 0 to B.length batch - 1 do
     let tag = B.tag batch i in
@@ -94,8 +95,10 @@ let analyze batch =
     end
     else if tag = B.tag_delete then
       Ids.File.Tbl.remove last_writer (B.file_id batch i)
-  done;
+  done) batches;
   { file_opens = !file_opens; sharing_opens = !sharing; recall_opens = !recalls }
+
+let analyze batch = analyze_seq (Seq.return batch)
 
 let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
 

@@ -16,6 +16,10 @@ type t = {
 
 val analyze : Dfs_trace.Record_batch.t -> t
 
+val analyze_seq : Dfs_trace.Record_batch.t Seq.t -> t
+(** {!analyze} over a chunked trace; replay state persists across chunk
+    boundaries. *)
+
 val sharing_pct : t -> float
 
 val recall_pct : t -> float

@@ -8,7 +8,7 @@ type t = {
   accesses : Session.access list;
 }
 
-let analyze batch =
+let analyze_seq batches =
   let ts = Trace_stats.acc_create () in
   let fs = File_size.create () in
   let ot = Open_time.create () in
@@ -16,8 +16,8 @@ let analyze batch =
   let ap = Access_patterns.acc_create () in
   let lt = Lifetime.acc_create () in
   let accesses_rev = ref [] in
-  Session.sweep batch
-    ~on_record:(fun i ->
+  Session.sweep_seq batches
+    ~on_record:(fun batch i ->
       Trace_stats.acc_record ts batch i;
       Lifetime.acc_record lt batch i)
     ~on_access:(fun a ->
@@ -37,3 +37,5 @@ let analyze batch =
     lifetime = Lifetime.acc_finish lt;
     accesses = List.rev !accesses_rev;
   }
+
+let analyze batch = analyze_seq (Seq.return batch)

@@ -20,3 +20,8 @@ type t = {
 }
 
 val analyze : Dfs_trace.Record_batch.t -> t
+
+val analyze_seq : Dfs_trace.Record_batch.t Seq.t -> t
+(** {!analyze} over a chunked trace stream; at most one chunk is forced
+    at a time (plus the accumulators), so peak memory is bounded by the
+    chunk size rather than the trace length. *)

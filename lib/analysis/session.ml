@@ -82,8 +82,10 @@ let finish (p : pending) close_time ~size ~bytes_read ~bytes_written =
   }
 
 (* The scan walks the batch columns directly; the only allocations are
-   one [pending] per open and the handle-table bookkeeping. *)
-let scan batch ~on_record ~on_boundary ~on_close =
+   one [pending] per open and the handle-table bookkeeping.  The handle
+   table persists across batches, so a chunked trace scans identically
+   to the same records in one contiguous batch. *)
+let scan_seq batches ~on_record ~on_boundary ~on_close =
   let open_tbl : (int * int * int, pending list) Hashtbl.t =
     Hashtbl.create 1024
   in
@@ -104,68 +106,76 @@ let scan batch ~on_record ~on_boundary ~on_close =
       Some p
     | Some [] | None -> None
   in
-  let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
-  let n = B.length batch in
-  for i = 0 to n - 1 do
-    on_record i;
-    let tag = B.tag batch i in
-    if tag = B.tag_open then
-      push (handle_key i)
-        {
-          p_user = B.user_id batch i;
-          p_client = Ids.Client.of_int (B.client batch i);
-          p_migrated = B.migrated batch i;
-          p_file = B.file_id batch i;
-          p_is_dir = B.is_dir batch i;
-          p_mode = B.open_mode batch i;
-          p_open_time = B.time batch i;
-          p_size_open = B.a batch i;
-          run_start = B.b batch i;
-          runs_rev = [];
-          repositions = 0;
-        }
-    else if tag = B.tag_reposition then begin
-      match top (handle_key i) with
-      | None -> ()
-      | Some p ->
-        let run = B.a batch i - p.run_start in
-        if run > 0 then begin
-          p.runs_rev <- run :: p.runs_rev;
-          on_boundary p (B.time batch i) run
-        end;
-        p.run_start <- B.b batch i;
-        p.repositions <- p.repositions + 1
-    end
-    else if tag = B.tag_close then begin
-      match pop (handle_key i) with
-      | None -> ()
-      | Some p ->
-        let run = B.b batch i - p.run_start in
-        if run > 0 then begin
-          p.runs_rev <- run :: p.runs_rev;
-          on_boundary p (B.time batch i) run
-        end;
-        on_close p (B.time batch i) ~size:(B.a batch i)
-          ~bytes_read:(B.c batch i) ~bytes_written:(B.d batch i)
-    end
-  done
+  Seq.iter
+    (fun batch ->
+      let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
+      let n = B.length batch in
+      for i = 0 to n - 1 do
+        on_record batch i;
+        let tag = B.tag batch i in
+        if tag = B.tag_open then
+          push (handle_key i)
+            {
+              p_user = B.user_id batch i;
+              p_client = Ids.Client.of_int (B.client batch i);
+              p_migrated = B.migrated batch i;
+              p_file = B.file_id batch i;
+              p_is_dir = B.is_dir batch i;
+              p_mode = B.open_mode batch i;
+              p_open_time = B.time batch i;
+              p_size_open = B.a batch i;
+              run_start = B.b batch i;
+              runs_rev = [];
+              repositions = 0;
+            }
+        else if tag = B.tag_reposition then begin
+          match top (handle_key i) with
+          | None -> ()
+          | Some p ->
+            let run = B.a batch i - p.run_start in
+            if run > 0 then begin
+              p.runs_rev <- run :: p.runs_rev;
+              on_boundary p (B.time batch i) run
+            end;
+            p.run_start <- B.b batch i;
+            p.repositions <- p.repositions + 1
+        end
+        else if tag = B.tag_close then begin
+          match pop (handle_key i) with
+          | None -> ()
+          | Some p ->
+            let run = B.b batch i - p.run_start in
+            if run > 0 then begin
+              p.runs_rev <- run :: p.runs_rev;
+              on_boundary p (B.time batch i) run
+            end;
+            on_close p (B.time batch i) ~size:(B.a batch i)
+              ~bytes_read:(B.c batch i) ~bytes_written:(B.d batch i)
+        end
+      done)
+    batches
 
-let no_record = ignore
+let no_record _ _ = ()
 
 let no_boundary _ _ _ = ()
 
-let sweep batch ~on_record ~on_access =
-  scan batch ~on_record ~on_boundary:no_boundary
+let sweep_seq batches ~on_record ~on_access =
+  scan_seq batches ~on_record ~on_boundary:no_boundary
     ~on_close:(fun p time ~size ~bytes_read ~bytes_written ->
       on_access (finish p time ~size ~bytes_read ~bytes_written))
 
-let of_batch batch =
+let sweep batch ~on_record ~on_access =
+  sweep_seq (Seq.return batch) ~on_record ~on_access
+
+let of_seq batches =
   let acc = ref [] in
-  sweep batch ~on_record:no_record ~on_access:(fun a -> acc := a :: !acc);
+  sweep_seq batches ~on_record:no_record ~on_access:(fun a -> acc := a :: !acc);
   List.rev !acc
 
-let run_boundaries_batch batch ~f =
-  scan batch ~on_record:no_record
+let of_batch batch = of_seq (Seq.return batch)
+
+let run_boundaries_seq batches ~f =
+  scan_seq batches ~on_record:no_record
     ~on_boundary:(fun p time run ->
       (* expose the in-progress access; totals are placeholders *)
       let partial =
@@ -173,6 +183,8 @@ let run_boundaries_batch batch ~f =
       in
       f partial time run)
     ~on_close:(fun _ _ ~size:_ ~bytes_read:_ ~bytes_written:_ -> ())
+
+let run_boundaries_batch batch ~f = run_boundaries_seq (Seq.return batch) ~f
 
 let of_trace trace = of_batch (B.of_array trace)
 

@@ -46,17 +46,31 @@ val of_batch : Dfs_trace.Record_batch.t -> access list
     Opens with no matching close (trace cut off) are dropped, as are
     closes with no matching open. *)
 
+val of_seq : Dfs_trace.Record_batch.t Seq.t -> access list
+(** {!of_batch} over a chunked trace.  The open-handle table persists
+    across batch boundaries, so a trace split into chunks yields exactly
+    the accesses of the same records in one batch. *)
+
 val of_trace : Dfs_trace.Record.t array -> access list
 (** {!of_batch} on a boxed-record trace (converts first). *)
 
 val sweep :
   Dfs_trace.Record_batch.t ->
-  on_record:(int -> unit) ->
+  on_record:(Dfs_trace.Record_batch.t -> int -> unit) ->
   on_access:(access -> unit) ->
   unit
-(** One pass over the batch: [on_record i] fires for every record index in
-    order (for fused per-record folds), [on_access] for every completed
-    access in close-time order — the same order {!of_batch} returns. *)
+(** One pass over the batch: [on_record batch i] fires for every record
+    index in order (for fused per-record folds), [on_access] for every
+    completed access in close-time order — the same order {!of_batch}
+    returns. *)
+
+val sweep_seq :
+  Dfs_trace.Record_batch.t Seq.t ->
+  on_record:(Dfs_trace.Record_batch.t -> int -> unit) ->
+  on_access:(access -> unit) ->
+  unit
+(** {!sweep} over a chunked trace; at most one chunk is forced at a
+    time. *)
 
 val run_boundaries_batch :
   Dfs_trace.Record_batch.t -> f:(access -> float -> int -> unit) -> unit
@@ -64,6 +78,12 @@ val run_boundaries_batch :
     run_bytes] at each run boundary (reposition or close), attributing the
     run's bytes at the moment they are known.  [access] is the in-progress
     access (its totals may be incomplete at callback time). *)
+
+val run_boundaries_seq :
+  Dfs_trace.Record_batch.t Seq.t ->
+  f:(access -> float -> int -> unit) ->
+  unit
+(** {!run_boundaries_batch} over a chunked trace. *)
 
 val run_boundaries :
   Dfs_trace.Record.t array -> f:(access -> float -> int -> unit) -> unit

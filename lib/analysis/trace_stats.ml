@@ -110,7 +110,7 @@ let of_batch ?accesses batch =
     done
   | None ->
     Session.sweep batch
-      ~on_record:(fun i -> acc_record acc batch i)
+      ~on_record:(fun batch i -> acc_record acc batch i)
       ~on_access:(acc_access acc));
   acc_finish acc
 

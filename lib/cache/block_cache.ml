@@ -200,6 +200,17 @@ let stats t = t.stats
 
 let dirty_blocks t = t.dirty_count
 
+(* Post-simulation memory release: the block store, per-file index and
+   dirty-file tracking go away; [stats] (all counters and timing
+   distributions) survive untouched.  Dirty data is dropped without
+   writeback, so this must only run once the cache will see no further
+   reads or writes. *)
+let drop_contents t =
+  L.clear t.lru;
+  Hashtbl.reset t.files;
+  Hashtbl.reset t.dirty_files;
+  t.dirty_count <- 0
+
 (* -- internal bookkeeping ------------------------------------------------ *)
 
 let file_tbl t file =

@@ -179,6 +179,11 @@ val stats : t -> stats
 
 val dirty_blocks : t -> int
 
+val drop_contents : t -> unit
+(** Release the block store and per-file indexes once the simulation is
+    over; {!stats} keeps working.  Dirty blocks are dropped without
+    writeback, so the cache must not be used for I/O afterwards. *)
+
 val check_invariants : t -> unit
 (** Internal consistency (size within capacity, LRU and index agree,
     dirty counters match).  Raises [Assert_failure] on violation; used by

@@ -21,7 +21,7 @@ type entry = { mutable seen : int; mutable last_check : float }
 
 type file_state = { mutable version : int; mutable last_writer : int }
 
-let simulate ~interval batch =
+let simulate_seq ~interval batches =
   let files : file_state Ids.File.Tbl.t = Ids.File.Tbl.create 1024 in
   let cache : (int * int, entry) Hashtbl.t = Hashtbl.create 4096 in
   (* (client, file) -> entry *)
@@ -72,6 +72,7 @@ let simulate ~interval batch =
   let handles : (int * int * int, bool list ref) Hashtbl.t =
     Hashtbl.create 1024
   in
+  Seq.iter (fun batch ->
   let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
   for i = 0 to B.length batch - 1 do
     let time = B.time batch i and user = B.user_id batch i in
@@ -127,7 +128,7 @@ let simulate ~interval batch =
     end
     else if tag = B.tag_shared_write then publish ~client (file ())
     else if tag = B.tag_delete then Ids.File.Tbl.remove files (file ())
-  done;
+  done) batches;
   let duration_hours =
     if !t_max > !t_min then (!t_max -. !t_min) /. 3600.0 else 0.0
   in
@@ -147,6 +148,8 @@ let simulate ~interval batch =
     affected_user_ids = !affected;
     seen_user_ids = !users;
   }
+
+let simulate ~interval batch = simulate_seq ~interval (Seq.return batch)
 
 let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
 

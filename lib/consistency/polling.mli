@@ -27,6 +27,11 @@ type report = {
 
 val simulate : interval:float -> Dfs_trace.Record_batch.t -> report
 
+val simulate_seq :
+  interval:float -> Dfs_trace.Record_batch.t Seq.t -> report
+(** {!simulate} over a chunked trace; cache state persists across chunk
+    boundaries. *)
+
 val pct_users_affected : report -> float
 
 val pct_opens_with_error : report -> float

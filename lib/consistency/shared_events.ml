@@ -21,20 +21,26 @@ let is_writer = function
   | Record.Read_only -> false
 
 (* The close record does not carry the open mode; recover it from the
-   handle's matching open, tracked per (client, pid, file). *)
-let extract batch =
+   handle's matching open, tracked per (client, pid, file).
+   [batches] must be replayable: one pass collects the write-shared
+   files, a second extracts their events. *)
+let extract_seq batches =
   let module B = Dfs_trace.Record_batch in
   let shared_files = ref Ids.File.Set.empty in
-  for i = 0 to B.length batch - 1 do
-    let tag = B.tag batch i in
-    if tag = B.tag_shared_read || tag = B.tag_shared_write then
-      shared_files := Ids.File.Set.add (B.file_id batch i) !shared_files
-  done;
+  Seq.iter
+    (fun batch ->
+      for i = 0 to B.length batch - 1 do
+        let tag = B.tag batch i in
+        if tag = B.tag_shared_read || tag = B.tag_shared_write then
+          shared_files := Ids.File.Set.add (B.file_id batch i) !shared_files
+      done)
+    batches;
   let handle_modes : (int * int * int, Record.open_mode list ref) Hashtbl.t =
     Hashtbl.create 256
   in
-  let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
   let per_file : timed list ref Ids.File.Tbl.t = Ids.File.Tbl.create 64 in
+  Seq.iter (fun batch ->
+  let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
   let emit i ev =
     let l =
       match Ids.File.Tbl.find_opt per_file (B.file_id batch i) with
@@ -78,7 +84,7 @@ let extract batch =
       else if tag = B.tag_shared_write then
         emit i (Write { client; off = B.a batch i; len = B.b batch i })
     end
-  done;
+  done) batches;
   Ids.File.Tbl.fold
     (fun file events acc ->
       let events = List.rev !events in
@@ -93,6 +99,8 @@ let extract batch =
       { file; events; requested_bytes; requests } :: acc)
     per_file []
   |> List.sort (fun a b -> Ids.File.compare a.file b.file)
+
+let extract batch = extract_seq (Seq.return batch)
 
 let total_requested streams =
   List.fold_left (fun acc s -> acc + s.requested_bytes) 0 streams

@@ -26,6 +26,10 @@ val extract : Dfs_trace.Record_batch.t -> stream list
 (** One stream per file that experienced write-sharing (i.e. has at least
     one shared read/write record). *)
 
+val extract_seq : Dfs_trace.Record_batch.t Seq.t -> stream list
+(** {!extract} over a chunked trace.  The sequence must be replayable
+    (e.g. {!Dfs_trace.Sink.to_seq}): extraction traverses it twice. *)
+
 val total_requested : stream list -> int
 
 val total_requests : stream list -> int

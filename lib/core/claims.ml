@@ -29,7 +29,7 @@ let per_trace (ds : Dataset.t) f = List.map (fun r -> f r) ds.runs
 
 let activity ?(migrated_only = false) ~interval ds =
   per_trace ds (fun r ->
-      A.Activity.analyze ~migrated_only ~interval r.Dataset.batch)
+      A.Activity.analyze_seq ~migrated_only ~interval (Dataset.trace_seq r))
 
 let avg_tput ?migrated_only ~interval ds =
   mean
@@ -55,7 +55,7 @@ let server_traffic (ds : Dataset.t) =
     (Dfs_sim.Traffic.create ()) ds.runs
 
 let polling ~interval ds =
-  per_trace ds (fun r -> C.Polling.simulate ~interval r.Dataset.batch)
+  per_trace ds (fun r -> C.Polling.simulate_seq ~interval (Dataset.trace_seq r))
 
 (* -- the claims ------------------------------------------------------------- *)
 
@@ -324,7 +324,7 @@ let all =
           mean
             (per_trace ds (fun r ->
                  A.Consistency_stats.sharing_pct
-                   (A.Consistency_stats.analyze r.batch))));
+                   (A.Consistency_stats.analyze_seq (Dataset.trace_seq r)))));
     };
     {
       c_id = "recall-rate";
@@ -341,7 +341,7 @@ let all =
           mean
             (per_trace ds (fun r ->
                  A.Consistency_stats.recall_pct
-                   (A.Consistency_stats.analyze r.batch))));
+                   (A.Consistency_stats.analyze_seq (Dataset.trace_seq r)))));
     };
     {
       c_id = "polling-users-affected";
@@ -393,7 +393,7 @@ let all =
           let ratios =
             List.filter_map
               (fun (r : Dataset.run) ->
-                let streams = C.Shared_events.extract r.batch in
+                let streams = C.Shared_events.extract_seq (Dataset.trace_seq r) in
                 let d = C.Shared_events.total_requested streams in
                 if d = 0 then None
                 else

@@ -1,4 +1,5 @@
 module Presets = Dfs_workload.Presets
+module Sink = Dfs_trace.Sink
 
 (* The fused single-pass analysis (session reconstruction plus the six
    per-record/per-access folds) is needed by half a dozen experiments;
@@ -15,7 +16,7 @@ type run = {
   preset : Presets.preset;
   cluster : Dfs_sim.Cluster.t;
   driver : Dfs_workload.Driver.t;
-  batch : Dfs_trace.Record_batch.t;
+  trace : Sink.chunks;
   memo : memo;
 }
 
@@ -26,18 +27,52 @@ let default_scale () =
   | Some ("1" | "true" | "yes") -> 1.0
   | Some _ | None -> 0.05
 
-let simulate_preset ~scale ~faults n =
+let default_chunk_records () =
+  match Sys.getenv_opt "DFS_CHUNK_RECORDS" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n >= 1 -> n | Some _ | None ->
+      Sink.default_chunk_records)
+  | None -> Sink.default_chunk_records
+
+let default_spill_dir () = Sys.getenv_opt "DFS_SPILL_DIR"
+
+let simulate_preset ~scale ~faults ~chunk_records ~spill_dir n =
   let preset = Presets.scaled (Presets.trace n) ~factor:scale in
   let preset =
     match faults with
     | None -> preset
     | Some profile -> Presets.with_faults preset profile
   in
+  (* Wire the trace pipeline's memory bounds into the cluster: chunked
+     per-server logs, optionally spilled to disk, tagged by preset name
+     so concurrent presets never collide on segment files. *)
+  let preset =
+    {
+      preset with
+      Presets.cluster_config =
+        {
+          preset.Presets.cluster_config with
+          trace_chunk_records = chunk_records;
+          trace_spill_dir = spill_dir;
+          trace_spill_tag = preset.Presets.name;
+        };
+    }
+  in
   Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
     (preset.duration /. 3600.0);
   let t0 = Unix.gettimeofday () in
   let cluster, driver = Presets.run preset in
-  let batch = Dfs_trace.Record_batch.of_list (Dfs_sim.Cluster.merged_trace cluster) in
+  let spill =
+    Option.map
+      (fun dir -> { Sink.dir; name = preset.name ^ "-merged" })
+      spill_dir
+  in
+  let trace = Dfs_sim.Cluster.merged_chunks ?spill cluster in
+  (* The simulation is over: drop the per-server logs (the merged chunks
+     are the only live copy) along with the event queue and the per-file
+     tables, which would otherwise dominate the dataset's footprint.
+     The counters the analyses read all survive. *)
+  Dfs_sim.Cluster.release_sim_state cluster;
   let elapsed = Unix.gettimeofday () -. t0 in
   (* Engine self-profiling: wall time per simulated run phase. *)
   Dfs_obs.Metrics.set
@@ -49,19 +84,30 @@ let simulate_preset ~scale ~faults n =
     preset;
     cluster;
     driver;
-    batch;
+    trace;
     memo = { lock = Mutex.create (); fused = None };
   }
 
-let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults () =
+let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults
+    ?chunk_records ?spill_dir () =
   let scale = match scale with Some s -> s | None -> default_scale () in
+  let chunk_records =
+    match chunk_records with Some n -> n | None -> default_chunk_records ()
+  in
+  let spill_dir =
+    match spill_dir with Some _ as s -> s | None -> default_spill_dir ()
+  in
   let pool = Dfs_util.Pool.create ?jobs () in
   let t_start = Unix.gettimeofday () in
   (* Each preset seeds its own RNG and builds its own cluster (and, with
      faults on, its own injector seeded only by the fault profile), so
      the simulations are independent; [Pool.map] returns them in preset
      order, making the parallel dataset byte-identical to DFS_JOBS=1. *)
-  let runs = Dfs_util.Pool.map pool (simulate_preset ~scale ~faults) traces in
+  let runs =
+    Dfs_util.Pool.map pool
+      (simulate_preset ~scale ~faults ~chunk_records ~spill_dir)
+      traces
+  in
   Dfs_obs.Metrics.set
     (Dfs_obs.Metrics.gauge "phase.dataset.wall_s")
     (Unix.gettimeofday () -. t_start);
@@ -69,6 +115,10 @@ let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults () =
     (Dfs_obs.Metrics.gauge "phase.dataset.jobs")
     (float_of_int (Dfs_util.Pool.jobs pool));
   { scale; jobs = Dfs_util.Pool.jobs pool; runs }
+
+let trace_seq run = Sink.to_seq run.trace
+
+let batch run = Sink.to_batch run.trace
 
 let fused run =
   match run.memo.fused with
@@ -81,7 +131,7 @@ let fused run =
         match run.memo.fused with
         | Some f -> f
         | None ->
-          let f = Dfs_analysis.Fused.analyze run.batch in
+          let f = Dfs_analysis.Fused.analyze_seq (trace_seq run) in
           run.memo.fused <- Some f;
           f)
 
@@ -108,4 +158,6 @@ let merged_counters t =
     t.runs;
   merged
 
-let traces t = List.map (fun r -> r.batch) t.runs
+let traces t = List.map (fun r -> r.trace) t.runs
+
+let discard t = List.iter (fun r -> Sink.discard r.trace) t.runs

@@ -16,7 +16,7 @@ type run = {
   preset : Dfs_workload.Presets.preset;
   cluster : Dfs_sim.Cluster.t;  (** finished run *)
   driver : Dfs_workload.Driver.t;
-  batch : Dfs_trace.Record_batch.t;  (** merged, scrubbed, time-ordered *)
+  trace : Dfs_trace.Sink.chunks;  (** merged, scrubbed, time-ordered *)
   memo : memo;
 }
 
@@ -27,19 +27,40 @@ val generate :
   ?traces:int list ->
   ?jobs:int ->
   ?faults:Dfs_fault.Profile.t ->
+  ?chunk_records:int ->
+  ?spill_dir:string ->
   unit ->
   t
 (** [traces] selects which of the eight presets to run (default: all).
     [scale] defaults to {!default_scale}.  [jobs] caps the domains used
     (default: {!Dfs_util.Pool.default_jobs}, i.e. [DFS_JOBS] or the
     machine's core count).  [faults] enables fault injection on every
-    preset (default: none).  Progress is reported through {!Dfs_obs.Log}
-    (so [DFS_LOG=quiet] silences it), and per-preset wall times land in
-    the default metrics registry as [phase.sim.<name>.wall_s] gauges. *)
+    preset (default: none).  [chunk_records] bounds the records per trace
+    chunk (default: {!default_chunk_records}); [spill_dir] (default:
+    {!default_spill_dir}) makes sealed chunks spill to disk as binary
+    segments, so peak memory no longer grows with trace length.  Progress
+    is reported through {!Dfs_obs.Log} (so [DFS_LOG=quiet] silences it),
+    and per-preset wall times land in the default metrics registry as
+    [phase.sim.<name>.wall_s] gauges. *)
 
 val default_scale : unit -> float
 (** 1.0 when the environment variable [DFS_FULL] is set, else 0.05 —
     enough for stable shapes while keeping the whole suite fast. *)
+
+val default_chunk_records : unit -> int
+(** [DFS_CHUNK_RECORDS] when set to a positive integer, else
+    {!Dfs_trace.Sink.default_chunk_records}. *)
+
+val default_spill_dir : unit -> string option
+(** [DFS_SPILL_DIR] when set. *)
+
+val trace_seq : run -> Dfs_trace.Record_batch.t Seq.t
+(** The run's merged trace as a replayable chunk stream (at most one
+    chunk forced at a time). *)
+
+val batch : run -> Dfs_trace.Record_batch.t
+(** The merged trace materialized as one contiguous batch.  Allocates
+    the whole trace; prefer {!trace_seq} for large runs. *)
 
 val fused : run -> Dfs_analysis.Fused.t
 (** The run's fused single-pass analysis (trace stats, size/open-time/
@@ -56,4 +77,9 @@ val merged_counters : t -> Dfs_sim.Counters.t
 (** All runs' counter samples concatenated (Table 4 uses every machine
     and day). *)
 
-val traces : t -> Dfs_trace.Record_batch.t list
+val traces : t -> Dfs_trace.Sink.chunks list
+(** Each run's merged trace as a chunk stream. *)
+
+val discard : t -> unit
+(** Delete any spilled trace segments (no-op for in-memory datasets).
+    The runs' traces must not be read afterwards. *)

@@ -112,7 +112,7 @@ let table2 =
   let run (ds : Dataset.t) =
     let analyze ~migrated_only ~interval =
       per_trace ds (fun r ->
-          A.Activity.analyze ~migrated_only ~interval r.batch)
+          A.Activity.analyze_seq ~migrated_only ~interval (Dataset.trace_seq r))
     in
     let render ~label ~interval ~(paper_all : Paper.activity_col)
         ~(paper_mig : Paper.activity_col) ~bsd_users ~bsd_tput =
@@ -862,7 +862,7 @@ let table9 =
 
 let table10 =
   let run (ds : Dataset.t) =
-    let reports = per_trace ds (fun r -> A.Consistency_stats.analyze r.batch) in
+    let reports = per_trace ds (fun r -> A.Consistency_stats.analyze_seq (Dataset.trace_seq r)) in
     let sharing = List.map A.Consistency_stats.sharing_pct reports in
     let recall = List.map A.Consistency_stats.recall_pct reports in
     let tbl =
@@ -906,7 +906,7 @@ let table11 =
   let run (ds : Dataset.t) =
     let render ~interval ~(paper : Paper.t11_col) =
       let reports =
-        per_trace ds (fun r -> C.Polling.simulate ~interval r.batch)
+        per_trace ds (fun r -> C.Polling.simulate_seq ~interval (Dataset.trace_seq r))
       in
       let all_affected =
         List.fold_left
@@ -991,7 +991,7 @@ let table12 =
     let per =
       List.filter_map
         (fun (r : Dataset.run) ->
-          let streams = C.Shared_events.extract r.batch in
+          let streams = C.Shared_events.extract_seq (Dataset.trace_seq r) in
           let demand_bytes = C.Shared_events.total_requested streams in
           let demand_requests = C.Shared_events.total_requests streams in
           (* short scaled traces can have no write-sharing at all; they

@@ -464,3 +464,13 @@ let take_activity t =
   let active = t.ops > 0 in
   t.ops <- 0;
   active
+
+(* Post-simulation memory release: the per-file version and fd tables
+   grow with every file the client ever touched; the cache and VM hold
+   the block store and process state.  Counters ([Bc.stats], [traffic])
+   survive, so post-run analyses keep working. *)
+let release_sim_state t =
+  File.Tbl.reset t.versions;
+  File.Tbl.reset t.open_fd_table;
+  Bc.drop_contents t.cache;
+  Dfs_vm.Vm.drop_state t.vm

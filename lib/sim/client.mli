@@ -136,3 +136,8 @@ val open_fds : t -> int
 val take_activity : t -> bool
 (** True when any operation ran since the last call (consumes the flag);
     feeds the counter sampler's "active interval" screening. *)
+
+val release_sim_state : t -> unit
+(** Release the per-file tables, cache contents and VM state once the
+    simulation is over.  Counters (cache stats, traffic) survive; the
+    client must perform no further operations. *)

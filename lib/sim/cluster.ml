@@ -1,5 +1,6 @@
 module Ids = Dfs_trace.Ids
 module Record = Dfs_trace.Record
+module Sink = Dfs_trace.Sink
 module Bc = Dfs_cache.Block_cache
 
 type config = {
@@ -15,6 +16,9 @@ type config = {
   counter_interval : float;
   simulate_infrastructure : bool;
   fault_profile : Dfs_fault.Profile.t;
+  trace_chunk_records : int;
+  trace_spill_dir : string option;
+  trace_spill_tag : string;
 }
 
 (* Fault windows are generated eagerly out to this horizon; runs longer
@@ -36,6 +40,9 @@ let default_config =
     counter_interval = 60.0;
     simulate_infrastructure = true;
     fault_profile = Dfs_fault.Profile.none;
+    trace_chunk_records = Sink.default_chunk_records;
+    trace_spill_dir = None;
+    trace_spill_tag = "cluster";
   }
 
 let daemon_user = Ids.User.of_int 9000
@@ -53,7 +60,8 @@ type t = {
   servers : Server.t array;
   clients : Client.t array;
   counters : Counters.t;
-  logs : Record.t list ref array;  (* newest first, one per server *)
+  logs : Sink.t array;  (* chunked per-server logs, in emission order *)
+  mutable released : bool;
   faults : Dfs_fault.Injector.t option;
   mutable next_infra_pid : int;
 }
@@ -86,7 +94,7 @@ let infra_cred t ~user ~client =
   Cred.make ~user ~pid ~client ~migrated:false
 
 let emit_infra t ~server_idx (record : Record.t) =
-  t.logs.(server_idx) := record :: !(t.logs.(server_idx))
+  Sink.emit t.logs.(server_idx) record
 
 let log_infra_access t ~server_idx ~cred ~file ~size ~mode ~bytes_read
     ~bytes_written =
@@ -167,7 +175,16 @@ let create cfg =
   let rng = Dfs_util.Rng.create cfg.seed in
   let fs = Fs_state.create ~n_servers:cfg.n_servers ~rng:(Dfs_util.Rng.split rng) () in
   let network = Network.create ~config:cfg.network_config () in
-  let logs = Array.init cfg.n_servers (fun _ -> ref []) in
+  let log_sink i =
+    let spill =
+      Option.map
+        (fun dir ->
+          { Sink.dir; name = Printf.sprintf "%s-server%d" cfg.trace_spill_tag i })
+        cfg.trace_spill_dir
+    in
+    Sink.create ~chunk_records:cfg.trace_chunk_records ?spill ()
+  in
+  let logs = Array.init cfg.n_servers log_sink in
   let faults =
     if Dfs_fault.Profile.is_none cfg.fault_profile then None
     else
@@ -179,7 +196,7 @@ let create cfg =
     Array.init cfg.n_servers (fun i ->
         Server.create ~id:(Ids.Server.of_int i) ~config:cfg.server_config ~fs
           ~network
-          ~log:(fun r -> logs.(i) := r :: !(logs.(i)))
+          ~log:(fun r -> Sink.emit logs.(i) r)
           ?faults:(Option.map (fun inj -> (inj, i)) faults)
           ())
   in
@@ -214,6 +231,7 @@ let create cfg =
       clients;
       counters = Counters.create ();
       logs;
+      released = false;
       faults;
       next_infra_pid = 0;
     }
@@ -303,13 +321,45 @@ let create cfg =
 
 let run t ~until = Engine.run_until t.engine until
 
-let server_traces t =
-  Array.to_list (Array.map (fun l -> List.rev !l) t.logs)
+let check_live t =
+  if t.released then invalid_arg "Cluster: per-server traces were released"
 
-let merged_trace t =
-  Dfs_trace.Merge.scrub ~self_users (Dfs_trace.Merge.merge (server_traces t))
+let server_chunks t =
+  check_live t;
+  Array.to_list (Array.map Sink.chunks_now t.logs)
 
-let merged_trace_array t = Array.of_list (merged_trace t)
+let server_traces t = List.map Sink.to_records (server_chunks t)
+
+let merged_chunks ?chunk_records ?spill t =
+  let chunk_records =
+    Option.value chunk_records ~default:t.cfg.trace_chunk_records
+  in
+  Dfs_trace.Merge.merge_chunks ~chunk_records ?spill ~scrub:self_users
+    (server_chunks t)
+
+let merged_trace t = Sink.to_records (merged_chunks t)
+
+let merged_trace_array t = Dfs_trace.Record_batch.to_array (Sink.to_batch (merged_chunks t))
+
+(* Drop the per-server logs (deleting spilled segments) once the merged
+   trace has been produced; the sinks must not be read afterwards. *)
+let release_traces t =
+  if not t.released then begin
+    t.released <- true;
+    Array.iter Sink.clear t.logs
+  end
+
+(* Full post-simulation release: the traces, the event queue and every
+   per-file/per-client table across the engine, namespace, clients and
+   servers.  Counters and traffic totals — everything the post-run
+   analyses read — survive, but the cluster can neither run further nor
+   serve per-file lookups. *)
+let release_sim_state t =
+  release_traces t;
+  Engine.drop_pending t.engine;
+  Fs_state.drop_files t.fs;
+  Array.iter Client.release_sim_state t.clients;
+  Array.iter Server.release_sim_state t.servers
 
 let total_traffic t =
   Array.fold_left

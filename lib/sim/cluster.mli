@@ -23,6 +23,15 @@ type config = {
       (** fault injection; {!Dfs_fault.Profile.none} (the default)
           disables it entirely and leaves runs byte-identical to a build
           without the fault subsystem *)
+  trace_chunk_records : int;
+      (** records per sealed trace chunk (per-server logs and the merged
+          trace); bounds peak memory together with [trace_spill_dir] *)
+  trace_spill_dir : string option;
+      (** when set, sealed chunks are written there as binary trace
+          segments instead of staying in memory *)
+  trace_spill_tag : string;
+      (** segment-file name prefix; must be unique among clusters
+          spilling into the same directory *)
 }
 
 val default_config : config
@@ -66,15 +75,45 @@ val faults : t -> Dfs_fault.Injector.t option
 
 val run : t -> until:float -> unit
 
+val server_chunks : t -> Dfs_trace.Sink.chunks list
+(** Per-server logs in time order (as collected, before merging), as
+    chunked streams.  Non-destructive: the cluster can keep running and
+    be snapshotted again.
+    @raise Invalid_argument after {!release_traces}. *)
+
 val server_traces : t -> Dfs_trace.Record.t list list
-(** Per-server logs in time order (as collected, before merging). *)
+(** Per-server logs in time order (as collected, before merging),
+    materialized as boxed lists.
+    @raise Invalid_argument after {!release_traces}. *)
+
+val merged_chunks :
+  ?chunk_records:int -> ?spill:Dfs_trace.Sink.spill -> t -> Dfs_trace.Sink.chunks
+(** The merged, scrubbed, time-ordered trace as a chunked stream: a
+    streaming k-way merge over the per-server chunk streams, dropping
+    {!self_users} records on the fly.  [chunk_records] defaults to the
+    cluster's [trace_chunk_records]; pass [spill] to write the merged
+    chunks to disk.  Peak memory is one output chunk plus one loaded
+    chunk per server.
+    @raise Invalid_argument after {!release_traces}. *)
 
 val merged_trace : t -> Dfs_trace.Record.t list
-(** The merged, scrubbed, time-ordered trace the analyses consume. *)
+(** {!merged_chunks} materialized as a boxed list (tests, examples). *)
 
 val merged_trace_array : t -> Dfs_trace.Record.t array
 (** Same records as {!merged_trace}, in the dense form the analyses
     consume. *)
+
+val release_traces : t -> unit
+(** Drop the per-server logs — in-memory chunks become collectable,
+    spilled segments are deleted — once the merged trace has been
+    produced.  Trace accessors raise afterwards; idempotent. *)
+
+val release_sim_state : t -> unit
+(** {!release_traces} plus a full post-simulation release: the event
+    queue, the namespace's per-file table, and every client/server
+    per-file map and cache block store are dropped.  Counters, traffic
+    totals and cache statistics — all the post-run analyses read —
+    survive.  The cluster can no longer {!run}. *)
 
 val total_traffic : t -> Traffic.t
 (** Sum of all clients' raw traffic taps. *)

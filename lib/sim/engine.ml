@@ -14,6 +14,12 @@ module Event_order = struct
   let compare a b =
     let c = Float.compare a.time b.time in
     if c <> 0 then c else Int.compare a.seq b.seq
+
+  (* Slot filler for the heap: popped events must not stay reachable
+     through the backing array, or their action closures (and everything
+     those capture) survive until the slot is overwritten. *)
+  let dummy =
+    { time = neg_infinity; seq = -1; action = ignore; cancelled = true; in_heap = false }
 end
 
 module H = Dfs_util.Heap.Make (Event_order)
@@ -73,6 +79,13 @@ let at t time action = ignore (schedule t ~at:(Float.max time t.clock) action)
 let pending t = H.length t.heap
 
 let live_pending t = H.length t.heap - t.cancelled_pending
+
+(* Post-simulation memory release: drop the queue (periodic daemons
+   re-arm themselves, so it is never empty when a run stops) and with it
+   every queued action closure and whatever those capture. *)
+let drop_pending t =
+  H.clear t.heap;
+  t.cancelled_pending <- 0
 
 (* Compact only when the dead fraction dominates and the heap is big
    enough for the O(n) sweep to pay for itself. *)

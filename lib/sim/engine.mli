@@ -48,6 +48,10 @@ val live_pending : t -> int
 (** Events still queued that will actually run ([pending] minus the
     cancelled ones not yet swept). *)
 
+val drop_pending : t -> unit
+(** Release every queued event (and the closures they capture) once the
+    simulation is over; the engine must not be run afterwards. *)
+
 val events_executed : t -> int
 (** Events actually run (cancelled events excluded) — the engine's own
     work counter, also exported as the [sim.engine.events] metric. *)

@@ -99,3 +99,8 @@ let recreate t ~now id =
 let live_files t = t.live
 
 let total_files t = File.Tbl.length t.files
+
+(* Post-simulation memory release: the per-file info table is the bulk
+   of the namespace's footprint.  [live_files] keeps answering (it is a
+   counter); lookups and [total_files] do not. *)
+let drop_files t = File.Tbl.reset t.files

@@ -41,3 +41,8 @@ val recreate : t -> now:float -> Dfs_trace.Ids.File.t -> unit
 val live_files : t -> int
 
 val total_files : t -> int
+
+val drop_files : t -> unit
+(** Release the per-file info table once the simulation is over.
+    {!live_files} still answers (it is a counter); lookups and
+    {!total_files} do not. *)

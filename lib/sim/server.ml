@@ -481,3 +481,14 @@ let cache t = t.cache
 let disk t = t.disk
 
 let consistency t = t.counters
+
+(* Post-simulation memory release: the open-file, last-writer and
+   backing-file tables all grow with the set of files ever served, and
+   the client-hook closures pin the client structures.  Counters
+   ([traffic], [consistency], [Bc.stats]) survive. *)
+let release_sim_state t =
+  File.Tbl.reset t.open_table;
+  File.Tbl.reset t.last_writer;
+  Client.Tbl.reset t.backing_files;
+  Client.Tbl.reset t.clients;
+  Bc.drop_contents t.cache

@@ -202,3 +202,8 @@ type consistency_counters = {
 }
 
 val consistency : t -> consistency_counters
+
+val release_sim_state : t -> unit
+(** Release the per-file and per-client tables plus cache contents once
+    the simulation is over.  Counters ({!traffic}, {!consistency}, cache
+    stats) survive; the server must handle no further operations. *)

@@ -15,3 +15,22 @@ val scrub : self_users:Ids.User.Set.t -> Record.t list -> Record.t list
 
 val is_sorted : Record.t list -> bool
 (** True when records are in non-decreasing time order. *)
+
+val merge_iter :
+  Sink.chunks list -> emit:(Record_batch.t -> int -> unit) -> unit
+(** Streaming k-way merge over chunked per-server traces.  Each source
+    must be time-sorted; [emit] receives [(batch, index)] cursors in
+    global time order (ties broken by server id, matching {!merge}).
+    Only one chunk per source is resident at a time. *)
+
+val merge_chunks :
+  ?chunk_records:int ->
+  ?spill:Sink.spill ->
+  ?scrub:Ids.User.Set.t ->
+  Sink.chunks list ->
+  Sink.chunks
+(** {!merge_iter} writing through a fresh {!Sink}: merge the sources into
+    one chunked time-ordered trace, dropping records whose user is in
+    [scrub] (infrastructure users) along the way.  Peak memory is one
+    open output chunk plus one loaded chunk per source, regardless of
+    trace length. *)

@@ -291,6 +291,13 @@ module Builder = struct
       col_c = Array.sub t.col_c 0 n;
       col_d = Array.sub t.col_d 0 n;
     }
+
+  (* Identical copies, but [finish] documents that the builder is done
+     while [snapshot] leaves it usable — the chunked sink snapshots its
+     open chunk without disturbing later appends. *)
+  let snapshot t : batch = finish t
+
+  let reset t = t.len <- 0
 end
 
 let of_array records =

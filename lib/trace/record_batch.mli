@@ -134,6 +134,14 @@ module Builder : sig
 
   val finish : t -> batch
   (** Trim and return the batch. The builder must not be reused. *)
+
+  val snapshot : t -> batch
+  (** Copy the current contents into a batch without disturbing the
+      builder; later appends do not affect the returned batch. *)
+
+  val reset : t -> unit
+  (** Empty the builder (capacity is kept) so it can accumulate the next
+      chunk. *)
 end
 
 val pack_kind : Record.kind -> migrated:bool -> int * int * int * int * int

@@ -2,6 +2,10 @@ module type ORDERED = sig
   type t
 
   val compare : t -> t -> int
+
+  val dummy : t
+  (** Fills vacated array slots so popped elements become collectable;
+      never compared against live elements. *)
 end
 
 module Make (Elt : ORDERED) = struct
@@ -13,11 +17,14 @@ module Make (Elt : ORDERED) = struct
 
   let is_empty t = t.size = 0
 
-  let grow t x =
+  (* Fill fresh capacity with [dummy], not the pushed element: seeding
+     [Array.make] with a live element would pin it via every vacant slot
+     for the array's whole lifetime. *)
+  let grow t =
     let cap = Array.length t.data in
     if t.size = cap then begin
       let new_cap = if cap = 0 then 16 else cap * 2 in
-      let data = Array.make new_cap x in
+      let data = Array.make new_cap Elt.dummy in
       Array.blit t.data 0 data 0 t.size;
       t.data <- data
     end
@@ -49,7 +56,7 @@ module Make (Elt : ORDERED) = struct
     end
 
   let push t x =
-    grow t x;
+    grow t;
     t.data.(t.size) <- x;
     t.size <- t.size + 1;
     sift_up t (t.size - 1)
@@ -65,6 +72,10 @@ module Make (Elt : ORDERED) = struct
         t.data.(0) <- t.data.(t.size);
         sift_down t 0
       end;
+      (* Clear the vacated slot: without this the popped element (and
+         anything its closures capture) stays reachable from [data] until
+         the slot happens to be overwritten by a later push. *)
+      t.data.(t.size) <- Elt.dummy;
       Some top
     end
 
@@ -87,6 +98,11 @@ module Make (Elt : ORDERED) = struct
         t.data.(!kept) <- t.data.(i);
         incr kept
       end
+    done;
+    (* Clear the compacted-away tail so dropped (and shifted) elements
+       don't linger behind [size]. *)
+    for i = !kept to t.size - 1 do
+      t.data.(i) <- Elt.dummy
     done;
     t.size <- !kept;
     for i = (t.size / 2) - 1 downto 0 do

@@ -5,6 +5,12 @@ module type ORDERED = sig
   type t
 
   val compare : t -> t -> int
+
+  val dummy : t
+  (** Inert element used to clear vacated array slots after [pop] and
+      [filter_in_place], so removed elements (and whatever their closures
+      capture) become collectable immediately.  Never compared against
+      live elements. *)
 end
 
 module Make (Elt : ORDERED) : sig

@@ -65,6 +65,11 @@ module Make (Key : Hashtbl.HashedType) = struct
       H.remove t.table k;
       Some node.value
 
+  let clear t =
+    H.reset t.table;
+    t.head <- None;
+    t.tail <- None
+
   let lru t = match t.head with Some n -> Some (n.key, n.value) | None -> None
 
   let pop_lru t =

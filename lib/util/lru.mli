@@ -22,6 +22,9 @@ module Make (Key : Hashtbl.HashedType) : sig
 
   val remove : 'a t -> Key.t -> 'a option
 
+  val clear : 'a t -> unit
+  (** Drop every entry (and the recency list) in O(1) table reset. *)
+
   val lru : 'a t -> (Key.t * 'a) option
   (** Least-recently-used entry, without removing it. *)
 

@@ -42,8 +42,15 @@ let exponential t mean =
   let u = float t in
   -.mean *. log (1.0 -. u)
 
+(* Box–Muller.  The two draws MUST be sequenced explicitly: binding them
+   with [and] (or building a tuple) leaves the evaluation order of the
+   shared mutable generator unspecified, so byte-identical outputs would
+   silently depend on the compiler.  [u1] is drawn first, then [u2] —
+   the order every supported compiler happened to pick before this was
+   pinned down. *)
 let normal t ~mu ~sigma =
-  let u1 = 1.0 -. float t and u2 = float t in
+  let u1 = 1.0 -. float t in
+  let u2 = float t in
   let r = sqrt (-2.0 *. log u1) in
   mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
 

@@ -47,7 +47,11 @@ let total t = t.total
 
 let mean t = if t.n = 0 then 0.0 else t.mean
 
-let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int t.n)
+(* Sample (Bessel-corrected, n-1) standard deviation: the paper's tables
+   report statistics of observed traces as estimates, not population
+   parameters.  [m2] itself is convention-free (sum of squared deviations),
+   so [add]/[add_n]/[merge] need no change. *)
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
 
 let min t = t.min
 

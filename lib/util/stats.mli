@@ -23,7 +23,11 @@ val mean : t -> float
 (** 0 when empty. *)
 
 val stddev : t -> float
-(** Population standard deviation; 0 when fewer than 2 samples. *)
+(** Sample standard deviation (Bessel-corrected, [m2 / (n-1)]); 0 when
+    fewer than 2 samples.  The sample convention matches the paper's
+    tables, which report statistics of observed traces as estimates.
+    [merge] and [add_n] accumulate the convention-free sum of squared
+    deviations, so they combine consistently with this definition. *)
 
 val min : t -> float
 (** [nan] when empty. *)

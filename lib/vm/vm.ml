@@ -174,3 +174,9 @@ let processes t =
 
 let retained_pages t =
   File.Tbl.fold (fun _ r acc -> acc + r.pages) t.retained 0
+
+(* Post-simulation memory release: forget the process table and the
+   retained-code-page map.  No further exec/page activity may follow. *)
+let drop_state t =
+  Process.Tbl.reset t.procs;
+  File.Tbl.reset t.retained

@@ -97,3 +97,7 @@ val processes : t -> (Dfs_trace.Ids.Process.t * int) list
     by the memory arbiter to pick swap victims under pressure. *)
 
 val retained_pages : t -> int
+
+val drop_state : t -> unit
+(** Release the process table and retained-code map once the simulation
+    is over; the VM must see no further activity afterwards. *)

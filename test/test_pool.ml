@@ -116,12 +116,12 @@ let test_dataset_deterministic_across_jobs () =
     (fun (a : Dfs_core.Dataset.run) (b : Dfs_core.Dataset.run) ->
       Alcotest.(check string) "preset order" a.preset.name b.preset.name;
       Alcotest.(check int) "trace length"
-        (Dfs_trace.Record_batch.length a.batch)
-        (Dfs_trace.Record_batch.length b.batch);
+        (Dfs_trace.Record_batch.length (Dfs_core.Dataset.batch a))
+        (Dfs_trace.Record_batch.length (Dfs_core.Dataset.batch b));
       Alcotest.(check bool) "identical merged traces" true
-        (Dfs_trace.Record_batch.equal a.batch b.batch);
-      let sa = Dfs_analysis.Trace_stats.of_batch a.batch in
-      let sb = Dfs_analysis.Trace_stats.of_batch b.batch in
+        (Dfs_trace.Record_batch.equal (Dfs_core.Dataset.batch a) (Dfs_core.Dataset.batch b));
+      let sa = Dfs_analysis.Trace_stats.of_batch (Dfs_core.Dataset.batch a) in
+      let sb = Dfs_analysis.Trace_stats.of_batch (Dfs_core.Dataset.batch b) in
       Alcotest.(check bool) "identical trace stats" true (sa = sb))
     seq.runs par.runs
 

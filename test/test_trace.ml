@@ -197,6 +197,117 @@ let test_scrub () =
        (fun (r : Record.t) -> Ids.User.to_int r.user <> daemon)
        scrubbed)
 
+(* -- streaming merge over chunks ------------------------------------------------- *)
+
+(* Rebuild [records] as a chunk stream with the given chunk size, so the
+   merge cursors have to cross chunk boundaries mid-stream. *)
+let chunks_of ?chunk_records ?spill records =
+  let sink = Sink.create ?chunk_records ?spill () in
+  List.iter (Sink.emit sink) records;
+  Sink.close sink
+
+let check_same_records msg expected actual =
+  Alcotest.(check int) (msg ^ ": length") (List.length expected)
+    (List.length actual);
+  List.iteri
+    (fun i (e, a) ->
+      if not (Record.equal e a) then
+        Alcotest.failf "%s: record %d differs" msg i)
+    (List.combine expected actual)
+
+let test_merge_chunks_empty () =
+  Alcotest.(check int) "no sources" 0 (Sink.length (Merge.merge_chunks []));
+  Alcotest.(check int) "empty sources" 0
+    (Sink.length (Merge.merge_chunks [ chunks_of []; chunks_of [] ]));
+  (* one empty source among non-empty ones must not derail the merge *)
+  let live = [ mk ~time:1.0 (Record.Dir_read { bytes = 1 }) ] in
+  check_same_records "empty among live" live
+    (Sink.to_records (Merge.merge_chunks [ chunks_of []; chunks_of live ]))
+
+let merge_both_ways ~chunk_records sources =
+  let expected = Merge.merge sources in
+  let streamed =
+    Merge.merge_chunks ~chunk_records
+      (List.map (chunks_of ~chunk_records) sources)
+  in
+  (expected, Sink.to_records streamed)
+
+let interleaved_source server =
+  List.init 10 (fun i ->
+      mk ~time:(float_of_int ((i * 2) + server)) ~server
+        (Record.Dir_read { bytes = i }))
+
+let test_merge_chunks_boundary_straddling () =
+  (* chunk size 3 against 10-record sources: cursor advancement crosses a
+     chunk boundary inside every source and inside the output sink. *)
+  let sources = List.map interleaved_source [ 0; 1; 2 ] in
+  let expected, streamed = merge_both_ways ~chunk_records:3 sources in
+  check_same_records "chunk_records=3" expected streamed
+
+let test_merge_chunks_single_record_chunks () =
+  (* chunk_records = 1: every record is its own chunk — the degenerate
+     case where every advance loads a fresh chunk. *)
+  let sources = List.map interleaved_source [ 0; 1 ] in
+  let expected, streamed = merge_both_ways ~chunk_records:1 sources in
+  check_same_records "chunk_records=1" expected streamed
+
+let test_merge_chunks_scrub () =
+  let daemon = 9000 in
+  let src server =
+    [
+      mk ~time:(float_of_int server) ~server ~user:1
+        (Record.Dir_read { bytes = 1 });
+      mk ~time:(float_of_int (server + 10)) ~server ~user:daemon
+        (Record.Dir_read { bytes = 2 });
+    ]
+  in
+  let sources = [ src 0; src 1 ] in
+  let self_users = Ids.User.Set.singleton (Ids.User.of_int daemon) in
+  let expected = Merge.scrub ~self_users (Merge.merge sources) in
+  let streamed =
+    Merge.merge_chunks ~chunk_records:2 ~scrub:self_users
+      (List.map (chunks_of ~chunk_records:2) sources)
+  in
+  check_same_records "scrub while streaming" expected
+    (Sink.to_records streamed)
+
+let temp_spill_dir () =
+  (* temp_file gives us a unique path; the sink creates the directory. *)
+  let f = Filename.temp_file "dfs-test-spill" "" in
+  Sys.remove f;
+  f
+
+let test_merge_chunks_spill_roundtrip () =
+  let dir = temp_spill_dir () in
+  let sources = List.map interleaved_source [ 0; 1 ] in
+  let chunked =
+    List.mapi
+      (fun i s ->
+        chunks_of ~chunk_records:4
+          ~spill:{ Sink.dir; name = Printf.sprintf "src%d" i }
+          s)
+      sources
+  in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "source spilled" true (Sink.spilled_count c > 0))
+    chunked;
+  let merged =
+    Merge.merge_chunks ~chunk_records:4
+      ~spill:{ Sink.dir; name = "merged" }
+      chunked
+  in
+  Alcotest.(check bool) "output spilled" true (Sink.spilled_count merged > 0);
+  let expected = Merge.merge sources in
+  check_same_records "spill roundtrip" expected (Sink.to_records merged);
+  (* replayable: a second traversal re-reads the on-disk segments *)
+  check_same_records "second traversal" expected (Sink.to_records merged);
+  List.iter Sink.discard chunked;
+  Sink.discard merged;
+  Alcotest.(check (list string)) "segments deleted" []
+    (Array.to_list (Sys.readdir dir));
+  Sys.rmdir dir
+
 (* -- filter ---------------------------------------------------------------------- *)
 
 let test_filter_by_time () =
@@ -445,6 +556,27 @@ let prop_merge_sorted =
       Merge.is_sorted merged
       && List.length merged = List.length a + List.length b)
 
+(* The streaming chunked merge must agree with the in-memory list merge
+   record-for-record for any chunk size — including timestamp ties, which
+   both sides resolve by server id and then by an identical sequence of
+   heap operations. *)
+let prop_merge_chunks_equiv =
+  QCheck.Test.make ~name:"streaming merge equals in-memory merge" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 4) (list_of_size Gen.(0 -- 25) arb_record))
+        (int_range 1 5))
+    (fun (sources, chunk_records) ->
+      let sources = List.map (List.sort Record.compare_time) sources in
+      let expected = Merge.merge sources in
+      let streamed =
+        Sink.to_records
+          (Merge.merge_chunks ~chunk_records
+             (List.map (chunks_of ~chunk_records) sources))
+      in
+      List.length expected = List.length streamed
+      && List.for_all2 Record.equal expected streamed)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -452,6 +584,7 @@ let qcheck_tests =
       prop_text_codec_exact_on_quantized;
       prop_binary_codec_exact;
       prop_merge_sorted;
+      prop_merge_chunks_equiv;
     ]
 
 let suite =
@@ -471,6 +604,11 @@ let suite =
     ("merge tie-break", `Quick, test_merge_tie_break);
     ("merge empty", `Quick, test_merge_empty_streams);
     ("scrub self users", `Quick, test_scrub);
+    ("merge_chunks empty sources", `Quick, test_merge_chunks_empty);
+    ("merge_chunks boundary straddling", `Quick, test_merge_chunks_boundary_straddling);
+    ("merge_chunks single-record chunks", `Quick, test_merge_chunks_single_record_chunks);
+    ("merge_chunks streaming scrub", `Quick, test_merge_chunks_scrub);
+    ("merge_chunks spill roundtrip", `Quick, test_merge_chunks_spill_roundtrip);
     ("filter by time", `Quick, test_filter_by_time);
     ("filter users", `Quick, test_filter_users);
     ("filter migrated", `Quick, test_filter_migrated);

@@ -56,6 +56,20 @@ let test_rng_exponential_mean () =
   done;
   check_float_eps 0.2 "mean ~5" 5.0 (!sum /. float_of_int n)
 
+(* Regression for the Box-Muller draw order: [normal] used to bind its
+   two uniform draws with [let u1 = ... and u2 = ...] over the same
+   mutable generator, leaving the draw order unspecified.  The fix
+   sequences u1 before u2; these exact values pin that order. *)
+let test_rng_normal_pinned () =
+  let exact = Alcotest.(check (float 0.0)) in
+  let r = Rng.create 42 in
+  exact "normal #1" 0x1.c3b620ee5015bp-1 (Rng.normal r ~mu:0.0 ~sigma:1.0);
+  exact "normal #2" (-0x1.cdab96fe79013p-2) (Rng.normal r ~mu:0.0 ~sigma:1.0);
+  exact "normal #3" 0x1.81bf069d25a44p-3 (Rng.normal r ~mu:0.0 ~sigma:1.0);
+  exact "normal #4" 0x1.c1b680ea2bc5dp-3 (Rng.normal r ~mu:0.0 ~sigma:1.0);
+  let r2 = Rng.create 7 in
+  exact "normal scaled" 0x1.8f13f44eb38d6p+3 (Rng.normal r2 ~mu:10.0 ~sigma:2.5)
+
 let test_rng_bernoulli_rate () =
   let rng = Rng.create 17 in
   let n = 20000 in
@@ -152,7 +166,8 @@ let test_stats_basic () =
   check_float "total" 10.0 (Stats.total s);
   check_float "min" 1.0 (Stats.min s);
   check_float "max" 4.0 (Stats.max s);
-  check_float_eps 1e-9 "stddev" (sqrt 1.25) (Stats.stddev s)
+  (* sample (n-1) convention: m2 = 5.0 over 4 samples *)
+  check_float_eps 1e-9 "stddev" (sqrt (5.0 /. 3.0)) (Stats.stddev s)
 
 let test_stats_empty () =
   let s = Stats.create () in
@@ -242,7 +257,11 @@ let test_cdf_empty () =
 
 (* -- Heap ------------------------------------------------------------------ *)
 
-module IH = Heap.Make (Int)
+module IH = Heap.Make (struct
+  include Int
+
+  let dummy = min_int
+end)
 
 let test_heap_order () =
   let h = IH.create () in
@@ -282,6 +301,68 @@ let test_heap_filter_in_place () =
     (IH.to_sorted_list h);
   IH.filter_in_place h (fun _ -> false);
   Alcotest.(check bool) "filter-all empties" true (IH.is_empty h)
+
+(* Regression for the retention bug: [pop] and [filter_in_place] used to
+   leave the removed elements in the backing array past [size], pinning
+   them (and everything they referenced) until overwritten.  With the
+   vacated slots cleared to [dummy], a popped element must become
+   collectable as soon as the caller drops it. *)
+module SH = Heap.Make (struct
+  type t = string
+
+  let compare = String.compare
+
+  let dummy = ""
+end)
+
+(* fresh heap-allocated strings (literals would be static data) *)
+let mk_elt i = String.init 8 (fun j -> Char.chr (65 + ((i + j) mod 26)))
+
+let test_heap_pop_releases () =
+  let h = SH.create () in
+  let n = 5 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    SH.push h (mk_elt i)
+  done;
+  (* drain completely, keeping only weak refs to the popped elements *)
+  for i = 0 to n - 1 do
+    Weak.set w i (SH.pop h)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "popped element %d is collectable" i)
+      true
+      (Weak.get w i = None)
+  done;
+  (* read the heap after the weak checks so its backing array is live
+     during the GC above — the retention under test *)
+  Alcotest.(check bool) "drained" true (SH.is_empty h)
+
+let test_heap_filter_releases () =
+  let h = SH.create () in
+  let n = 8 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    SH.push h (mk_elt i)
+  done;
+  (* drop everything, keeping only weak refs *)
+  SH.filter_in_place h (fun s ->
+      let slot = (Char.code s.[0] - 65) mod n in
+      Weak.set w slot (Some s);
+      false);
+  Gc.full_major ();
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "filtered element %d is collectable" i)
+      true
+      (Weak.get w i = None)
+  done;
+  (* keep the heap's backing array live across the GC (see above) *)
+  Alcotest.(check bool) "filter-all empties" true (SH.is_empty h)
 
 (* -- Lru ------------------------------------------------------------------- *)
 
@@ -537,6 +618,7 @@ let suite =
     ("rng float range", `Quick, test_rng_float_range);
     ("rng int range", `Quick, test_rng_int_range);
     ("rng exponential mean", `Quick, test_rng_exponential_mean);
+    ("rng normal pinned draw order", `Quick, test_rng_normal_pinned);
     ("rng bernoulli rate", `Quick, test_rng_bernoulli_rate);
     ("rng zipf bounds", `Quick, test_rng_zipf_bounds);
     ("rng zipf skew", `Quick, test_rng_zipf_skew);
@@ -564,6 +646,8 @@ let suite =
     ("heap pop_exn", `Quick, test_heap_pop_exn);
     ("heap duplicates", `Quick, test_heap_duplicates);
     ("heap filter_in_place", `Quick, test_heap_filter_in_place);
+    ("heap pop releases element", `Quick, test_heap_pop_releases);
+    ("heap filter releases elements", `Quick, test_heap_filter_releases);
     ("lru order", `Quick, test_lru_order);
     ("lru pop", `Quick, test_lru_pop);
     ("lru replace", `Quick, test_lru_replace);
