@@ -20,6 +20,15 @@ let scale () =
   | Some s -> float_of_string s
   | None -> Dfs_core.Dataset.default_scale ()
 
+(* DFS_PROFILE_OUT=p.json turns on the wall-clock profiler for the whole
+   bench and writes the Chrome trace at exit (the bench is a separate
+   executable, so the env var plays the role of dfs_repro's
+   --profile-out). *)
+let profile_out () =
+  match Sys.getenv_opt "DFS_PROFILE_OUT" with
+  | Some p when p <> "" -> Some p
+  | Some _ | None -> None
+
 (* -- part 1+2: reproduce the evaluation ------------------------------------- *)
 
 (* Runs every experiment, printing its rendering; returns per-experiment
@@ -365,6 +374,7 @@ let () =
       space_overhead = 200;
     };
   let t0 = Unix.gettimeofday () in
+  if Option.is_some (profile_out ()) then Dfs_obs.Profiler.enable ();
   let pool = Dfs_util.Pool.create () in
   let faults = fault_profile () in
   let ds =
@@ -412,7 +422,19 @@ let () =
       ablation_local_paging ();
       ablation_lfs_crossover ds);
   let total_wall = Unix.gettimeofday () -. t0 in
+  (* span-loss accounting lands in the embedded metrics snapshot *)
+  Dfs_obs.Tracer.record_export_counters Dfs_obs.Tracer.default;
   write_run_report ~scale:ds.Dfs_core.Dataset.scale
     ~jobs:(Dfs_util.Pool.jobs pool) ~faults ~sim_wall ~analysis_wall
     ~experiments:experiment_walls ~total_wall;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Dfs_obs.Chrome_export.write oc;
+      close_out oc;
+      Dfs_obs.Log.info "wrote Chrome trace to %s (%d wall spans over %d domains)"
+        path
+        (Dfs_obs.Profiler.added ())
+        (List.length (Dfs_obs.Profiler.domains ())))
+    (profile_out ());
   Dfs_obs.Log.info "total wall time %.1fs" total_wall

@@ -131,6 +131,16 @@ let trace_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let profile_out_arg =
+  let doc =
+    "Enable the wall-clock profiler and write the run's hierarchical spans \
+     (dataset generation, k-way merge, fused analysis, experiments, pool \
+     tasks; one track per domain, GC deltas attached) together with any \
+     simulated-time tracer spans to $(docv) as Chrome trace-event JSON — \
+     open it at ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE" ~doc)
+
 let with_out path f =
   match open_out path with
   | oc -> Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
@@ -138,11 +148,16 @@ let with_out path f =
     Dfs_obs.Log.error "%s" e;
     exit 1
 
-(* Runs [f] with the tracer enabled when a trace file was requested, then
-   writes the requested observability artifacts. *)
-let with_obs ~metrics_out ~trace_out f =
+(* Runs [f] with the tracer/profiler enabled when their output files
+   were requested, then writes the requested observability artifacts. *)
+let with_obs ~metrics_out ~trace_out ?(profile_out = None) f =
   if Option.is_some trace_out then Dfs_obs.Tracer.enable ();
+  if Option.is_some profile_out then Dfs_obs.Profiler.enable ();
   let result = f () in
+  (* Counters first, so span-loss accounting lands in the snapshot (and
+     warns on stderr when the ring overflowed). *)
+  if Option.is_some trace_out || Option.is_some profile_out then
+    Dfs_obs.Tracer.record_export_counters Dfs_obs.Tracer.default;
   Option.iter
     (fun path ->
       with_out path (fun oc ->
@@ -159,6 +174,17 @@ let with_obs ~metrics_out ~trace_out f =
         path
         (Dfs_obs.Tracer.dropped tracer))
     trace_out;
+  Option.iter
+    (fun path ->
+      with_out path (fun oc -> Dfs_obs.Chrome_export.write oc);
+      Dfs_obs.Log.info
+        "wrote Chrome trace to %s (%d wall spans over %d domains, %d sim \
+         spans; open at ui.perfetto.dev)"
+        path
+        (Dfs_obs.Profiler.added ())
+        (List.length (Dfs_obs.Profiler.domains ()))
+        (Dfs_obs.Tracer.length Dfs_obs.Tracer.default))
+    profile_out;
   result
 
 let make_dataset ?faults ?chunk_records ?spill_dir scale traces jobs =
@@ -185,7 +211,7 @@ let experiment_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
   let run () ids scale traces jobs faults fault_seed chunk_records spill_dir
-      metrics_out trace_out =
+      metrics_out trace_out profile_out =
     let unknown =
       List.filter (fun id -> Dfs_core.Experiment.find id = None) ids
     in
@@ -195,7 +221,7 @@ let experiment_cmd =
         (String.concat ", " Dfs_core.Experiment.ids);
       exit 1
     end;
-    with_obs ~metrics_out ~trace_out (fun () ->
+    with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let ds =
           make_dataset ?faults:(fault_profile faults fault_seed)
             ?chunk_records ?spill_dir scale traces jobs
@@ -214,14 +240,14 @@ let experiment_cmd =
     Term.(
       const run $ verbosity_term $ ids_arg $ scale_arg $ traces_arg $ jobs_arg
       $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
 
 (* -- all ----------------------------------------------------------------------- *)
 
 let all_cmd =
   let run () scale traces jobs faults fault_seed chunk_records spill_dir
-      metrics_out trace_out =
-    with_obs ~metrics_out ~trace_out (fun () ->
+      metrics_out trace_out profile_out =
+    with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let ds =
           make_dataset ?faults:(fault_profile faults fault_seed)
             ?chunk_records ?spill_dir scale traces jobs
@@ -237,7 +263,7 @@ let all_cmd =
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
       $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
 
 (* -- facts -------------------------------------------------------------------- *)
 
@@ -247,8 +273,8 @@ let facts_cmd =
     Arg.(value & flag & info [ "markdown" ] ~doc)
   in
   let run () scale traces jobs faults fault_seed chunk_records spill_dir
-      markdown metrics_out trace_out =
-    with_obs ~metrics_out ~trace_out (fun () ->
+      markdown metrics_out trace_out profile_out =
+    with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let ds =
           make_dataset ?faults:(fault_profile faults fault_seed)
             ?chunk_records ?spill_dir scale traces jobs
@@ -266,7 +292,7 @@ let facts_cmd =
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
       $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
-      $ markdown_arg $ metrics_out_arg $ trace_out_arg)
+      $ markdown_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
 
 (* -- simulate ------------------------------------------------------------------- *)
 
@@ -302,9 +328,9 @@ let simulate_cmd =
     let doc = "Directory to write per-server trace files into." in
     Arg.(value & opt string "traces" & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run () n scale out format metrics_out trace_out =
+  let run () n scale out format metrics_out trace_out profile_out =
     let format = parse_trace_format format in
-    with_obs ~metrics_out ~trace_out (fun () ->
+    with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let preset = scaled_preset n scale in
         Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
           (preset.duration /. 3600.0);
@@ -326,7 +352,7 @@ let simulate_cmd =
        ~doc:"Simulate one trace preset and write per-server trace files")
     Term.(
       const run $ verbosity_term $ trace_n_arg $ scale_arg $ out_arg
-      $ trace_format_arg $ metrics_out_arg $ trace_out_arg)
+      $ trace_format_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
 
 (* -- analyze --------------------------------------------------------------------- *)
 
@@ -365,8 +391,8 @@ let analyze_cmd =
 (* -- stats ------------------------------------------------------------------------ *)
 
 let stats_cmd =
-  let run () n scale faults fault_seed metrics_out trace_out =
-    with_obs ~metrics_out ~trace_out (fun () ->
+  let run () n scale faults fault_seed metrics_out trace_out profile_out =
+    with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let preset = scaled_preset n scale in
         let preset =
           match fault_profile faults fault_seed with
@@ -404,7 +430,92 @@ let stats_cmd =
           quantiles)")
     Term.(
       const run $ verbosity_term $ trace_n_arg $ scale_arg $ faults_arg
-      $ fault_seed_arg $ metrics_out_arg $ trace_out_arg)
+      $ fault_seed_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
+
+(* -- report / bench-diff ------------------------------------------------------ *)
+
+let read_json path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> (
+    match Dfs_obs.Json.parse contents with
+    | Ok j -> j
+    | Error e ->
+      Dfs_obs.Log.error "%s: %s" path e;
+      exit 2)
+  | exception Sys_error e ->
+    Dfs_obs.Log.error "%s" e;
+    exit 2
+
+let report_cmd =
+  let bench_arg =
+    let doc =
+      "Bench telemetry file (as written by the $(b,bench) executable)."
+    in
+    Arg.(value & opt string "BENCH_run.json" & info [ "bench" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Metrics snapshot from $(b,--metrics-out) (defaults to the metrics \
+       object embedded in the bench file)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let profile_arg =
+    let doc =
+      "Chrome trace from $(b,--profile-out), used for the hottest-spans \
+       table and GC attribution."
+    in
+    Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the report to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run () bench metrics profile out =
+    let bench = read_json bench in
+    let metrics = Option.map read_json metrics in
+    let profile = Option.map read_json profile in
+    let doc = Dfs_obs.Run_report.report ?metrics ?profile bench in
+    match out with
+    | None -> print_string doc
+    | Some path ->
+      with_out path (fun oc -> output_string oc doc);
+      Dfs_obs.Log.info "wrote run report to %s" path
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a self-contained markdown run report (phase wall breakdown, \
+          hottest profiler spans, GC summary, per-domain utilization) from \
+          bench telemetry plus optional metrics/profile files")
+    Term.(
+      const run $ verbosity_term $ bench_arg $ metrics_arg $ profile_arg
+      $ out_arg)
+
+let bench_diff_cmd =
+  let old_arg =
+    let doc = "Baseline bench telemetry file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc)
+  in
+  let new_arg =
+    let doc = "Candidate bench telemetry file to compare against OLD." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc)
+  in
+  let run () old_path new_path =
+    let old_ = read_json old_path and new_ = read_json new_path in
+    let d = Dfs_obs.Run_report.diff ~old_ new_ in
+    print_string (Dfs_obs.Run_report.render_diff d);
+    if d.Dfs_obs.Run_report.config_mismatches <> [] then exit 2
+    else if not (Dfs_obs.Run_report.diff_ok d) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two bench telemetry files field by field. Exits 0 when \
+          every gated metric (total wall, peak heap) is within its relative \
+          threshold, 1 on regression, 2 when the runs are incomparable \
+          (different schema/scale/jobs/faults) or unreadable")
+    Term.(const run $ verbosity_term $ old_arg $ new_arg)
 
 let main =
   let doc =
@@ -419,6 +530,8 @@ let main =
       simulate_cmd;
       analyze_cmd;
       stats_cmd;
+      report_cmd;
+      bench_diff_cmd;
     ]
 
 let () = exit (Cmd.eval main)

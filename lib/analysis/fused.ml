@@ -8,7 +8,7 @@ type t = {
   accesses : Session.access list;
 }
 
-let analyze_seq batches =
+let analyze_seq_unprofiled batches =
   let ts = Trace_stats.acc_create () in
   let fs = File_size.create () in
   let ot = Open_time.create () in
@@ -37,5 +37,9 @@ let analyze_seq batches =
     lifetime = Lifetime.acc_finish lt;
     accesses = List.rev !accesses_rev;
   }
+
+let analyze_seq batches =
+  Dfs_obs.Profiler.span ~cat:"analysis" "fused.analyze" (fun () ->
+      analyze_seq_unprofiled batches)
 
 let analyze batch = analyze_seq (Seq.return batch)

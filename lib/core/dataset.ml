@@ -61,7 +61,10 @@ let simulate_preset ~scale ~faults ~chunk_records ~spill_dir n =
   Dfs_obs.Log.info "simulating %s (%.1f h)" preset.name
     (preset.duration /. 3600.0);
   let t0 = Unix.gettimeofday () in
-  let cluster, driver = Presets.run preset in
+  let cluster, driver =
+    Dfs_obs.Profiler.span ~cat:"sim" ("sim." ^ preset.name) (fun () ->
+        Presets.run preset)
+  in
   let spill =
     Option.map
       (fun dir -> { Sink.dir; name = preset.name ^ "-merged" })
@@ -104,9 +107,10 @@ let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults
      the simulations are independent; [Pool.map] returns them in preset
      order, making the parallel dataset byte-identical to DFS_JOBS=1. *)
   let runs =
-    Dfs_util.Pool.map pool
-      (simulate_preset ~scale ~faults ~chunk_records ~spill_dir)
-      traces
+    Dfs_obs.Profiler.span "dataset.generate" (fun () ->
+        Dfs_util.Pool.map pool
+          (simulate_preset ~scale ~faults ~chunk_records ~spill_dir)
+          traces)
   in
   Dfs_obs.Metrics.set
     (Dfs_obs.Metrics.gauge "phase.dataset.wall_s")

@@ -1054,7 +1054,13 @@ let table12 =
     run;
   }
 
+(* Each experiment rendering is a wall-clock profiler span, so a profile
+   of `all` attributes analysis time table-by-table. *)
+let instrument e =
+  { e with run = (fun ds -> Dfs_obs.Profiler.span ~cat:"experiment" e.id (fun () -> e.run ds)) }
+
 let all =
+  List.map instrument
   [
     table1;
     table2;

@@ -1,0 +1,112 @@
+(* Chrome trace-event JSON (the "JSON object format"): a traceEvents
+   array of complete events; ts/dur are microseconds.  Reference:
+   the Trace Event Format doc that Perfetto and chrome://tracing share. *)
+
+let wall_pid = 1
+
+let sim_pid = 2
+
+let meta ~pid ?tid ~name ~value () =
+  Json.Obj
+    (("ph", Json.String "M")
+    :: ("pid", Json.Int pid)
+    :: (match tid with Some t -> [ ("tid", Json.Int t) ] | None -> [])
+    @ [
+        ("name", Json.String name);
+        ("args", Json.Obj [ ("name", Json.String value) ]);
+      ])
+
+let complete ~pid ~tid ~name ~cat ~ts_us ~dur_us ~args =
+  Json.Obj
+    ([
+       ("ph", Json.String "X");
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+       ("name", Json.String name);
+       ("cat", Json.String cat);
+       ("ts", Json.Float ts_us);
+       ("dur", Json.Float dur_us);
+     ]
+    @ (if args = [] then [] else [ ("args", Json.Obj args) ]))
+
+let profile_events () =
+  let spans = Profiler.spans () in
+  if spans = [] then []
+  else begin
+    let domains = Profiler.domains () in
+    let metas =
+      meta ~pid:wall_pid ~name:"process_name" ~value:"wall clock (profiler)" ()
+      :: List.map
+           (fun d ->
+             meta ~pid:wall_pid ~tid:d ~name:"thread_name"
+               ~value:(Printf.sprintf "domain %d" d)
+               ())
+           domains
+    in
+    let events =
+      List.map
+        (fun (s : Profiler.span) ->
+          complete ~pid:wall_pid ~tid:s.domain ~name:s.name ~cat:s.cat
+            ~ts_us:(s.t0 *. 1e6) ~dur_us:(s.dur *. 1e6)
+            ~args:
+              [
+                ("depth", Json.Int s.depth);
+                ("gc_minor", Json.Int s.gc_minor);
+                ("gc_major", Json.Int s.gc_major);
+                ("gc_promoted_words", Json.Float s.gc_promoted_words);
+                ("gc_minor_words", Json.Float s.gc_minor_words);
+              ])
+        spans
+    in
+    metas @ events
+  end
+
+let tracer_events ?(tracer = Tracer.default) () =
+  let spans = Tracer.spans tracer in
+  if spans = [] then []
+  else begin
+    (* One synthetic track per category, in sorted category order so the
+       tid assignment is deterministic. *)
+    let cats =
+      List.sort_uniq String.compare
+        (List.map (fun (s : Tracer.span) -> s.cat) spans)
+    in
+    let tid_of_cat c =
+      let rec idx i = function
+        | [] -> 0
+        | c' :: rest -> if String.equal c c' then i else idx (i + 1) rest
+      in
+      idx 0 cats
+    in
+    let metas =
+      meta ~pid:sim_pid ~name:"process_name" ~value:"sim time (synthetic)" ()
+      :: List.mapi
+           (fun i c ->
+             meta ~pid:sim_pid ~tid:i ~name:"thread_name"
+               ~value:(Printf.sprintf "sim:%s" c)
+               ())
+           cats
+    in
+    let events =
+      List.map
+        (fun (s : Tracer.span) ->
+          complete ~pid:sim_pid ~tid:(tid_of_cat s.cat) ~name:s.name
+            ~cat:s.cat
+            ~ts_us:(s.t0 *. 1e6)
+            ~dur_us:(s.dur *. 1e6)
+            ~args:s.attrs)
+        spans
+    in
+    metas @ events
+  end
+
+let to_json ?tracer () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (profile_events () @ tracer_events ?tracer ()));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write ?tracer oc =
+  output_string oc (Json.to_string (to_json ?tracer ()));
+  output_char oc '\n'

@@ -108,6 +108,11 @@ let to_pretty_string v =
 
 exception Parse_error of string
 
+(* The parser recurses per nesting level; bounding the depth keeps
+   adversarial input (e.g. ten thousand '[') from overflowing the stack
+   and turns it into a regular Parse_error instead. *)
+let max_depth = 512
+
 let parse_exn s =
   let n = String.length s in
   let pos = ref 0 in
@@ -156,12 +161,34 @@ let parse_exn s =
         | 'r' -> Buffer.add_char buf '\r'
         | 't' -> Buffer.add_char buf '\t'
         | 'u' ->
-          if !pos + 4 > n then fail "truncated \\u escape";
-          let hex = String.sub s !pos 4 in
-          pos := !pos + 4;
+          let hex4 () =
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+          in
+          let code = hex4 () in
+          (* A high surrogate followed by an escaped low surrogate is one
+             supplementary-plane character; anything else (including a
+             lone surrogate) is encoded as the code point itself. *)
           let code =
-            try int_of_string ("0x" ^ hex)
-            with _ -> fail "bad \\u escape"
+            if
+              code >= 0xD800 && code <= 0xDBFF
+              && !pos + 2 <= n
+              && s.[!pos] = '\\'
+              && s.[!pos + 1] = 'u'
+            then begin
+              let save = !pos in
+              pos := !pos + 2;
+              let lo = hex4 () in
+              if lo >= 0xDC00 && lo <= 0xDFFF then
+                0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+              else begin
+                pos := save;
+                code
+              end
+            end
+            else code
           in
           (* Non-ASCII escapes round-trip as UTF-8. *)
           if code < 0x80 then Buffer.add_char buf (Char.chr code)
@@ -169,8 +196,14 @@ let parse_exn s =
             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
           end
-          else begin
+          else if code < 0x10000 then begin
             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
           end
@@ -210,7 +243,8 @@ let parse_exn s =
         | Some f -> Float f
         | None -> fail "bad number")
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -227,7 +261,7 @@ let parse_exn s =
       end
       else begin
         let rec items acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -253,7 +287,7 @@ let parse_exn s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (k, v)
         in
         let rec fields acc =
@@ -273,7 +307,7 @@ let parse_exn s =
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing garbage";
   v

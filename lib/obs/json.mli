@@ -24,7 +24,16 @@ val to_pretty_string : t -> string
 
 exception Parse_error of string
 
+val max_depth : int
+(** Maximum container nesting the parser accepts (512).  Deeper input
+    yields a parse error rather than a stack overflow. *)
+
 val parse : string -> (t, string) result
+(** Strict single-value parse.  [\uXXXX] escapes decode to UTF-8,
+    including surrogate pairs (a high surrogate followed by an escaped
+    low surrogate becomes one supplementary-plane character; lone
+    surrogates are passed through as three-byte sequences).  Duplicate
+    object keys are preserved in order; {!member} returns the first. *)
 
 val parse_exn : string -> t
 (** @raise Parse_error on malformed input. *)
@@ -32,7 +41,8 @@ val parse_exn : string -> t
 (** {1 Accessors} *)
 
 val member : string -> t -> t option
-(** Field lookup on [Obj]; [None] on anything else. *)
+(** Field lookup on [Obj] ({e first} binding when a key repeats);
+    [None] on anything else. *)
 
 val to_float_opt : t -> float option
 (** Accepts [Int] and [Float]. *)

@@ -43,6 +43,11 @@ let emit s =
 
 let error fmt = Printf.ksprintf emit fmt
 
+let warn fmt =
+  Printf.ksprintf
+    (fun s -> if enabled Normal then emit ("warning: " ^ s))
+    fmt
+
 let info fmt =
   Printf.ksprintf (fun s -> if enabled Normal then emit s) fmt
 

@@ -27,6 +27,9 @@ val enabled : level -> bool
 val error : ('a, unit, string, unit) format4 -> 'a
 (** Printed at every level. *)
 
+val warn : ('a, unit, string, unit) format4 -> 'a
+(** Printed at [Normal] and [Verbose], prefixed with [warning:]. *)
+
 val info : ('a, unit, string, unit) format4 -> 'a
 (** Printed at [Normal] and [Verbose]. *)
 

@@ -261,6 +261,12 @@ let shard_quantile s p =
 
 let quantile h p = shard_quantile (merged h) p
 
+(* One merge serves every requested quantile — the bulk accessor for
+   report tooling that reads p50/p90/p99/p999 off the same snapshot. *)
+let quantiles h ps =
+  let s = merged h in
+  List.map (shard_quantile s) ps
+
 (* -- registry-wide operations ---------------------------------------------- *)
 
 let reset_metric = function
@@ -304,6 +310,7 @@ let hist_json h =
       ("p50", Json.Float (shard_quantile s 0.50));
       ("p90", Json.Float (shard_quantile s 0.90));
       ("p99", Json.Float (shard_quantile s 0.99));
+      ("p999", Json.Float (shard_quantile s 0.999));
     ]
 
 let metric_json = function

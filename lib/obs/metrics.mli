@@ -68,7 +68,15 @@ val observe : histogram -> float -> unit
 
 val quantile : histogram -> float -> float
 (** [quantile h p] for [p] in [0, 1]; clamped to the observed range.
-    Returns [0.0] on an empty histogram. *)
+    Returns [0.0] on an empty histogram.  Accuracy: a positive
+    observation lands in a log bucket [10^(1/20) - 1 ~ 12%] wide and
+    quantiles are read from bucket midpoints, so the relative error
+    against the exact empirical quantile is bounded by
+    [10^(1/40) - 1 ~ 6%]. *)
+
+val quantiles : histogram -> float list -> float list
+(** Bulk accessor: all quantiles read off one merged snapshot, so they
+    are mutually consistent even while other domains observe. *)
 
 val hist_count : histogram -> int
 
@@ -97,7 +105,7 @@ val find : ?registry:t -> string -> metric option
 
 val to_json : ?registry:t -> unit -> Json.t
 (** Object keyed by metric name: counters as ints, gauges as floats,
-    histograms as [{count, sum, mean, min, max, p50, p90, p99}]. *)
+    histograms as [{count, sum, mean, min, max, p50, p90, p99, p999}]. *)
 
 val render_text : ?registry:t -> unit -> string
 (** Aligned, human-readable snapshot (one line per metric). *)

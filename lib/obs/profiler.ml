@@ -1,0 +1,143 @@
+type span = {
+  name : string;
+  cat : string;
+  domain : int;
+  depth : int;
+  t0 : float;
+  dur : float;
+  gc_minor : int;
+  gc_major : int;
+  gc_promoted_words : float;
+  gc_minor_words : float;
+}
+
+(* Each domain owns one shard and appends to it without synchronization;
+   the global list of shards (for readers) is guarded by a mutex, same
+   scheme as [Metrics].  Shards of finished domains stay on the list, so
+   worker profiles survive the worker. *)
+type shard = {
+  sh_domain : int;
+  mutable sh_spans : span list;  (* newest first *)
+  mutable sh_stored : int;
+  mutable sh_added : int;
+  mutable sh_depth : int;
+}
+
+(* Per-domain retention bound: the instrumentation is coarse (phases,
+   pool tasks, experiments), so this is a runaway guard, not a ring. *)
+let max_spans_per_domain = 65536
+
+let enabled = ref false
+
+let epoch = ref 0.0
+
+let lock = Mutex.create ()
+
+let shards : shard list ref = ref []
+
+let slot : shard option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let shard () =
+  match Domain.DLS.get slot with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        sh_domain = (Domain.self () :> int);
+        sh_spans = [];
+        sh_stored = 0;
+        sh_added = 0;
+        sh_depth = 0;
+      }
+    in
+    Mutex.lock lock;
+    shards := s :: !shards;
+    Mutex.unlock lock;
+    Domain.DLS.set slot (Some s);
+    s
+
+let active () = !enabled
+
+let reset () =
+  Mutex.lock lock;
+  List.iter
+    (fun s ->
+      s.sh_spans <- [];
+      s.sh_stored <- 0;
+      s.sh_added <- 0;
+      s.sh_depth <- 0)
+    !shards;
+  Mutex.unlock lock
+
+let enable () =
+  reset ();
+  epoch := Unix.gettimeofday ();
+  enabled := true
+
+let disable () = enabled := false
+
+let elapsed () = if !epoch = 0.0 then 0.0 else Unix.gettimeofday () -. !epoch
+
+let record sh sp =
+  sh.sh_added <- sh.sh_added + 1;
+  if sh.sh_stored < max_spans_per_domain then begin
+    sh.sh_spans <- sp :: sh.sh_spans;
+    sh.sh_stored <- sh.sh_stored + 1
+  end
+
+let span ?(cat = "phase") name f =
+  if not !enabled then f ()
+  else begin
+    let sh = shard () in
+    let depth = sh.sh_depth in
+    sh.sh_depth <- depth + 1;
+    let g0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Unix.gettimeofday () -. t0 in
+        let g1 = Gc.quick_stat () in
+        sh.sh_depth <- depth;
+        record sh
+          {
+            name;
+            cat;
+            domain = sh.sh_domain;
+            depth;
+            t0 = t0 -. !epoch;
+            dur;
+            gc_minor = g1.Gc.minor_collections - g0.Gc.minor_collections;
+            gc_major = g1.Gc.major_collections - g0.Gc.major_collections;
+            gc_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+            gc_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          })
+      f
+  end
+
+let fold f acc =
+  Mutex.lock lock;
+  let snapshot = !shards in
+  Mutex.unlock lock;
+  List.fold_left f acc snapshot
+
+let added () = fold (fun acc s -> acc + s.sh_added) 0
+
+let dropped () = fold (fun acc s -> acc + (s.sh_added - s.sh_stored)) 0
+
+let spans () =
+  let all = fold (fun acc s -> List.rev_append s.sh_spans acc) [] in
+  List.sort
+    (fun a b ->
+      match Float.compare a.t0 b.t0 with
+      | 0 -> (
+        match Int.compare a.domain b.domain with
+        | 0 -> Int.compare a.depth b.depth
+        | c -> c)
+      | c -> c)
+    all
+
+let domains () =
+  List.sort_uniq Int.compare
+    (fold
+       (fun acc s -> if s.sh_added > 0 then s.sh_domain :: acc else acc)
+       [])

@@ -1,0 +1,68 @@
+(** Hierarchical wall-clock profiling with per-domain span streams.
+
+    Where {!Tracer} records {e simulated} time (the workload's view),
+    the profiler records {e wall-clock} time (the pipeline's own cost):
+    dataset generation, the k-way trace merge, the fused analysis pass,
+    each experiment rendering, and every {!Dfs_util.Pool} task execution
+    wrap themselves in {!span}.  Spans nest — a span opened inside
+    another records its depth — and each domain keeps its own stream
+    (keyed by [Domain.self ()]), so a parallel run profiles every worker
+    without synchronizing the hot path.
+
+    At span close a [Gc.quick_stat] delta is attached: minor/major
+    collections and promoted/minor words allocated while the span was
+    open, attributing GC pressure to pipeline phases.
+
+    Profiling is off by default; {!span} on a disabled profiler is a
+    single branch around the thunk.  Like the rest of [Dfs_obs] it is
+    advisory and entirely off the output path: enabling it never changes
+    simulation results. *)
+
+type span = {
+  name : string;
+  cat : string;
+  domain : int;  (** [Domain.self] of the recording domain *)
+  depth : int;  (** nesting depth within that domain; 0 = top level *)
+  t0 : float;  (** wall seconds since {!enable} *)
+  dur : float;  (** wall seconds *)
+  gc_minor : int;  (** minor collections while the span was open *)
+  gc_major : int;  (** major collections while the span was open *)
+  gc_promoted_words : float;  (** words promoted to the major heap *)
+  gc_minor_words : float;  (** words allocated on the minor heap *)
+}
+
+val enable : unit -> unit
+(** Turn profiling on, clearing previously recorded spans and restarting
+    the epoch that span [t0] values are measured from. *)
+
+val disable : unit -> unit
+
+val active : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans (the enabled state is kept). *)
+
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()]; when profiling is active, the call is
+    recorded as a span named [name] (category [cat], default
+    ["phase"]) on the calling domain's stream.  The span is recorded
+    even if [f] raises. *)
+
+val spans : unit -> span list
+(** All recorded spans, merged across domains and sorted by start time
+    (ties broken by domain id, then depth), so exports are
+    deterministic for a deterministic schedule. *)
+
+val added : unit -> int
+(** Spans ever recorded since the last {!enable}/{!reset}, including
+    any dropped by the per-domain bound. *)
+
+val dropped : unit -> int
+(** Spans lost to the per-domain retention bound (oldest kept; once a
+    domain's stream is full further spans are counted but not stored). *)
+
+val domains : unit -> int list
+(** Distinct domain ids with at least one recorded span, ascending. *)
+
+val elapsed : unit -> float
+(** Wall seconds since {!enable} (0 if never enabled). *)

@@ -1,0 +1,451 @@
+(* Markdown run reports and field-by-field bench comparison.  Pure
+   Json.t -> string transformations; the CLI owns files and exit codes. *)
+
+let fnum = Json.to_float_opt
+
+let member_num key j = Option.bind (Json.member key j) fnum
+
+let member_str key j = Option.bind (Json.member key j) Json.to_string_opt
+
+(* -- shared profile-span view ---------------------------------------------- *)
+
+(* The wall-clock half of a Chrome trace (--profile-out): ph:"X" events
+   with pid 1, as written by Chrome_export. *)
+type pspan = {
+  ps_name : string;
+  ps_cat : string;
+  ps_tid : int;
+  ps_dur_s : float;
+  ps_depth : int;
+  ps_gc_minor : int;
+  ps_gc_major : int;
+  ps_promoted_words : float;
+}
+
+let profile_spans profile =
+  match Option.map (Json.member "traceEvents") profile with
+  | Some (Some (Json.List events)) ->
+    List.filter_map
+      (fun e ->
+        match (member_str "ph" e, member_num "pid" e) with
+        | Some "X", Some 1.0 ->
+          let args = Option.value ~default:(Json.Obj []) (Json.member "args" e) in
+          Some
+            {
+              ps_name = Option.value ~default:"?" (member_str "name" e);
+              ps_cat = Option.value ~default:"" (member_str "cat" e);
+              ps_tid =
+                int_of_float (Option.value ~default:0.0 (member_num "tid" e));
+              ps_dur_s =
+                Option.value ~default:0.0 (member_num "dur" e) /. 1e6;
+              ps_depth =
+                int_of_float (Option.value ~default:0.0 (member_num "depth" args));
+              ps_gc_minor =
+                int_of_float
+                  (Option.value ~default:0.0 (member_num "gc_minor" args));
+              ps_gc_major =
+                int_of_float
+                  (Option.value ~default:0.0 (member_num "gc_major" args));
+              ps_promoted_words =
+                Option.value ~default:0.0 (member_num "gc_promoted_words" args);
+            }
+        | _ -> None)
+      events
+  | _ -> []
+
+(* -- markdown helpers ------------------------------------------------------- *)
+
+let md_table buf ~header rows =
+  let cell s = String.concat "\\|" (String.split_on_char '|' s) in
+  Buffer.add_string buf
+    ("| " ^ String.concat " | " (List.map cell header) ^ " |\n");
+  Buffer.add_string buf
+    ("|" ^ String.concat "|" (List.map (fun _ -> "---") header) ^ "|\n");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        ("| " ^ String.concat " | " (List.map cell row) ^ " |\n"))
+    rows
+
+let bar frac =
+  let width = 24 in
+  let filled =
+    max 0 (min width (int_of_float (Float.round (frac *. float_of_int width))))
+  in
+  "`" ^ String.make filled '#' ^ String.make (width - filled) '.' ^ "`"
+
+let words_mb w = w *. 8.0 /. 1048576.0
+
+(* -- report ----------------------------------------------------------------- *)
+
+let gauge_fields metrics =
+  match metrics with Some (Json.Obj fields) -> fields | _ -> []
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let ends_with ~suffix s =
+  String.length s >= String.length suffix
+  && String.equal
+       (String.sub s (String.length s - String.length suffix) (String.length suffix))
+       suffix
+
+let report ?metrics ?profile bench =
+  let metrics =
+    match metrics with Some _ as m -> m | None -> Json.member "metrics" bench
+  in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let total_wall = member_num "total_wall_s" bench in
+  line "# dfs-repro run report";
+  line "";
+  (* -- summary -- *)
+  let field name f = Printf.sprintf "%s: %s" name f in
+  let str_of key = Option.value ~default:"?" (member_str key bench) in
+  let num_of key =
+    match member_num key bench with
+    | Some v -> Printf.sprintf "%g" v
+    | None -> "?"
+  in
+  line "## Run summary";
+  line "";
+  List.iter (line "- %s")
+    [
+      field "schema" (str_of "schema");
+      field "scale" (num_of "scale");
+      field "jobs" (num_of "jobs");
+      field "faults" (str_of "faults");
+      field "total wall time" (num_of "total_wall_s" ^ " s");
+    ];
+  (match
+     Option.bind metrics (fun m -> member_num "obs.trace.dropped" m)
+   with
+  | Some d when d > 0.0 ->
+    line
+      "- **warning**: the sim-time tracer dropped %.0f spans (ring bound); \
+       the --trace-out file is truncated"
+      d
+  | _ -> ());
+  line "";
+  (* -- phase wall breakdown -- *)
+  line "## Phase wall breakdown";
+  line "";
+  let phase_rows =
+    let from_phases =
+      match Json.member "phases" bench with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun f -> (k, f)) (fnum v))
+          fields
+      | _ -> []
+    in
+    let from_gauges =
+      List.filter_map
+        (fun (k, v) ->
+          if starts_with ~prefix:"phase." k && ends_with ~suffix:".wall_s" k
+          then Option.map (fun f -> (k, f)) (fnum v)
+          else None)
+        (gauge_fields metrics)
+    in
+    from_phases @ List.sort (fun (a, _) (b, _) -> String.compare a b) from_gauges
+  in
+  if phase_rows = [] then line "_no phase telemetry in the bench file_"
+  else
+    md_table buf ~header:[ "phase"; "wall (s)"; "share of total" ]
+      (List.map
+         (fun (k, v) ->
+           [
+             k;
+             Printf.sprintf "%.3f" v;
+             (match total_wall with
+             | Some t when t > 0.0 -> Printf.sprintf "%.1f%%" (100.0 *. v /. t)
+             | _ -> "-");
+           ])
+         phase_rows);
+  line "";
+  (* -- hottest spans -- *)
+  line "## Hottest spans";
+  line "";
+  let spans = profile_spans profile in
+  if spans = [] then begin
+    line "_no wall-clock profile given (rerun with --profile-out and pass it";
+    line "with --profile); falling back to per-experiment walls_";
+    line "";
+    match Json.member "experiments" bench with
+    | Some (Json.List exps) ->
+      let walls =
+        List.filter_map
+          (fun e ->
+            match (member_str "id" e, member_num "wall_s" e) with
+            | Some id, Some w -> Some (id, w)
+            | _ -> None)
+          exps
+      in
+      let top =
+        List.filteri (fun i _ -> i < 10)
+          (List.sort (fun (_, a) (_, b) -> Float.compare b a) walls)
+      in
+      if top <> [] then
+        md_table buf ~header:[ "experiment"; "wall (s)" ]
+          (List.map (fun (id, w) -> [ id; Printf.sprintf "%.3f" w ]) top)
+    | _ -> ()
+  end
+  else begin
+    let top =
+      List.filteri (fun i _ -> i < 10)
+        (List.sort (fun a b -> Float.compare b.ps_dur_s a.ps_dur_s) spans)
+    in
+    md_table buf
+      ~header:
+        [ "span"; "cat"; "domain"; "wall (s)"; "gc minor/major"; "promoted (MB)" ]
+      (List.map
+         (fun s ->
+           [
+             s.ps_name;
+             s.ps_cat;
+             string_of_int s.ps_tid;
+             Printf.sprintf "%.3f" s.ps_dur_s;
+             Printf.sprintf "%d / %d" s.ps_gc_minor s.ps_gc_major;
+             Printf.sprintf "%.1f" (words_mb s.ps_promoted_words);
+           ])
+         top)
+  end;
+  line "";
+  (* -- GC summary -- *)
+  line "## GC summary";
+  line "";
+  (match Json.member "gc" bench with
+  | Some gc ->
+    let row name key to_s =
+      match member_num key gc with
+      | Some v -> Some [ name; to_s v ]
+      | None -> None
+    in
+    md_table buf ~header:[ "measure"; "value" ]
+      (List.filter_map Fun.id
+         [
+           row "peak heap" "top_heap_words" (fun v ->
+               Printf.sprintf "%.1f MB (%.0f words)" (words_mb v) v);
+           row "final heap" "heap_words" (fun v ->
+               Printf.sprintf "%.1f MB (%.0f words)" (words_mb v) v);
+           row "major collections" "major_collections" (fun v ->
+               Printf.sprintf "%.0f" v);
+         ])
+  | None -> line "_no gc telemetry in the bench file_");
+  (let tops = List.filter (fun s -> s.ps_depth = 0) spans in
+   if tops <> [] then begin
+     let minor = List.fold_left (fun a s -> a + s.ps_gc_minor) 0 tops in
+     let major = List.fold_left (fun a s -> a + s.ps_gc_major) 0 tops in
+     let promoted =
+       List.fold_left (fun a s -> a +. s.ps_promoted_words) 0.0 tops
+     in
+     line "";
+     line
+       "Across top-level profiled spans: %d minor / %d major collections, \
+        %.1f MB promoted."
+       minor major (words_mb promoted)
+   end);
+  line "";
+  (* -- per-domain utilization -- *)
+  line "## Per-domain utilization";
+  line "";
+  let busy =
+    List.filter_map
+      (fun (k, v) ->
+        if starts_with ~prefix:"pool.domain" k && ends_with ~suffix:".busy_s" k
+        then Option.map (fun f -> (k, f)) (fnum v)
+        else None)
+      (gauge_fields metrics)
+  in
+  let pool_gauge key = Option.bind metrics (member_num key) in
+  (match (busy, pool_gauge "pool.wall_s") with
+  | [], _ ->
+    line "_no pool.* gauges in the metrics snapshot (run with --metrics-out,"
+    ;
+    line "or pass a bench file whose embedded metrics include a pool phase)_"
+  | busy, wall ->
+    let wall = Option.value ~default:0.0 wall in
+    md_table buf ~header:[ "domain"; "busy (s)"; "busy share of map wall" ]
+      (List.map
+         (fun (k, b) ->
+           let frac = if wall > 0.0 then Float.min 1.0 (b /. wall) else 0.0 in
+           [
+             k;
+             Printf.sprintf "%.3f" b;
+             Printf.sprintf "%s %.0f%%" (bar frac) (100.0 *. frac);
+           ])
+         (List.sort (fun (a, _) (b, _) -> String.compare a b) busy));
+    (match (pool_gauge "pool.utilization", pool_gauge "pool.jobs") with
+    | Some u, jobs ->
+      line "";
+      line "Pool utilization: %.0f%% of %s worker capacity over a %.3f s map."
+        (100.0 *. u)
+        (match jobs with
+        | Some j -> Printf.sprintf "%.0f-domain" j
+        | None -> "the pool's")
+        wall
+    | None, _ -> ()));
+  line "";
+  Buffer.contents buf
+
+(* -- bench diff ------------------------------------------------------------- *)
+
+type verdict = Pass | Regressed | Improved | Info
+
+type row = {
+  metric : string;
+  old_v : float option;
+  new_v : float option;
+  delta_pct : float option;
+  threshold_pct : float option;
+  verdict : verdict;
+}
+
+type diff = {
+  config_mismatches : string list;
+  rows : row list;
+  regressions : string list;
+}
+
+let default_thresholds =
+  [ ("total_wall_s", 0.25); ("gc.top_heap_words", 0.25) ]
+
+(* Identity fields: two runs that disagree here measure different
+   configurations and must not be compared quantitatively. *)
+let config_fields = [ "schema"; "scale"; "jobs"; "faults" ]
+
+(* Flatten every numeric leaf into dotted paths.  The embedded metrics
+   snapshot is excluded (its wall gauges are noise and its counters are
+   covered by the sim's own determinism checks); the experiments list is
+   keyed by experiment id. *)
+let flatten bench =
+  let acc = ref [] in
+  let emit path v = acc := (path, v) :: !acc in
+  let join prefix k = if prefix = "" then k else prefix ^ "." ^ k in
+  let rec go prefix j =
+    match j with
+    | Json.Int i -> emit prefix (float_of_int i)
+    | Json.Float f -> emit prefix f
+    | Json.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          let skip =
+            prefix = "" && (String.equal k "metrics" || List.mem k config_fields)
+          in
+          if not skip then go (join prefix k) v)
+        fields
+    | Json.List items ->
+      List.iteri
+        (fun i item ->
+          let key =
+            match member_str "id" item with
+            | Some id -> id
+            | None -> string_of_int i
+          in
+          go (join prefix key) item)
+        items
+    | Json.Null | Json.Bool _ | Json.String _ -> ()
+  in
+  go "" bench;
+  List.rev !acc
+
+let diff ?(thresholds = default_thresholds) ~old_ new_ =
+  let config_mismatches =
+    List.filter_map
+      (fun key ->
+        let show j =
+          match Json.member key j with
+          | Some (Json.String s) -> s
+          | Some v -> Json.to_string v
+          | None -> "(absent)"
+        in
+        let o = show old_ and n = show new_ in
+        if String.equal o n then None
+        else Some (Printf.sprintf "%s: %s vs %s" key o n))
+      config_fields
+  in
+  let o = flatten old_ and n = flatten new_ in
+  let keys =
+    List.sort_uniq String.compare (List.map fst o @ List.map fst n)
+  in
+  let rows =
+    List.map
+      (fun metric ->
+        let old_v = List.assoc_opt metric o in
+        let new_v = List.assoc_opt metric n in
+        let threshold_pct = List.assoc_opt metric thresholds in
+        let delta_pct =
+          match (old_v, new_v) with
+          | Some ov, Some nv when ov <> 0.0 -> Some (100.0 *. (nv -. ov) /. ov)
+          | _ -> None
+        in
+        let verdict =
+          match (threshold_pct, old_v, new_v, delta_pct) with
+          | None, _, _, _ -> Info
+          | Some _, Some _, None, _ -> Regressed (* gated metric vanished *)
+          | Some _, None, _, _ -> Info (* new gate, no baseline yet *)
+          | Some t, Some _, Some _, Some d ->
+            if d > t *. 100.0 then Regressed
+            else if d < -.t *. 100.0 then Improved
+            else Pass
+          | Some _, Some _, Some _, None -> Pass
+        in
+        { metric; old_v; new_v; delta_pct; threshold_pct; verdict })
+      keys
+  in
+  let regressions =
+    List.filter_map
+      (fun r ->
+        match r.verdict with
+        | Regressed ->
+          Some
+            (match (r.old_v, r.new_v, r.delta_pct, r.threshold_pct) with
+            | Some ov, Some nv, Some d, Some t ->
+              Printf.sprintf "%s regressed: %g -> %g (%+.1f%% > +%.0f%%)"
+                r.metric ov nv d (t *. 100.0)
+            | _ ->
+              Printf.sprintf "%s: gated metric missing from the new run"
+                r.metric)
+        | _ -> None)
+      rows
+  in
+  { config_mismatches; rows; regressions }
+
+let diff_ok d = d.config_mismatches = [] && d.regressions = []
+
+let render_diff d =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun m -> Buffer.add_string buf (Printf.sprintf "config mismatch: %s\n" m))
+    d.config_mismatches;
+  Buffer.add_string buf
+    (Printf.sprintf "%-40s %14s %14s %9s %8s  %s\n" "metric" "old" "new"
+       "delta" "gate" "status");
+  List.iter
+    (fun r ->
+      let fvo = function Some v -> Printf.sprintf "%.6g" v | None -> "-" in
+      Buffer.add_string buf
+        (Printf.sprintf "%-40s %14s %14s %9s %8s  %s\n" r.metric (fvo r.old_v)
+           (fvo r.new_v)
+           (match r.delta_pct with
+           | Some d -> Printf.sprintf "%+.1f%%" d
+           | None -> "-")
+           (match r.threshold_pct with
+           | Some t -> Printf.sprintf "+%.0f%%" (t *. 100.0)
+           | None -> "-")
+           (match r.verdict with
+           | Pass -> "ok"
+           | Regressed -> "REGRESSED"
+           | Improved -> "improved"
+           | Info -> "info")))
+    d.rows;
+  (if diff_ok d then Buffer.add_string buf "ok: no regressions\n"
+   else begin
+     List.iter
+       (fun m -> Buffer.add_string buf (Printf.sprintf "FAIL: %s\n" m))
+       d.regressions;
+     if d.config_mismatches <> [] then
+       Buffer.add_string buf "FAIL: runs are not comparable (config mismatch)\n"
+   end);
+  Buffer.contents buf

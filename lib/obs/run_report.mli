@@ -1,0 +1,65 @@
+(** Run reports and run-to-run comparison over bench telemetry.
+
+    [BENCH_run.json] (schema [dfs-bench-run/*]) is write-only telemetry
+    without these: {!report} renders one run as a self-contained
+    markdown document (phase wall breakdown, hottest profiler spans, GC
+    summary, per-domain utilization bars), and {!diff} compares two
+    bench files field-by-field with per-metric relative thresholds —
+    the programmatic replacement for ad-hoc comparison shell in CI.
+
+    Everything here consumes parsed {!Json.t} values, so the CLI layer
+    owns file I/O and exit codes. *)
+
+(** {1 Markdown run report} *)
+
+val report : ?metrics:Json.t -> ?profile:Json.t -> Json.t -> string
+(** [report bench] renders a markdown report from a parsed
+    [BENCH_run.json] value.  [metrics] is a [--metrics-out] snapshot
+    (defaults to the ["metrics"] object embedded in the bench file);
+    [profile] is a [--profile-out] Chrome trace (used for the
+    hottest-spans table and GC attribution).  Sections degrade to
+    explanatory placeholders when an input lacks the data, so the
+    report always contains the same section headings. *)
+
+(** {1 Bench diff} *)
+
+type verdict =
+  | Pass  (** within threshold *)
+  | Regressed  (** gated metric exceeded its threshold *)
+  | Improved  (** gated metric improved by more than its threshold *)
+  | Info  (** ungated metric, shown for context *)
+
+type row = {
+  metric : string;  (** dotted path within the bench object *)
+  old_v : float option;  (** [None] when absent in the old file *)
+  new_v : float option;
+  delta_pct : float option;  (** (new - old) / old * 100 *)
+  threshold_pct : float option;  (** gate, if the metric has one *)
+  verdict : verdict;
+}
+
+type diff = {
+  config_mismatches : string list;
+      (** human-readable mismatches of identity fields (schema, scale,
+          jobs, faults) — two runs that differ here are incomparable *)
+  rows : row list;
+  regressions : string list;  (** one message per regressed row *)
+}
+
+val default_thresholds : (string * float) list
+(** Gated metrics and their allowed relative growth (fraction, e.g.
+    [0.25] = +25%): [total_wall_s] and [gc.top_heap_words]. *)
+
+val diff : ?thresholds:(string * float) list -> old_:Json.t -> Json.t -> diff
+(** [diff ~old_:baseline candidate] — field-by-field comparison of every
+    numeric leaf of the two bench objects (the embedded ["metrics"]
+    snapshot is excluded — compare it
+    with jq if needed; wall gauges inside it are inherently noisy).
+    Metrics named in [thresholds] (default {!default_thresholds}) are
+    gated; all others are informational. *)
+
+val render_diff : diff -> string
+(** Aligned, human-readable comparison table plus a verdict line. *)
+
+val diff_ok : diff -> bool
+(** True when there are no regressions and no config mismatches. *)

@@ -110,6 +110,18 @@ let span_of_json j =
     Some { cat; name; t0; dur; attrs }
   | _ -> None
 
+(* Span loss must be detectable from the artifacts alone: exporters call
+   this once per process so a truncated --trace-out file carries its own
+   evidence in the metrics snapshot, and truncation is warned about. *)
+let record_export_counters ?registry t =
+  Metrics.add (Metrics.counter ?registry "obs.trace.added") (added t);
+  Metrics.add (Metrics.counter ?registry "obs.trace.dropped") (dropped t);
+  if dropped t > 0 then
+    Log.warn
+      "trace ring overflowed: %d of %d spans dropped (oldest first); raise \
+       the capacity with Tracer.enable ~capacity"
+      (dropped t) (added t)
+
 let write_jsonl t oc =
   iter t (fun s ->
       output_string oc (Json.to_string (span_to_json s));

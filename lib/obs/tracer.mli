@@ -78,6 +78,13 @@ val count : t -> cat:string -> int
 
 (** {1 Export} *)
 
+val record_export_counters : ?registry:Metrics.t -> t -> unit
+(** Record [obs.trace.added] / [obs.trace.dropped] counters into the
+    metrics registry (default: the process-wide one) and warn on the
+    log when spans were lost to the ring bound.  Call once per process,
+    just before snapshotting metrics, so silently truncated trace files
+    are detectable from the artifacts alone. *)
+
 val span_to_json : span -> Json.t
 
 val span_of_json : Json.t -> span option

@@ -122,13 +122,14 @@ let merge_iter sources ~emit =
   go ()
 
 let merge_chunks ?chunk_records ?spill ?(scrub = Ids.User.Set.empty) sources =
-  let sink = Sink.create ?chunk_records ?spill () in
-  let keep =
-    if Ids.User.Set.is_empty scrub then fun _ _ -> true
-    else
-      fun batch i ->
-        not (Ids.User.Set.mem (Record_batch.user_id batch i) scrub)
-  in
-  merge_iter sources ~emit:(fun batch i ->
-      if keep batch i then Sink.emit_from sink batch i);
-  Sink.close sink
+  Dfs_obs.Profiler.span ~cat:"merge" "trace.kway_merge" (fun () ->
+      let sink = Sink.create ?chunk_records ?spill () in
+      let keep =
+        if Ids.User.Set.is_empty scrub then fun _ _ -> true
+        else
+          fun batch i ->
+            not (Ids.User.Set.mem (Record_batch.user_id batch i) scrub)
+      in
+      merge_iter sources ~emit:(fun batch i ->
+          if keep batch i then Sink.emit_from sink batch i);
+      Sink.close sink)

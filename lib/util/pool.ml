@@ -23,11 +23,45 @@ let reject_nested () =
   if Domain.DLS.get in_task then
     invalid_arg "Dfs_util.Pool.map: nested use (map called from inside a task)"
 
-let run_task f x =
+(* Every task execution is a profiler span on the executing domain's
+   stream, and its wall time feeds the worker's busy accumulator — the
+   basis of the pool.* utilization gauges.  Purely observational: the
+   task's result and ordering are untouched. *)
+let run_task busy f x =
   Domain.DLS.set in_task true;
-  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task false) (fun () -> f x)
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      busy := !busy +. (Unix.gettimeofday () -. t0);
+      Domain.DLS.set in_task false)
+    (fun () -> Dfs_obs.Profiler.span ~cat:"pool" "pool.task" (fun () -> f x))
 
-let map_seq f xs = List.map (fun x -> run_task f x) xs
+(* Per-map utilization gauges: how busy each worker domain was and what
+   fraction of the map's worker-seconds did useful work.  Gauges are
+   last-writer-wins, so a snapshot reflects the most recent [map]. *)
+let publish_gauges ~workers ~wall busy =
+  let module M = Dfs_obs.Metrics in
+  Array.iteri
+    (fun i b ->
+      M.set (M.gauge (Printf.sprintf "pool.domain%d.busy_s" i)) b)
+    busy;
+  let total = Array.fold_left ( +. ) 0.0 busy in
+  let capacity = float_of_int workers *. wall in
+  M.set (M.gauge "pool.jobs") (float_of_int workers);
+  M.set (M.gauge "pool.wall_s") wall;
+  M.set (M.gauge "pool.busy_s") total;
+  M.set (M.gauge "pool.idle_s") (Float.max 0.0 (capacity -. total));
+  M.set (M.gauge "pool.utilization")
+    (if capacity <= 0.0 then 0.0 else total /. capacity)
+
+let map_seq f xs =
+  let t0 = Unix.gettimeofday () in
+  let busy = ref 0.0 in
+  let results = List.map (fun x -> run_task busy f x) xs in
+  publish_gauges ~workers:1
+    ~wall:(Unix.gettimeofday () -. t0)
+    [| !busy |];
+  results
 
 let map pool f xs =
   reject_nested ();
@@ -39,20 +73,25 @@ let map pool f xs =
   else begin
     let results : _ option array = Array.make n None in
     let errors : exn option array = Array.make n None in
+    let busy = Array.make workers 0.0 in
     let next = Atomic.make 0 in
-    let worker () =
+    let t0 = Unix.gettimeofday () in
+    let worker w () =
+      let my_busy = ref 0.0 in
       let continue = ref true in
       while !continue do
         let i = Atomic.fetch_and_add next 1 in
         if i >= n then continue := false
         else
-          match run_task f items.(i) with
+          match run_task my_busy f items.(i) with
           | v -> results.(i) <- Some v
           | exception e -> errors.(i) <- Some e
-      done
+      done;
+      busy.(w) <- !my_busy
     in
-    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    let domains = Array.init workers (fun w -> Domain.spawn (worker w)) in
     Array.iter Domain.join domains;
+    publish_gauges ~workers ~wall:(Unix.gettimeofday () -. t0) busy;
     Array.iteri (fun _ -> function Some e -> raise e | None -> ()) errors;
     Array.to_list (Array.map Option.get results)
   end

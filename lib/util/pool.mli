@@ -40,3 +40,14 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     With [jobs pool = 1] (or a single task) everything runs in the
     calling domain, with no domains spawned: [DFS_JOBS=1] gives the
     exact sequential execution. *)
+
+(** {1 Observability}
+
+    Every [map] publishes utilization gauges into the default
+    {!Dfs_obs.Metrics} registry — [pool.domain<i>.busy_s] (wall seconds
+    worker [i] spent executing tasks), [pool.busy_s] / [pool.idle_s] /
+    [pool.wall_s], and [pool.utilization] (busy worker-seconds over
+    [workers x wall]) — and, when {!Dfs_obs.Profiler} is active, records
+    each task execution as a ["pool.task"] span on the executing
+    domain's stream.  Both are advisory: results and their order are
+    identical with profiling on or off. *)

@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
+      ("profiler", Test_profiler.suite);
       ("trace", Test_trace.suite);
       ("cache", Test_cache.suite);
       ("vm", Test_vm.suite);

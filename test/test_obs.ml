@@ -46,6 +46,45 @@ let test_json_rejects_garbage () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
 
+let test_json_unicode_escapes () =
+  (* BMP escape *)
+  (match Json.parse "\"\\u00e9\"" with
+  | Ok (Json.String s) -> Alcotest.(check string) "e-acute" "\xc3\xa9" s
+  | Ok _ | Error _ -> Alcotest.fail "\\u00e9 did not parse as a string");
+  (* surrogate pair: U+1F600 escaped as \ud83d\ude00 must become one
+     4-byte UTF-8 character, not two 3-byte surrogate encodings *)
+  (match Json.parse "\"\\ud83d\\ude00\"" with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "U+1F600" "\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "surrogate pair did not parse");
+  (* a lone high surrogate stays a 3-byte sequence rather than erroring *)
+  match Json.parse "\"\\ud83d!\"" with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "lone surrogate" "\xed\xa0\xbd!" s
+  | Ok _ | Error _ -> Alcotest.fail "lone surrogate did not parse"
+
+let test_json_depth_limit () =
+  let nest n = String.make n '[' ^ String.make n ']' in
+  (match Json.parse (nest 100) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "100-deep array rejected: %s" e);
+  (* past the documented bound the parser fails cleanly instead of
+     overflowing the stack *)
+  match Json.parse (nest (Json.max_depth + 10)) with
+  | Ok _ -> Alcotest.failf "accepted %d-deep nesting" (Json.max_depth + 10)
+  | Error _ -> ()
+
+let test_json_duplicate_keys () =
+  match Json.parse {|{"a":1,"a":2,"b":3}|} with
+  | Ok v ->
+    Alcotest.(check (option int))
+      "member returns the first binding" (Some 1)
+      (Option.bind (Json.member "a" v) Json.to_int_opt);
+    Alcotest.(check (option int))
+      "later keys still reachable" (Some 3)
+      (Option.bind (Json.member "b" v) Json.to_int_opt)
+  | Error e -> Alcotest.failf "duplicate keys rejected: %s" e
+
 (* -- Metrics --------------------------------------------------------------- *)
 
 let test_counter_semantics () =
@@ -155,6 +194,51 @@ let test_registry_snapshot () =
           (fun l -> String.length l > 0)
           (String.split_on_char '\n' text)))
 
+let test_histogram_p999_and_bulk_quantiles () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "test.p999" in
+  for i = 1 to 10_000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  (* the bulk accessor agrees with one-at-a-time lookups *)
+  let ps = [ 0.5; 0.9; 0.99; 0.999 ] in
+  Alcotest.(check (list (float 0.0)))
+    "quantiles = map quantile"
+    (List.map (Metrics.quantile h) ps)
+    (Metrics.quantiles h ps);
+  check_close ~tol:0.15 "p999" 9990.0 (Metrics.quantile h 0.999);
+  (* p999 is part of every histogram snapshot *)
+  let json = Metrics.to_json ~registry:r () in
+  let hist = Option.get (Json.member "test.p999" json) in
+  match Option.bind (Json.member "p999" hist) Json.to_float_opt with
+  | Some v -> check_close ~tol:0.15 "p999 in snapshot" 9990.0 v
+  | None -> Alcotest.fail "histogram snapshot lacks p999"
+
+(* The log-scale buckets are 10^(1/20)-1 ~ 12.2% wide and quantiles
+   report the bucket midpoint, so any reported quantile is within
+   10^(1/40)-1 ~ 5.9% of some sample in the right rank neighborhood.
+   Property-test the documented bound against the exact empirical
+   quantile on arbitrary positive data. *)
+let quantile_error_bound =
+  QCheck.Test.make ~name:"histogram quantile within ~6% of exact" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(5 -- 300) (float_range 1e-6 1e9))
+        (float_range 0.01 0.999))
+    (fun (samples, p) ->
+      let r = Metrics.create () in
+      let h = Metrics.histogram ~registry:r "prop.q" in
+      List.iter (Metrics.observe h) samples;
+      let sorted = List.sort Float.compare samples in
+      let n = List.length sorted in
+      (* the merged-shard quantile takes the first bucket whose
+         cumulative count reaches ceil(p * count) *)
+      let rank = max 1 (int_of_float (Float.ceil (p *. float_of_int n))) in
+      let exact = List.nth sorted (rank - 1) in
+      let got = Metrics.quantile h p in
+      let bound = 10.0 ** (1.0 /. 40.0) -. 1.0 +. 1e-9 in
+      Float.abs (got -. exact) <= bound *. exact)
+
 (* -- Tracer ---------------------------------------------------------------- *)
 
 let emit_test_span i =
@@ -219,6 +303,21 @@ let test_tracer_jsonl_roundtrip () =
       in
       Alcotest.(check bool) "spans survive round-trip" true (original = reread))
 
+let test_tracer_export_counters () =
+  with_default_tracer ~capacity:4 (fun () ->
+      for i = 0 to 9 do
+        emit_test_span i
+      done;
+      let r = Metrics.create () in
+      Tracer.record_export_counters ~registry:r Tracer.default;
+      let v name =
+        match Metrics.find ~registry:r name with
+        | Some (Metrics.Counter c) -> Metrics.value c
+        | _ -> Alcotest.failf "%s not recorded" name
+      in
+      Alcotest.(check int) "obs.trace.added" 10 (v "obs.trace.added");
+      Alcotest.(check int) "obs.trace.dropped" 6 (v "obs.trace.dropped"))
+
 (* -- Integration: instrumentation agrees with the simulator ---------------- *)
 
 let counter_value name =
@@ -265,6 +364,9 @@ let suite =
     ("json round-trip", `Quick, test_json_roundtrip);
     ("json floats stay floats", `Quick, test_json_floats_stay_floats);
     ("json rejects garbage", `Quick, test_json_rejects_garbage);
+    ("json unicode escapes", `Quick, test_json_unicode_escapes);
+    ("json depth limit", `Quick, test_json_depth_limit);
+    ("json duplicate keys", `Quick, test_json_duplicate_keys);
     ("counter semantics", `Quick, test_counter_semantics);
     ("gauge semantics", `Quick, test_gauge_semantics);
     ("histogram uniform quantiles", `Quick, test_histogram_uniform_quantiles);
@@ -273,8 +375,13 @@ let suite =
       test_histogram_exponential_quantiles );
     ("histogram constant and zero", `Quick, test_histogram_constant_and_zero);
     ("registry snapshot", `Quick, test_registry_snapshot);
+    ( "histogram p999 and bulk quantiles",
+      `Quick,
+      test_histogram_p999_and_bulk_quantiles );
+    QCheck_alcotest.to_alcotest quantile_error_bound;
     ("tracer disabled is noop", `Quick, test_tracer_disabled_is_noop);
     ("tracer ring bounding", `Quick, test_tracer_ring_bounding);
     ("tracer jsonl round-trip", `Quick, test_tracer_jsonl_roundtrip);
+    ("tracer export counters", `Quick, test_tracer_export_counters);
     ("sim metrics consistency", `Slow, test_sim_metrics_consistency);
   ]

@@ -1,0 +1,345 @@
+(* Tests for the wall-clock profiler, the Chrome trace export, the pool's
+   utilization gauges, and the run-report/diff toolchain. *)
+
+module Json = Dfs_obs.Json
+module Metrics = Dfs_obs.Metrics
+module Profiler = Dfs_obs.Profiler
+module Chrome = Dfs_obs.Chrome_export
+module Run_report = Dfs_obs.Run_report
+
+(* The profiler is process-global (the instrumented modules call it
+   directly), so every test restores the disabled state on the way out. *)
+let with_profiler f =
+  Profiler.enable ();
+  Fun.protect ~finally:Profiler.disable f
+
+(* -- Profiler --------------------------------------------------------------- *)
+
+let test_disabled_records_nothing () =
+  Profiler.disable ();
+  let r = Profiler.span "ignored" (fun () -> 42) in
+  Alcotest.(check int) "thunk result" 42 r;
+  Alcotest.(check bool) "inactive" false (Profiler.active ());
+  Alcotest.(check int) "no spans" 0 (List.length (Profiler.spans ()))
+
+let test_span_nesting_and_fields () =
+  with_profiler (fun () ->
+      let r =
+        Profiler.span "outer" (fun () ->
+            Profiler.span ~cat:"inner-cat" "inner" (fun () -> 7) + 1)
+      in
+      Alcotest.(check int) "result flows through" 8 r;
+      match
+        List.sort
+          (fun (a : Profiler.span) b -> compare a.depth b.depth)
+          (Profiler.spans ())
+      with
+      | [ outer; inner ] ->
+        Alcotest.(check string) "outer name" "outer" outer.name;
+        Alcotest.(check string) "default category" "phase" outer.cat;
+        Alcotest.(check int) "outer depth" 0 outer.depth;
+        Alcotest.(check string) "inner name" "inner" inner.name;
+        Alcotest.(check string) "inner category" "inner-cat" inner.cat;
+        Alcotest.(check int) "inner depth" 1 inner.depth;
+        Alcotest.(check bool) "outer contains inner" true
+          (outer.dur >= inner.dur);
+        Alcotest.(check bool) "t0 ordered" true (outer.t0 <= inner.t0);
+        Alcotest.(check bool) "gc deltas non-negative" true
+          (inner.gc_minor >= 0 && inner.gc_major >= 0
+          && inner.gc_promoted_words >= 0.0
+          && inner.gc_minor_words >= 0.0)
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+let test_span_recorded_on_raise () =
+  with_profiler (fun () ->
+      (try Profiler.span "boom" (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      Alcotest.(check int) "span survived the raise" 1
+        (List.length (Profiler.spans ()));
+      (* nesting depth was restored by the unwinding *)
+      Profiler.span "after" (fun () -> ());
+      match Profiler.spans () with
+      | [ a; b ] ->
+        Alcotest.(check int) "both top-level" 0 (a.depth + b.depth)
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l))
+
+let test_per_domain_streams () =
+  with_profiler (fun () ->
+      let pool = Dfs_util.Pool.create ~jobs:4 () in
+      let squares =
+        Dfs_util.Pool.map pool
+          (fun i ->
+            Profiler.span "work" (fun () -> Sys.opaque_identity (i * i)))
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      in
+      Alcotest.(check (list int))
+        "map result" [ 1; 4; 9; 16; 25; 36; 49; 64 ] squares;
+      let work =
+        List.filter (fun (s : Profiler.span) -> s.name = "work")
+          (Profiler.spans ())
+      in
+      Alcotest.(check int) "one span per item" 8 (List.length work);
+      (* the pool also wraps each task *)
+      Alcotest.(check int) "pool.task spans" 8
+        (List.length
+           (List.filter
+              (fun (s : Profiler.span) -> s.name = "pool.task")
+              (Profiler.spans ())));
+      (* a hand-spawned domain gets its own stream, keyed by Domain.self
+         (which worker picks up which pool task is scheduling-dependent,
+         so the pool alone can't deterministically prove >1 stream) *)
+      Profiler.span "on-main" (fun () -> ());
+      Domain.join
+        (Domain.spawn (fun () -> Profiler.span "on-spawned" (fun () -> ())));
+      Alcotest.(check bool) "several domains recorded" true
+        (List.length (Profiler.domains ()) >= 2);
+      let domain_of name =
+        (List.find (fun (s : Profiler.span) -> s.name = name)
+           (Profiler.spans ()))
+          .domain
+      in
+      Alcotest.(check bool) "streams keyed by domain" true
+        (domain_of "on-main" <> domain_of "on-spawned"))
+
+let test_enable_resets () =
+  with_profiler (fun () ->
+      Profiler.span "first" (fun () -> ());
+      Profiler.enable ();
+      Alcotest.(check int) "enable clears" 0 (List.length (Profiler.spans ()));
+      Profiler.span "second" (fun () -> ());
+      Alcotest.(check int) "added restarts" 1 (Profiler.added ());
+      Alcotest.(check int) "nothing dropped" 0 (Profiler.dropped ()))
+
+(* -- Chrome export ---------------------------------------------------------- *)
+
+let test_chrome_export_roundtrip () =
+  with_profiler (fun () ->
+      Profiler.span "phase-a" (fun () ->
+          Profiler.span ~cat:"merge" "phase-b" (fun () -> ()));
+      Dfs_obs.Tracer.enable ~capacity:16 ();
+      Fun.protect ~finally:Dfs_obs.Tracer.disable (fun () ->
+          Dfs_obs.Tracer.emit ~cat:"rpc" ~name:"open" ~t0:1.0 ~dur:0.25
+            ~attrs:[] ());
+      let s = Json.to_string (Chrome.to_json ~tracer:Dfs_obs.Tracer.default ()) in
+      match Json.parse s with
+      | Error e -> Alcotest.failf "chrome export does not re-parse: %s" e
+      | Ok v ->
+        let events =
+          match Json.member "traceEvents" v with
+          | Some (Json.List l) -> l
+          | _ -> Alcotest.fail "no traceEvents array"
+        in
+        let by_ph ph =
+          List.filter
+            (fun e -> Json.member "ph" e = Some (Json.String ph))
+            events
+        in
+        (* 2 wall spans + 1 sim span *)
+        Alcotest.(check int) "complete events" 3 (List.length (by_ph "X"));
+        Alcotest.(check bool) "metadata names tracks" true
+          (List.length (by_ph "M") >= 4);
+        (* wall and sim spans land in separate processes *)
+        let pids =
+          List.filter_map
+            (fun e -> Option.bind (Json.member "pid" e) Json.to_int_opt)
+            (by_ph "X")
+        in
+        Alcotest.(check bool) "both pids present" true
+          (List.mem 1 pids && List.mem 2 pids);
+        (* sim time is mapped microsecond-for-second onto the timeline *)
+        let sim =
+          List.find
+            (fun e ->
+              Option.bind (Json.member "pid" e) Json.to_int_opt = Some 2)
+            (by_ph "X")
+        in
+        (match Option.bind (Json.member "ts" sim) Json.to_float_opt with
+        | Some ts -> Alcotest.(check (float 1.0)) "sim ts in us" 1e6 ts
+        | None -> Alcotest.fail "sim event lacks ts"))
+
+(* -- Pool gauges ------------------------------------------------------------ *)
+
+let test_pool_utilization_gauges () =
+  let g name =
+    match Metrics.find name with
+    | Some (Metrics.Gauge g) -> Metrics.gauge_value g
+    | _ -> Alcotest.failf "gauge %s not published" name
+  in
+  let pool = Dfs_util.Pool.create ~jobs:2 () in
+  ignore
+    (Dfs_util.Pool.map pool
+       (fun i -> Sys.opaque_identity (List.init 10_000 (fun j -> i * j)))
+       [ 1; 2; 3; 4 ]);
+  Alcotest.(check (float 0.0)) "worker count" 2.0 (g "pool.jobs");
+  Alcotest.(check bool) "wall positive" true (g "pool.wall_s" > 0.0);
+  Alcotest.(check bool) "per-domain busy gauges" true
+    (g "pool.domain0.busy_s" >= 0.0 && g "pool.domain1.busy_s" >= 0.0);
+  let u = g "pool.utilization" in
+  Alcotest.(check bool) "utilization in (0, 1]" true (u > 0.0 && u <= 1.0);
+  Alcotest.(check bool) "busy + idle = capacity" true
+    (Float.abs
+       (g "pool.busy_s" +. g "pool.idle_s"
+       -. (2.0 *. g "pool.wall_s"))
+    < 1e-6)
+
+(* -- Run report and bench diff ---------------------------------------------- *)
+
+let sample_bench ?(wall = 10.0) ?(heap = 1_000_000) () =
+  Json.Obj
+    [
+      ("schema", Json.String "dfs-bench-run/4");
+      ("scale", Json.Float 0.05);
+      ("jobs", Json.Int 1);
+      ("faults", Json.String "none");
+      ( "phases",
+        Json.Obj
+          [
+            ("sim_wall_s", Json.Float (wall /. 2.0));
+            ("analysis_wall_s", Json.Float (wall /. 4.0));
+          ] );
+      ("total_wall_s", Json.Float wall);
+      ( "gc",
+        Json.Obj
+          [
+            ("top_heap_words", Json.Int heap);
+            ("heap_words", Json.Int (heap / 2));
+            ("major_collections", Json.Int 12);
+          ] );
+      ( "experiments",
+        Json.List
+          [
+            Json.Obj
+              [ ("id", Json.String "table1"); ("wall_s", Json.Float 0.5) ];
+            Json.Obj
+              [ ("id", Json.String "fig1"); ("wall_s", Json.Float 0.25) ];
+          ] );
+      ( "metrics",
+        Json.Obj
+          [
+            ("pool.domain0.busy_s", Json.Float 4.0);
+            ("pool.wall_s", Json.Float 5.0);
+            ("pool.jobs", Json.Float 1.0);
+            ("pool.utilization", Json.Float 0.8);
+            ("phase.scorecard.wall_s", Json.Float 0.125);
+          ] );
+    ]
+
+let required_sections =
+  [
+    "# dfs-repro run report";
+    "## Run summary";
+    "## Phase wall breakdown";
+    "## Hottest spans";
+    "## GC summary";
+    "## Per-domain utilization";
+  ]
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_report_sections_always_present () =
+  (* fully populated ... *)
+  let full = Run_report.report (sample_bench ()) in
+  (* ... and degraded: no phases/metrics/experiments at all *)
+  let empty = Run_report.report (Json.Obj [ ("schema", Json.String "x") ]) in
+  List.iter
+    (fun section ->
+      Alcotest.(check bool)
+        (Printf.sprintf "full has %S" section)
+        true
+        (contains ~needle:section full);
+      Alcotest.(check bool)
+        (Printf.sprintf "degraded has %S" section)
+        true
+        (contains ~needle:section empty))
+    required_sections;
+  Alcotest.(check bool) "utilization bar rendered" true
+    (contains ~needle:"pool.domain0.busy_s" full);
+  Alcotest.(check bool) "experiment walls used as span fallback" true
+    (contains ~needle:"table1" full)
+
+let test_report_uses_profile_spans () =
+  with_profiler (fun () ->
+      Profiler.span ~cat:"sim" "sim.trace1" (fun () -> ());
+      let profile = Chrome.to_json () in
+      let doc = Run_report.report ~profile (sample_bench ()) in
+      Alcotest.(check bool) "profiled span named" true
+        (contains ~needle:"sim.trace1" doc))
+
+let test_diff_self_is_clean () =
+  let b = sample_bench () in
+  let d = Run_report.diff ~old_:b b in
+  Alcotest.(check bool) "ok" true (Run_report.diff_ok d);
+  Alcotest.(check int) "no regressions" 0 (List.length d.regressions);
+  Alcotest.(check int) "no config mismatches" 0
+    (List.length d.config_mismatches);
+  Alcotest.(check bool) "verdict line" true
+    (contains ~needle:"ok: no regressions" (Run_report.render_diff d))
+
+let test_diff_flags_regression () =
+  let d =
+    Run_report.diff ~old_:(sample_bench ()) (sample_bench ~wall:15.0 ())
+  in
+  Alcotest.(check bool) "not ok" false (Run_report.diff_ok d);
+  Alcotest.(check int) "one regression" 1 (List.length d.regressions);
+  let row =
+    List.find (fun (r : Run_report.row) -> r.metric = "total_wall_s") d.rows
+  in
+  Alcotest.(check bool) "row regressed" true (row.verdict = Run_report.Regressed);
+  (match row.delta_pct with
+  | Some pct -> Alcotest.(check (float 1e-6)) "delta" 50.0 pct
+  | None -> Alcotest.fail "no delta");
+  (* improvements and small moves pass *)
+  let d' =
+    Run_report.diff ~old_:(sample_bench ()) (sample_bench ~wall:8.0 ())
+  in
+  Alcotest.(check bool) "25%-improvement still ok" true (Run_report.diff_ok d')
+
+let test_diff_heap_gate_and_custom_thresholds () =
+  let d =
+    Run_report.diff ~old_:(sample_bench ())
+      (sample_bench ~heap:2_000_000 ())
+  in
+  Alcotest.(check bool) "heap doubling fails" false (Run_report.diff_ok d);
+  (* the same comparison passes under a looser custom gate *)
+  let d' =
+    Run_report.diff
+      ~thresholds:[ ("gc.top_heap_words", 1.5) ]
+      ~old_:(sample_bench ())
+      (sample_bench ~heap:2_000_000 ())
+  in
+  Alcotest.(check bool) "custom threshold" true (Run_report.diff_ok d')
+
+let test_diff_config_mismatch () =
+  let other =
+    match sample_bench () with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) -> if k = "jobs" then (k, Json.Int 4) else (k, v))
+           fields)
+    | _ -> assert false
+  in
+  let d = Run_report.diff ~old_:(sample_bench ()) other in
+  Alcotest.(check bool) "incomparable" false (Run_report.diff_ok d);
+  Alcotest.(check int) "mismatch reported" 1 (List.length d.config_mismatches)
+
+let suite =
+  [
+    ("profiler disabled records nothing", `Quick, test_disabled_records_nothing);
+    ("profiler span nesting and fields", `Quick, test_span_nesting_and_fields);
+    ("profiler span recorded on raise", `Quick, test_span_recorded_on_raise);
+    ("profiler per-domain streams", `Quick, test_per_domain_streams);
+    ("profiler enable resets", `Quick, test_enable_resets);
+    ("chrome export round-trips", `Quick, test_chrome_export_roundtrip);
+    ("pool utilization gauges", `Quick, test_pool_utilization_gauges);
+    ("report sections always present", `Quick, test_report_sections_always_present);
+    ("report uses profile spans", `Quick, test_report_uses_profile_spans);
+    ("diff self is clean", `Quick, test_diff_self_is_clean);
+    ("diff flags regression", `Quick, test_diff_flags_regression);
+    ("diff heap gate + custom thresholds", `Quick,
+      test_diff_heap_gate_and_custom_thresholds);
+    ("diff config mismatch", `Quick, test_diff_config_mismatch);
+  ]
