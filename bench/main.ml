@@ -76,17 +76,23 @@ let fault_profile () =
     | Some _ -> None
     | None -> failwith (Printf.sprintf "DFS_FAULTS: unknown profile %S" name))
 
-let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall ~experiments
-    ~total_wall =
+let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
+    ~records_total ~experiments ~total_wall =
   let module J = Dfs_obs.Json in
   let gc = Gc.quick_stat () in
   let trace_counter name =
     Dfs_obs.Metrics.value (Dfs_obs.Metrics.counter name)
   in
+  (* decode throughput: trace records served per phase-second.  The
+     analysis phase streams every run's trace (zero-copy from mapped
+     segments when spilled); the sim phase produces the same records. *)
+  let per_s wall =
+    if wall > 0.0 then float_of_int records_total /. wall else 0.0
+  in
   let report =
     J.Obj
       [
-        ("schema", J.String "dfs-bench-run/4");
+        ("schema", J.String "dfs-bench-run/5");
         ("scale", J.Float scale);
         ("jobs", J.Int jobs);
         ( "faults",
@@ -99,6 +105,8 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall ~experiments
             [
               ("sim_wall_s", J.Float sim_wall);
               ("analysis_wall_s", J.Float analysis_wall);
+              ("sim_records_per_s", J.Float (per_s sim_wall));
+              ("analysis_records_per_s", J.Float (per_s analysis_wall));
             ] );
         ("total_wall_s", J.Float total_wall);
         (* peak-heap telemetry: the regression gate for the streaming
@@ -121,6 +129,11 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall ~experiments
               ("chunks_sealed", J.Int (trace_counter "trace.sink.chunks_sealed"));
               ("chunks_spilled", J.Int (trace_counter "trace.sink.chunks_spilled"));
               ("spilled_bytes", J.Int (trace_counter "trace.sink.spilled_bytes"));
+              ("records_total", J.Int records_total);
+              ("encoded_bytes", J.Int (trace_counter "trace.encoded_bytes"));
+              ("mapped_bytes", J.Int (trace_counter "trace.mapped_bytes"));
+              ( "decode_skipped_records",
+                J.Int (trace_counter "trace.decode.skipped_records") );
             ] );
         ( "experiments",
           J.List
@@ -183,9 +196,18 @@ let analysis_tests (ds : Dfs_core.Dataset.t) =
    a geometric ladder of batched runs with a least-squares fit of time
    against run count — and skips the compaction.  Measurement stays
    sequential on purpose: concurrent tests would contend for cores and
-   corrupt each other's timings. *)
-let microbench_quota = 0.5
+   corrupt each other's timings.
+
+   Sampling is adaptive: the quota is a ceiling, not a target.  Once the
+   fitted slope agrees with the previous fit to within [microbench_tol]
+   for two consecutive samples (and at least [microbench_min_samples]
+   points are in), the estimate has converged and the test stops — a
+   microsecond-scale pass finishes in a handful of runs instead of
+   burning the whole quota. *)
+let microbench_quota = 0.25
 let microbench_limit = 200
+let microbench_min_samples = 3
+let microbench_tol = 0.05
 
 (* ms per run: slope of elapsed time vs. batched run count, fit through
    the origin over a 1.5x geometric ladder. *)
@@ -195,9 +217,11 @@ let measure_slope fn =
   let t0 = Unix.gettimeofday () in
   let sxx = ref 0.0 and sxy = ref 0.0 in
   let runs = ref 1 and samples = ref 0 in
+  let prev_slope = ref infinity and stable = ref 0 in
   while
     Unix.gettimeofday () -. t0 < microbench_quota
     && !samples < microbench_limit
+    && !stable < 2
   do
     let r = !runs in
     let s = Unix.gettimeofday () in
@@ -209,7 +233,14 @@ let measure_slope fn =
     sxx := !sxx +. (rf *. rf);
     sxy := !sxy +. (rf *. dt);
     runs := max (r + 1) (int_of_float (1.5 *. rf));
-    incr samples
+    incr samples;
+    let slope = !sxy /. !sxx in
+    if
+      !samples >= microbench_min_samples
+      && Float.abs (slope -. !prev_slope) <= microbench_tol *. slope
+    then incr stable
+    else stable := 0;
+    prev_slope := slope
   done;
   !sxy /. !sxx
 
@@ -384,7 +415,18 @@ let () =
   let sim_wall = Unix.gettimeofday () -. t0 in
   Dfs_obs.Log.info "dataset ready in %.1fs on %d domain(s)" sim_wall
     (Dfs_util.Pool.jobs pool);
+  let records_total =
+    List.fold_left
+      (fun acc r -> acc + Dfs_trace.Sink.length r.Dfs_core.Dataset.trace)
+      0 ds.Dfs_core.Dataset.runs
+  in
   let t_analysis = Unix.gettimeofday () in
+  (* Warm each run's fused memo from the top level: the sharded pass
+     fans out across the pool here, and every experiment inside
+     [reproduce]'s pool tasks then hits the memo instead of falling back
+     to the sequential sweep. *)
+  Dfs_obs.Profiler.span ~cat:"analysis" "fused.warm" (fun () ->
+      List.iter (fun r -> ignore (Dfs_core.Dataset.fused r)) ds.Dfs_core.Dataset.runs);
   let experiment_walls = reproduce pool ds in
   let analysis_wall = Unix.gettimeofday () -. t_analysis in
   (* Section 5.3's absolute paging rates and the server-side cache effect *)
@@ -426,7 +468,7 @@ let () =
   Dfs_obs.Tracer.record_export_counters Dfs_obs.Tracer.default;
   write_run_report ~scale:ds.Dfs_core.Dataset.scale
     ~jobs:(Dfs_util.Pool.jobs pool) ~faults ~sim_wall ~analysis_wall
-    ~experiments:experiment_walls ~total_wall;
+    ~records_total ~experiments:experiment_walls ~total_wall;
   Option.iter
     (fun path ->
       let oc = open_out path in

@@ -160,6 +160,15 @@ let with_obs ~metrics_out ~trace_out ?(profile_out = None) f =
     Dfs_obs.Tracer.record_export_counters Dfs_obs.Tracer.default;
   Option.iter
     (fun path ->
+      (* peak-heap telemetry in the snapshot, so CI can gate the
+         bounded-memory claim on metrics alone *)
+      let gc = Gc.quick_stat () in
+      Dfs_obs.Metrics.set
+        (Dfs_obs.Metrics.gauge "gc.top_heap_words")
+        (float_of_int gc.Gc.top_heap_words);
+      Dfs_obs.Metrics.set
+        (Dfs_obs.Metrics.gauge "gc.major_collections")
+        (float_of_int gc.Gc.major_collections);
       with_out path (fun oc ->
           output_string oc
             (Dfs_obs.Json.to_pretty_string (Dfs_obs.Metrics.to_json ())));
@@ -310,9 +319,10 @@ let scaled_preset n scale =
 
 let trace_format_arg =
   let doc =
-    "Trace file format: $(b,text) (tab-separated, one record per line) or \
-     $(b,binary) (compact varint/delta columnar encoding). Readers detect \
-     the format from the file header either way."
+    "Trace file format: $(b,text) (tab-separated, one record per line), \
+     $(b,binary) (compact varint/delta encoding) or $(b,columnar) \
+     (aligned whole-column segments readable zero-copy via mmap). Readers \
+     detect the format from the file header either way."
   in
   Arg.(value & opt string "text" & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
 
@@ -512,9 +522,11 @@ let bench_diff_cmd =
     (Cmd.info "bench-diff"
        ~doc:
          "Compare two bench telemetry files field by field. Exits 0 when \
-          every gated metric (total wall, peak heap) is within its relative \
-          threshold, 1 on regression, 2 when the runs are incomparable \
-          (different schema/scale/jobs/faults) or unreadable")
+          every gated metric (total wall, analysis wall, peak heap) is \
+          within its relative threshold, 1 on regression, 2 when the runs \
+          are incomparable (different scale/jobs/faults) or unreadable. A \
+          schema version difference is reported as a note, not a mismatch: \
+          bumps only add telemetry leaves, which show up as info rows")
     Term.(const run $ verbosity_term $ old_arg $ new_arg)
 
 let main =

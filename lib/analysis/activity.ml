@@ -23,7 +23,7 @@ let analyze_seq ?(migrated_only = false) ~interval batches =
       let n = B.length batch in
       if n > 0 && Float.is_nan !t0 then t0 := B.time batch 0;
       for i = 0 to n - 1 do
-        t_end := Float.max !t_end (B.time batch i)
+        t_end := Float.max !t_end (B.Unsafe.time batch i)
       done)
     batches;
   if Float.is_nan !t0 then
@@ -66,17 +66,18 @@ let analyze_seq ?(migrated_only = false) ~interval batches =
     Seq.iter
       (fun batch ->
         for i = 0 to B.length batch - 1 do
-          if relevant (B.migrated batch i) then begin
-            let time = B.time batch i and user = B.user_id batch i in
+          if relevant (B.Unsafe.migrated batch i) then begin
+            let time = B.Unsafe.time batch i
+            and user = B.Unsafe.user_id batch i in
             mark_active (bucket time) user;
             (* shared (pass-through) transfers carry their size directly:
                the length for shared reads/writes (payload column b), the
                byte count for directory reads (column a) *)
-            let tag = B.tag batch i in
+            let tag = B.Unsafe.tag batch i in
             if tag = B.tag_shared_read || tag = B.tag_shared_write then
-              add_bytes (bucket time) user (B.b batch i)
+              add_bytes (bucket time) user (B.Unsafe.b batch i)
             else if tag = B.tag_dir_read then
-              add_bytes (bucket time) user (B.a batch i)
+              add_bytes (bucket time) user (B.Unsafe.a batch i)
           end
         done)
       batches;

@@ -19,15 +19,18 @@ let analyze_seq batches =
     Hashtbl.create 1024
   in
   Seq.iter (fun batch ->
-  let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
+  (* [handle_key] is only applied to in-range loop indices *)
+  let handle_key i =
+    (B.Unsafe.client batch i, B.Unsafe.pid batch i, B.Unsafe.file batch i)
+  in
   for i = 0 to B.length batch - 1 do
-    let tag = B.tag batch i in
+    let tag = B.Unsafe.tag batch i in
     if tag = B.tag_open then begin
-      if not (B.is_dir batch i) then begin
-        let mode = B.open_mode batch i in
-        let file = B.file_id batch i in
+      if not (B.Unsafe.is_dir batch i) then begin
+        let mode = B.Unsafe.open_mode batch i in
+        let file = B.Unsafe.file_id batch i in
         incr file_opens;
-        let cl = B.client batch i in
+        let cl = B.Unsafe.client batch i in
         (match Ids.File.Tbl.find_opt last_writer file with
         | Some w when w <> cl ->
           incr recalls;
@@ -77,8 +80,8 @@ let analyze_seq batches =
         | mode :: rest ->
           modes := rest;
           if rest = [] then Hashtbl.remove handle_modes (handle_key i);
-          let cl = B.client batch i in
-          let file = B.file_id batch i in
+          let cl = B.Unsafe.client batch i in
+          let file = B.Unsafe.file_id batch i in
           (match Ids.File.Tbl.find_opt open_tbl file with
           | Some openers -> (
             match List.find_opt (fun o -> o.client = cl) !openers with
@@ -91,10 +94,11 @@ let analyze_seq batches =
               end
             | None -> ())
           | None -> ());
-          if B.d batch i > 0 then Ids.File.Tbl.replace last_writer file cl)
+          if B.Unsafe.d batch i > 0 then
+            Ids.File.Tbl.replace last_writer file cl)
     end
     else if tag = B.tag_delete then
-      Ids.File.Tbl.remove last_writer (B.file_id batch i)
+      Ids.File.Tbl.remove last_writer (B.Unsafe.file_id batch i)
   done) batches;
   { file_opens = !file_opens; sharing_opens = !sharing; recall_opens = !recalls }
 

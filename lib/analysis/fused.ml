@@ -43,3 +43,102 @@ let analyze_seq batches =
       analyze_seq_unprofiled batches)
 
 let analyze batch = analyze_seq (Seq.return batch)
+
+(* -- sharded pass ---------------------------------------------------------- *)
+
+(* One shard's harvest: the commutative per-record accumulator plus the
+   order-sensitive event streams, each tagged with the global index of
+   the record that produced it (ascending by construction). *)
+type shard = {
+  sh_stats : Trace_stats.acc;
+  sh_accesses : (int * Session.access) list;
+  sh_deaths : (int * (float * Dfs_trace.Ids.File.t * int)) list;
+}
+
+let scan_shard batches ~shard ~nshards =
+  Dfs_obs.Profiler.span ~cat:"analysis"
+    (Printf.sprintf "fused.shard%d" shard)
+    (fun () ->
+      let ts = Trace_stats.acc_create () in
+      let accesses_rev = ref [] in
+      let deaths_rev = ref [] in
+      Session.sweep_shard_seq batches ~shard ~nshards
+        ~on_record:(fun ~gidx batch i ->
+          Trace_stats.acc_record ts batch i;
+          match Lifetime.death_of_record batch i with
+          | Some d -> deaths_rev := (gidx, d) :: !deaths_rev
+          | None -> ())
+        ~on_access:(fun ~gidx a -> accesses_rev := (gidx, a) :: !accesses_rev);
+      {
+        sh_stats = ts;
+        sh_accesses = List.rev !accesses_rev;
+        sh_deaths = List.rev !deaths_rev;
+      })
+
+(* Per-shard streams are ascending in global index and pairwise disjoint
+   (each record belongs to exactly one shard), so a k-way [List.merge]
+   rebuilds the exact order the sequential sweep would have produced. *)
+let merge_by_gidx lists =
+  let cmp (g1, _) (g2, _) = Int.compare g1 g2 in
+  List.fold_left (fun acc l -> List.merge cmp acc l) [] lists
+
+(* Reassemble the sequential result from shard harvests: merge the
+   commutative stats, then replay accesses and deaths in global record
+   order through the same per-access accumulators the sequential pass
+   uses — every list and every Cdf sees items in the identical order,
+   so the result is bit-for-bit the sequential one. *)
+let assemble shards =
+  Dfs_obs.Profiler.span ~cat:"analysis" "fused.merge" (fun () ->
+      let ts = Trace_stats.acc_create () in
+      List.iter (fun s -> Trace_stats.acc_merge ts s.sh_stats) shards;
+      let fs = File_size.create () in
+      let ot = Open_time.create () in
+      let rl = Run_length.create () in
+      let ap = Access_patterns.acc_create () in
+      let lt = Lifetime.acc_create () in
+      let accesses = merge_by_gidx (List.map (fun s -> s.sh_accesses) shards) in
+      let accesses =
+        List.map
+          (fun (_, a) ->
+            Trace_stats.acc_access ts a;
+            File_size.add fs a;
+            Open_time.add ot a;
+            Run_length.add rl a;
+            Access_patterns.acc_add ap a;
+            Lifetime.acc_access lt a;
+            a)
+          accesses
+      in
+      List.iter
+        (fun (_, (time, file, size)) -> Lifetime.acc_death lt ~time ~file ~size)
+        (merge_by_gidx (List.map (fun s -> s.sh_deaths) shards));
+      {
+        stats = Trace_stats.acc_finish ts;
+        file_size = fs;
+        open_time = ot;
+        run_length = rl;
+        access_patterns = Access_patterns.acc_finish ap;
+        lifetime = Lifetime.acc_finish lt;
+        accesses;
+      })
+
+let analyze_sharded ?pool batches =
+  let nshards =
+    match pool with
+    | Some p when Dfs_util.Pool.jobs p > 1 && not (Dfs_util.Pool.in_pool_task ())
+      -> Dfs_util.Pool.jobs p
+    | Some _ | None -> 1
+  in
+  if nshards = 1 then analyze_seq (batches ())
+  else
+    Dfs_obs.Profiler.span ~cat:"analysis" "fused.analyze_sharded" (fun () ->
+        let pool = Option.get pool in
+        let shards =
+          Dfs_util.Pool.map_auto pool
+            (fun shard -> scan_shard (batches ()) ~shard ~nshards)
+            (List.init nshards Fun.id)
+        in
+        assemble shards)
+
+let analyze_chunks ?pool chunks =
+  analyze_sharded ?pool (fun () -> Dfs_trace.Sink.to_seq chunks)

@@ -81,11 +81,20 @@ let finish (p : pending) close_time ~size ~bytes_read ~bytes_written =
     a_repositions = p.repositions;
   }
 
-(* The scan walks the batch columns directly; the only allocations are
-   one [pending] per open and the handle-table bookkeeping.  The handle
+(* The scan walks the batch columns directly (unsafe accessors: the loop
+   index is bounded by the batch length); the only allocations are one
+   [pending] per open and the handle-table bookkeeping.  The handle
    table persists across batches, so a chunked trace scans identically
-   to the same records in one contiguous batch. *)
-let scan_seq batches ~on_record ~on_boundary ~on_close =
+   to the same records in one contiguous batch.
+
+   [shard]/[nshards] restrict the scan to records whose client id is
+   congruent to [shard] — handles are keyed by (client, pid, file), so
+   every record of a handle lands in the same shard and the union of the
+   shards' callbacks over a trace is exactly the unsharded scan's,
+   partitioned by client.  [on_record] and [on_close] receive the
+   record's global index across the whole batch sequence so per-shard
+   results can be merged back into trace order. *)
+let scan_shard_seq batches ~shard ~nshards ~on_record ~on_boundary ~on_close =
   let open_tbl : (int * int * int, pending list) Hashtbl.t =
     Hashtbl.create 1024
   in
@@ -106,54 +115,70 @@ let scan_seq batches ~on_record ~on_boundary ~on_close =
       Some p
     | Some [] | None -> None
   in
+  let base = ref 0 in
   Seq.iter
     (fun batch ->
-      let handle_key i = (B.client batch i, B.pid batch i, B.file batch i) in
+      let handle_key i =
+        (B.Unsafe.client batch i, B.Unsafe.pid batch i, B.Unsafe.file batch i)
+      in
       let n = B.length batch in
       for i = 0 to n - 1 do
-        on_record batch i;
-        let tag = B.tag batch i in
-        if tag = B.tag_open then
-          push (handle_key i)
-            {
-              p_user = B.user_id batch i;
-              p_client = Ids.Client.of_int (B.client batch i);
-              p_migrated = B.migrated batch i;
-              p_file = B.file_id batch i;
-              p_is_dir = B.is_dir batch i;
-              p_mode = B.open_mode batch i;
-              p_open_time = B.time batch i;
-              p_size_open = B.a batch i;
-              run_start = B.b batch i;
-              runs_rev = [];
-              repositions = 0;
-            }
-        else if tag = B.tag_reposition then begin
-          match top (handle_key i) with
-          | None -> ()
-          | Some p ->
-            let run = B.a batch i - p.run_start in
-            if run > 0 then begin
-              p.runs_rev <- run :: p.runs_rev;
-              on_boundary p (B.time batch i) run
-            end;
-            p.run_start <- B.b batch i;
-            p.repositions <- p.repositions + 1
+        if nshards = 1 || B.Unsafe.client batch i mod nshards = shard then begin
+          let gidx = !base + i in
+          on_record ~gidx batch i;
+          let tag = B.Unsafe.tag batch i in
+          if tag = B.tag_open then
+            push (handle_key i)
+              {
+                p_user = B.Unsafe.user_id batch i;
+                p_client = Ids.Client.of_int (B.Unsafe.client batch i);
+                p_migrated = B.Unsafe.migrated batch i;
+                p_file = B.Unsafe.file_id batch i;
+                p_is_dir = B.Unsafe.is_dir batch i;
+                p_mode = B.Unsafe.open_mode batch i;
+                p_open_time = B.Unsafe.time batch i;
+                p_size_open = B.Unsafe.a batch i;
+                run_start = B.Unsafe.b batch i;
+                runs_rev = [];
+                repositions = 0;
+              }
+          else if tag = B.tag_reposition then begin
+            match top (handle_key i) with
+            | None -> ()
+            | Some p ->
+              let run = B.Unsafe.a batch i - p.run_start in
+              if run > 0 then begin
+                p.runs_rev <- run :: p.runs_rev;
+                on_boundary p (B.Unsafe.time batch i) run
+              end;
+              p.run_start <- B.Unsafe.b batch i;
+              p.repositions <- p.repositions + 1
+          end
+          else if tag = B.tag_close then begin
+            match pop (handle_key i) with
+            | None -> ()
+            | Some p ->
+              let run = B.Unsafe.b batch i - p.run_start in
+              if run > 0 then begin
+                p.runs_rev <- run :: p.runs_rev;
+                on_boundary p (B.Unsafe.time batch i) run
+              end;
+              on_close ~gidx p (B.Unsafe.time batch i)
+                ~size:(B.Unsafe.a batch i)
+                ~bytes_read:(B.Unsafe.c batch i)
+                ~bytes_written:(B.Unsafe.d batch i)
+          end
         end
-        else if tag = B.tag_close then begin
-          match pop (handle_key i) with
-          | None -> ()
-          | Some p ->
-            let run = B.b batch i - p.run_start in
-            if run > 0 then begin
-              p.runs_rev <- run :: p.runs_rev;
-              on_boundary p (B.time batch i) run
-            end;
-            on_close p (B.time batch i) ~size:(B.a batch i)
-              ~bytes_read:(B.c batch i) ~bytes_written:(B.d batch i)
-        end
-      done)
+      done;
+      base := !base + n)
     batches
+
+let scan_seq batches ~on_record ~on_boundary ~on_close =
+  scan_shard_seq batches ~shard:0 ~nshards:1
+    ~on_record:(fun ~gidx:_ batch i -> on_record batch i)
+    ~on_boundary
+    ~on_close:(fun ~gidx:_ p time ~size ~bytes_read ~bytes_written ->
+      on_close p time ~size ~bytes_read ~bytes_written)
 
 let no_record _ _ = ()
 
@@ -163,6 +188,11 @@ let sweep_seq batches ~on_record ~on_access =
   scan_seq batches ~on_record ~on_boundary:no_boundary
     ~on_close:(fun p time ~size ~bytes_read ~bytes_written ->
       on_access (finish p time ~size ~bytes_read ~bytes_written))
+
+let sweep_shard_seq batches ~shard ~nshards ~on_record ~on_access =
+  scan_shard_seq batches ~shard ~nshards ~on_record ~on_boundary:no_boundary
+    ~on_close:(fun ~gidx p time ~size ~bytes_read ~bytes_written ->
+      on_access ~gidx (finish p time ~size ~bytes_read ~bytes_written))
 
 let sweep batch ~on_record ~on_access =
   sweep_seq (Seq.return batch) ~on_record ~on_access

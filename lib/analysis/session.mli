@@ -72,6 +72,22 @@ val sweep_seq :
 (** {!sweep} over a chunked trace; at most one chunk is forced at a
     time. *)
 
+val sweep_shard_seq :
+  Dfs_trace.Record_batch.t Seq.t ->
+  shard:int ->
+  nshards:int ->
+  on_record:(gidx:int -> Dfs_trace.Record_batch.t -> int -> unit) ->
+  on_access:(gidx:int -> access -> unit) ->
+  unit
+(** {!sweep_seq} restricted to records whose client id satisfies
+    [client mod nshards = shard].  Handles are keyed by (client, pid,
+    file), so each handle lives entirely in one shard and the union of
+    all shards' callbacks is exactly the unsharded sweep's, partitioned
+    by client.  [gidx] is the record's index across the whole sequence
+    ([on_access] gets its close record's), so per-shard streams can be
+    k-way merged back into the exact unsharded order.
+    [sweep_shard_seq ~shard:0 ~nshards:1] visits everything. *)
+
 val run_boundaries_batch :
   Dfs_trace.Record_batch.t -> f:(access -> float -> int -> unit) -> unit
 (** Lower-level interface for interval analyses: invokes [f access time

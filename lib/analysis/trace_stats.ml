@@ -58,22 +58,46 @@ let acc_create () =
   }
 
 let acc_record acc batch i =
+  (* the first read is bounds-checked and validates [i]; the rest of the
+     reads reuse the same index through the unsafe mirror *)
   let user = B.user_id batch i in
   acc.users <- Ids.User.Set.add user acc.users;
-  if B.migrated batch i then
+  if B.Unsafe.migrated batch i then
     acc.migration_users <- Ids.User.Set.add user acc.migration_users;
-  let time = B.time batch i in
+  let time = B.Unsafe.time batch i in
   if time < acc.t_min then acc.t_min <- time;
   if time > acc.t_max then acc.t_max <- time;
-  let tag = B.tag batch i in
+  let tag = B.Unsafe.tag batch i in
   if tag = B.tag_open then acc.opens <- acc.opens + 1
   else if tag = B.tag_close then acc.closes <- acc.closes + 1
   else if tag = B.tag_reposition then acc.seeks <- acc.seeks + 1
   else if tag = B.tag_delete then acc.deletes <- acc.deletes + 1
-  else if tag = B.tag_truncate then acc.truncates <- acc.truncates + 1
-  else if tag = B.tag_dir_read then acc.dir_bytes <- acc.dir_bytes + B.a batch i
+  else if tag = B.tag_truncate then
+    acc.truncates <- acc.truncates + 1
+  else if tag = B.tag_dir_read then
+    acc.dir_bytes <- acc.dir_bytes + B.Unsafe.a batch i
   else if tag = B.tag_shared_read then acc.sreads <- acc.sreads + 1
   else acc.swrites <- acc.swrites + 1
+
+(* Fold [src] into [dst]. Every contribution is commutative (set
+   unions, sums, min/max), so merging per-shard accumulators in any
+   order equals accumulating the whole trace sequentially. *)
+let acc_merge dst src =
+  dst.users <- Ids.User.Set.union dst.users src.users;
+  dst.migration_users <-
+    Ids.User.Set.union dst.migration_users src.migration_users;
+  dst.opens <- dst.opens + src.opens;
+  dst.closes <- dst.closes + src.closes;
+  dst.seeks <- dst.seeks + src.seeks;
+  dst.deletes <- dst.deletes + src.deletes;
+  dst.truncates <- dst.truncates + src.truncates;
+  dst.sreads <- dst.sreads + src.sreads;
+  dst.swrites <- dst.swrites + src.swrites;
+  dst.dir_bytes <- dst.dir_bytes + src.dir_bytes;
+  if src.t_min < dst.t_min then dst.t_min <- src.t_min;
+  if src.t_max > dst.t_max then dst.t_max <- src.t_max;
+  dst.read_bytes <- dst.read_bytes + src.read_bytes;
+  dst.written_bytes <- dst.written_bytes + src.written_bytes
 
 let acc_access acc (a : Session.access) =
   if not a.a_is_dir then begin

@@ -38,6 +38,11 @@ val acc_record : acc -> Dfs_trace.Record_batch.t -> int -> unit
 
 val acc_access : acc -> Session.access -> unit
 
+val acc_merge : acc -> acc -> unit
+(** [acc_merge dst src] folds [src] into [dst].  All contributions are
+    commutative (set unions, sums, min/max), so per-shard accumulators
+    merge to exactly the sequential result. *)
+
 val acc_finish : acc -> t
 
 val pp : Format.formatter -> t -> unit

@@ -17,6 +17,7 @@ type run = {
   cluster : Dfs_sim.Cluster.t;
   driver : Dfs_workload.Driver.t;
   trace : Sink.chunks;
+  jobs : int;  (** domains the sharded fused analysis may use *)
   memo : memo;
 }
 
@@ -36,7 +37,7 @@ let default_chunk_records () =
 
 let default_spill_dir () = Sys.getenv_opt "DFS_SPILL_DIR"
 
-let simulate_preset ~scale ~faults ~chunk_records ~spill_dir n =
+let simulate_preset ~scale ~faults ~chunk_records ~spill_dir ~jobs n =
   let preset = Presets.scaled (Presets.trace n) ~factor:scale in
   let preset =
     match faults with
@@ -88,6 +89,7 @@ let simulate_preset ~scale ~faults ~chunk_records ~spill_dir n =
     cluster;
     driver;
     trace;
+    jobs;
     memo = { lock = Mutex.create (); fused = None };
   }
 
@@ -109,7 +111,8 @@ let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults
   let runs =
     Dfs_obs.Profiler.span "dataset.generate" (fun () ->
         Dfs_util.Pool.map pool
-          (simulate_preset ~scale ~faults ~chunk_records ~spill_dir)
+          (simulate_preset ~scale ~faults ~chunk_records ~spill_dir
+             ~jobs:(Dfs_util.Pool.jobs pool))
           traces)
   in
   Dfs_obs.Metrics.set
@@ -135,7 +138,11 @@ let fused run =
         match run.memo.fused with
         | Some f -> f
         | None ->
-          let f = Dfs_analysis.Fused.analyze_seq (trace_seq run) in
+          (* Sharded across the run's job budget when called from the
+             top level; degrades to the exact sequential pass inside a
+             pool task or at jobs = 1 (results are bit-identical). *)
+          let pool = Dfs_util.Pool.create ~jobs:run.jobs () in
+          let f = Dfs_analysis.Fused.analyze_chunks ~pool run.trace in
           run.memo.fused <- Some f;
           f)
 

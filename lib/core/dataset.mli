@@ -17,6 +17,7 @@ type run = {
   cluster : Dfs_sim.Cluster.t;  (** finished run *)
   driver : Dfs_workload.Driver.t;
   trace : Dfs_trace.Sink.chunks;  (** merged, scrubbed, time-ordered *)
+  jobs : int;  (** domains the sharded fused analysis may use *)
   memo : memo;
 }
 
@@ -65,8 +66,12 @@ val batch : run -> Dfs_trace.Record_batch.t
 val fused : run -> Dfs_analysis.Fused.t
 (** The run's fused single-pass analysis (trace stats, size/open-time/
     run-length distributions, access patterns, lifetimes and the access
-    reconstruction), computed in one sweep on first use and shared by
-    every experiment on this run.  Safe to call from several domains. *)
+    reconstruction), computed on first use and shared by every
+    experiment on this run.  Computed from the top level it shards
+    across the run's [jobs] domains ({!Dfs_analysis.Fused.analyze_chunks});
+    from inside a pool task it runs the exact sequential sweep — the
+    result is bit-identical either way.  Safe to call from several
+    domains. *)
 
 val sessions : run -> Dfs_analysis.Session.access list
 (** The access reconstruction from {!fused}. *)

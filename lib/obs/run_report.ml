@@ -304,16 +304,25 @@ type row = {
 
 type diff = {
   config_mismatches : string list;
+  notes : string list;
   rows : row list;
   regressions : string list;
 }
 
 let default_thresholds =
-  [ ("total_wall_s", 0.25); ("gc.top_heap_words", 0.25) ]
+  [
+    ("total_wall_s", 0.25);
+    ("phases.analysis_wall_s", 0.25);
+    ("gc.top_heap_words", 0.25);
+  ]
 
 (* Identity fields: two runs that disagree here measure different
-   configurations and must not be compared quantitatively. *)
-let config_fields = [ "schema"; "scale"; "jobs"; "faults" ]
+   configurations and must not be compared quantitatively.  The schema
+   version is deliberately not identity: a schema bump adds telemetry
+   fields, and the flattened numeric diff already handles shape drift
+   (leaves present on one side only become info rows), so a version
+   difference is reported as a note rather than exit-2 incomparability. *)
+let config_fields = [ "scale"; "jobs"; "faults" ]
 
 (* Flatten every numeric leaf into dotted paths.  The embedded metrics
    snapshot is excluded (its wall gauges are noise and its counters are
@@ -351,19 +360,30 @@ let flatten bench =
   List.rev !acc
 
 let diff ?(thresholds = default_thresholds) ~old_ new_ =
+  let show key j =
+    match Json.member key j with
+    | Some (Json.String s) -> s
+    | Some v -> Json.to_string v
+    | None -> "(absent)"
+  in
   let config_mismatches =
     List.filter_map
       (fun key ->
-        let show j =
-          match Json.member key j with
-          | Some (Json.String s) -> s
-          | Some v -> Json.to_string v
-          | None -> "(absent)"
-        in
-        let o = show old_ and n = show new_ in
+        let o = show key old_ and n = show key new_ in
         if String.equal o n then None
         else Some (Printf.sprintf "%s: %s vs %s" key o n))
       config_fields
+  in
+  let notes =
+    let o = show "schema" old_ and n = show "schema" new_ in
+    if String.equal o n then []
+    else
+      [
+        Printf.sprintf
+          "schema changed (%s vs %s); leaves present on one side only appear \
+           as info rows"
+          o n;
+      ]
   in
   let o = flatten old_ and n = flatten new_ in
   let keys =
@@ -410,7 +430,7 @@ let diff ?(thresholds = default_thresholds) ~old_ new_ =
         | _ -> None)
       rows
   in
-  { config_mismatches; rows; regressions }
+  { config_mismatches; notes; rows; regressions }
 
 let diff_ok d = d.config_mismatches = [] && d.regressions = []
 
@@ -419,6 +439,9 @@ let render_diff d =
   List.iter
     (fun m -> Buffer.add_string buf (Printf.sprintf "config mismatch: %s\n" m))
     d.config_mismatches;
+  List.iter
+    (fun m -> Buffer.add_string buf (Printf.sprintf "note: %s\n" m))
+    d.notes;
   Buffer.add_string buf
     (Printf.sprintf "%-40s %14s %14s %9s %8s  %s\n" "metric" "old" "new"
        "delta" "gate" "status");

@@ -40,15 +40,20 @@ type row = {
 
 type diff = {
   config_mismatches : string list;
-      (** human-readable mismatches of identity fields (schema, scale,
-          jobs, faults) — two runs that differ here are incomparable *)
+      (** human-readable mismatches of identity fields (scale, jobs,
+          faults) — two runs that differ here are incomparable *)
+  notes : string list;
+      (** informational differences that do not block comparison — e.g.
+          a schema version bump, which only adds/renames telemetry
+          leaves (those surface as info rows) *)
   rows : row list;
   regressions : string list;  (** one message per regressed row *)
 }
 
 val default_thresholds : (string * float) list
 (** Gated metrics and their allowed relative growth (fraction, e.g.
-    [0.25] = +25%): [total_wall_s] and [gc.top_heap_words]. *)
+    [0.25] = +25%): [total_wall_s], [phases.analysis_wall_s] and
+    [gc.top_heap_words]. *)
 
 val diff : ?thresholds:(string * float) list -> old_:Json.t -> Json.t -> diff
 (** [diff ~old_:baseline candidate] — field-by-field comparison of every

@@ -20,6 +20,10 @@ val magic : string
 val is_binary : string -> bool
 (** Does the buffer start with {!magic}? (Prefix check only.) *)
 
+val tag_ok : int -> bool
+(** Is this a well-formed tag byte (known kind, only the flag bits that
+    kind may carry, valid open mode)? Shared with [Segment] validation. *)
+
 (** Streaming encoder; carries the delta state between records. *)
 module Encoder : sig
   type t

@@ -61,12 +61,19 @@ module Chunk_cursor = struct
 
   (* Same ordering the boxed merge uses ([Record.compare_time]): time,
      then server id — so the streaming merge emits records in exactly
-     the order [merge] does. *)
+     the order [merge] does.  Cursor indices are maintained within
+     bounds by [start]/[advance], so the unsafe reads are fenced. *)
   let compare a b =
-    let c = Float.compare (Record_batch.time a.batch a.i) (Record_batch.time b.batch b.i) in
+    let c =
+      Float.compare
+        (Record_batch.Unsafe.time a.batch a.i)
+        (Record_batch.Unsafe.time b.batch b.i)
+    in
     if c <> 0 then c
     else
-      Int.compare (Record_batch.server a.batch a.i) (Record_batch.server b.batch b.i)
+      Int.compare
+        (Record_batch.Unsafe.server a.batch a.i)
+        (Record_batch.Unsafe.server b.batch b.i)
 
   let dummy = { batch = Record_batch.of_list []; i = 0; rest = [] }
 
@@ -128,7 +135,7 @@ let merge_chunks ?chunk_records ?spill ?(scrub = Ids.User.Set.empty) sources =
         if Ids.User.Set.is_empty scrub then fun _ _ -> true
         else
           fun batch i ->
-            not (Ids.User.Set.mem (Record_batch.user_id batch i) scrub)
+            not (Ids.User.Set.mem (Record_batch.Unsafe.user_id batch i) scrub)
       in
       merge_iter sources ~emit:(fun batch i ->
           if keep batch i then Sink.emit_from sink batch i);

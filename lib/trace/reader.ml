@@ -24,8 +24,18 @@ let parse_lines lines ~init ~f =
 
 let lines_of_string s = String.split_on_char '\n' s |> List.to_seq
 
+let fold_batches batches ~init ~f =
+  List.fold_left
+    (fun acc batch ->
+      let acc = ref acc in
+      Record_batch.iter (fun r -> acc := f !acc r) batch;
+      !acc)
+    init batches
+
 let fold_string s ~init ~f =
-  if Binary_codec.is_binary s then
+  if Segment.is_segment s then
+    Result.map (fun batches -> fold_batches batches ~init ~f) (Segment.of_string s)
+  else if Binary_codec.is_binary s then
     Result.map
       (fun batch ->
         let acc = ref init in
@@ -35,7 +45,12 @@ let fold_string s ~init ~f =
   else parse_lines (lines_of_string s) ~init ~f
 
 let of_string s =
-  if Binary_codec.is_binary s then
+  if Segment.is_segment s then
+    Result.map
+      (fun batches ->
+        List.rev (fold_batches batches ~init:[] ~f:(fun acc r -> r :: acc)))
+      (Segment.of_string s)
+  else if Binary_codec.is_binary s then
     Result.map
       (fun batch -> Array.to_list (Record_batch.to_array batch))
       (Binary_codec.decode_string s)
@@ -44,7 +59,8 @@ let of_string s =
       (parse_lines (lines_of_string s) ~init:[] ~f:(fun acc r -> r :: acc))
 
 let batch_of_string s =
-  if Binary_codec.is_binary s then Binary_codec.decode_string s
+  if Segment.is_segment s then Segment.batch_of_string s
+  else if Binary_codec.is_binary s then Binary_codec.decode_string s
   else begin
     let builder = Record_batch.Builder.create () in
     Result.map
@@ -72,25 +88,47 @@ let with_channel path k =
      the descriptor is released either way. *)
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> k ic)
 
-let sniff_binary ic =
-  (* Peek at the first magic-sized chunk without consuming it. *)
-  let n = String.length Binary_codec.magic in
+(* Peek at the first magic-sized chunk without consuming it. The
+   columnar magic is the longest, and no magic is a prefix of another. *)
+let sniff_format ic =
+  let n =
+    max (String.length Segment.magic) (String.length Binary_codec.magic)
+  in
   let buf = Bytes.create n in
   let got = input ic buf 0 n in
   seek_in ic 0;
-  got = n && Bytes.to_string buf = Binary_codec.magic
+  let prefix = Bytes.sub_string buf 0 got in
+  if Segment.is_segment prefix then `Columnar
+  else if Binary_codec.is_binary prefix then `Binary
+  else `Text
 
 let fold_file path ~init ~f =
   with_channel path (fun ic ->
-      if sniff_binary ic then fold_string (read_all ic) ~init ~f
-      else parse_lines (lines_of_channel ic) ~init ~f)
+      match sniff_format ic with
+      | `Columnar ->
+        (* [Segment.read_file] can serve the columns zero-copy. *)
+        Result.map
+          (fun batches -> fold_batches batches ~init ~f)
+          (Segment.read_file path)
+      | `Binary -> fold_string (read_all ic) ~init ~f
+      | `Text -> parse_lines (lines_of_channel ic) ~init ~f)
 
 let of_file path =
   with_channel path (fun ic ->
-      if sniff_binary ic then of_string (read_all ic)
-      else
+      match sniff_format ic with
+      | `Columnar ->
+        Result.map
+          (fun batches ->
+            List.rev (fold_batches batches ~init:[] ~f:(fun acc r -> r :: acc)))
+          (Segment.read_file path)
+      | `Binary -> of_string (read_all ic)
+      | `Text ->
         Result.map List.rev
           (parse_lines (lines_of_channel ic) ~init:[] ~f:(fun acc r ->
                r :: acc)))
 
-let batch_of_file path = with_channel path (fun ic -> batch_of_string (read_all ic))
+let batch_of_file path =
+  with_channel path (fun ic ->
+      match sniff_format ic with
+      | `Columnar -> Result.map Record_batch.concat (Segment.read_file path)
+      | `Binary | `Text -> batch_of_string (read_all ic))

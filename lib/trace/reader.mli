@@ -1,10 +1,12 @@
 (** Trace parsing.
 
     Every entry point sniffs the header and dispatches to the text codec
-    ({!Codec}) or the binary one ({!Binary_codec}) automatically, so
-    callers never name the format on the read side. Readers check the
-    version header and report the first malformed line (text) or byte
-    offset (binary). *)
+    ({!Codec}), the varint binary one ({!Binary_codec}) or the columnar
+    segment layout ({!Segment}) automatically, so callers never name the
+    format on the read side. Readers check the version header and report
+    the first malformed line (text) or byte offset (binary/columnar).
+    Columnar files are served straight off [mmap]'d columns when
+    {!Segment.mmap_enabled}. *)
 
 val of_string : string -> (Record.t list, string) result
 (** Parse a whole trace held in memory. *)

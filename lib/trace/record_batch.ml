@@ -1,16 +1,33 @@
+module A1 = Bigarray.Array1
+
+type f64_col = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
+
+type i32_col = (int32, Bigarray.int32_elt, Bigarray.c_layout) A1.t
+
+type u8_col = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) A1.t
+
+let f64 n : f64_col = A1.create Bigarray.float64 Bigarray.c_layout n
+
+let i32 n : i32_col = A1.create Bigarray.int32 Bigarray.c_layout n
+
+let u8 n : u8_col = A1.create Bigarray.int8_unsigned Bigarray.c_layout n
+
+(* Columns live outside the OCaml heap (Bigarray data is malloc'd), so a
+   batch costs a handful of heap words regardless of length and big
+   traces stop dominating [Gc] peak-heap statistics. *)
 type t = {
   len : int;
-  times : float array;
-  servers : int array;
-  clients : int array;
-  users : int array;
-  pids : int array;
-  files : int array;
-  tags : Bytes.t;
-  col_a : int array;
-  col_b : int array;
-  col_c : int array;
-  col_d : int array;
+  times : f64_col;
+  servers : i32_col;
+  clients : i32_col;
+  users : i32_col;
+  pids : i32_col;
+  files : i32_col;
+  tags : u8_col;
+  col_a : i32_col;
+  col_b : i32_col;
+  col_c : i32_col;
+  col_d : i32_col;
 }
 
 let length t = t.len
@@ -39,23 +56,42 @@ let bit_is_dir = 0x80
 
 let mode_shift = 4
 
-let[@inline] time t i = Array.unsafe_get t.times i
+(* Ids and payloads are stored as int32; anything wider is rejected
+   loudly at append time rather than silently truncated. *)
+let i32_min_int = -0x8000_0000
 
-let[@inline] server t i = Array.unsafe_get t.servers i
+let i32_max_int = 0x7FFF_FFFF
 
-let[@inline] client t i = Array.unsafe_get t.clients i
+let overflow what v =
+  invalid_arg (Printf.sprintf "Record_batch: %s %d overflows int32" what v)
 
-let[@inline] user t i = Array.unsafe_get t.users i
+let[@inline] to_i32 what v =
+  if v < i32_min_int || v > i32_max_int then overflow what v
+  else Int32.of_int v
 
-let[@inline] pid t i = Array.unsafe_get t.pids i
+(* -- accessors ------------------------------------------------------------ *)
 
-let[@inline] file t i = Array.unsafe_get t.files i
+(* Every column of a well-formed batch has dimension [len], so the
+   Bigarray bounds check in [A1.get] is exactly the batch bounds check;
+   [Unsafe] below skips it for loops that already know [0 <= i < len]. *)
+
+let[@inline] time t i = A1.get t.times i
+
+let[@inline] server t i = Int32.to_int (A1.get t.servers i)
+
+let[@inline] client t i = Int32.to_int (A1.get t.clients i)
+
+let[@inline] user t i = Int32.to_int (A1.get t.users i)
+
+let[@inline] pid t i = Int32.to_int (A1.get t.pids i)
+
+let[@inline] file t i = Int32.to_int (A1.get t.files i)
 
 let[@inline] user_id t i = Ids.User.of_int (user t i)
 
 let[@inline] file_id t i = Ids.File.of_int (file t i)
 
-let[@inline] raw_tag t i = Char.code (Bytes.unsafe_get t.tags i)
+let[@inline] raw_tag t i = A1.get t.tags i
 
 let[@inline] tag t i = raw_tag t i land 0x07
 
@@ -78,13 +114,52 @@ let[@inline] created t i = raw_tag t i land bit_created <> 0
 
 let[@inline] is_dir t i = raw_tag t i land bit_is_dir <> 0
 
-let[@inline] a t i = Array.unsafe_get t.col_a i
+let[@inline] a t i = Int32.to_int (A1.get t.col_a i)
 
-let[@inline] b t i = Array.unsafe_get t.col_b i
+let[@inline] b t i = Int32.to_int (A1.get t.col_b i)
 
-let[@inline] c t i = Array.unsafe_get t.col_c i
+let[@inline] c t i = Int32.to_int (A1.get t.col_c i)
 
-let[@inline] d t i = Array.unsafe_get t.col_d i
+let[@inline] d t i = Int32.to_int (A1.get t.col_d i)
+
+module Unsafe = struct
+  let[@inline] time t i = A1.unsafe_get t.times i
+
+  let[@inline] server t i = Int32.to_int (A1.unsafe_get t.servers i)
+
+  let[@inline] client t i = Int32.to_int (A1.unsafe_get t.clients i)
+
+  let[@inline] user t i = Int32.to_int (A1.unsafe_get t.users i)
+
+  let[@inline] pid t i = Int32.to_int (A1.unsafe_get t.pids i)
+
+  let[@inline] file t i = Int32.to_int (A1.unsafe_get t.files i)
+
+  let[@inline] user_id t i = Ids.User.of_int (user t i)
+
+  let[@inline] file_id t i = Ids.File.of_int (file t i)
+
+  let[@inline] raw_tag t i = A1.unsafe_get t.tags i
+
+  let[@inline] tag t i = raw_tag t i land 0x07
+
+  let[@inline] migrated t i = raw_tag t i land bit_migrated <> 0
+
+  let[@inline] open_mode t i =
+    mode_of_bits ((raw_tag t i lsr mode_shift) land 0x03)
+
+  let[@inline] created t i = raw_tag t i land bit_created <> 0
+
+  let[@inline] is_dir t i = raw_tag t i land bit_is_dir <> 0
+
+  let[@inline] a t i = Int32.to_int (A1.unsafe_get t.col_a i)
+
+  let[@inline] b t i = Int32.to_int (A1.unsafe_get t.col_b i)
+
+  let[@inline] c t i = Int32.to_int (A1.unsafe_get t.col_c i)
+
+  let[@inline] d t i = Int32.to_int (A1.unsafe_get t.col_d i)
+end
 
 (* -- packing ------------------------------------------------------------- *)
 
@@ -183,6 +258,22 @@ let equal x y =
    with Exit -> ());
   !ok
 
+(* -- column-level construction (mmap'd segments) -------------------------- *)
+
+let of_columns ~len ~times ~servers ~clients ~users ~pids ~files ~tags ~col_a
+    ~col_b ~col_c ~col_d =
+  if len < 0 then invalid_arg "Record_batch.of_columns: negative length";
+  let dim_f (c : f64_col) = A1.dim c in
+  let dim_i (c : i32_col) = A1.dim c in
+  if
+    dim_f times <> len || dim_i servers <> len || dim_i clients <> len
+    || dim_i users <> len || dim_i pids <> len || dim_i files <> len
+    || A1.dim tags <> len || dim_i col_a <> len || dim_i col_b <> len
+    || dim_i col_c <> len || dim_i col_d <> len
+  then invalid_arg "Record_batch.of_columns: column dimension mismatch";
+  { len; times; servers; clients; users; pids; files; tags; col_a; col_b;
+    col_c; col_d }
+
 (* -- builder ------------------------------------------------------------- *)
 
 module Builder = struct
@@ -190,59 +281,56 @@ module Builder = struct
 
   type t = {
     mutable len : int;
-    mutable times : float array;
-    mutable servers : int array;
-    mutable clients : int array;
-    mutable users : int array;
-    mutable pids : int array;
-    mutable files : int array;
-    mutable tags : Bytes.t;
-    mutable col_a : int array;
-    mutable col_b : int array;
-    mutable col_c : int array;
-    mutable col_d : int array;
+    mutable times : f64_col;
+    mutable servers : i32_col;
+    mutable clients : i32_col;
+    mutable users : i32_col;
+    mutable pids : i32_col;
+    mutable files : i32_col;
+    mutable tags : u8_col;
+    mutable col_a : i32_col;
+    mutable col_b : i32_col;
+    mutable col_c : i32_col;
+    mutable col_d : i32_col;
   }
 
   let create ?(capacity = 1024) () =
     let capacity = max 16 capacity in
     {
       len = 0;
-      times = Array.make capacity 0.0;
-      servers = Array.make capacity 0;
-      clients = Array.make capacity 0;
-      users = Array.make capacity 0;
-      pids = Array.make capacity 0;
-      files = Array.make capacity 0;
-      tags = Bytes.make capacity '\000';
-      col_a = Array.make capacity 0;
-      col_b = Array.make capacity 0;
-      col_c = Array.make capacity 0;
-      col_d = Array.make capacity 0;
+      times = f64 capacity;
+      servers = i32 capacity;
+      clients = i32 capacity;
+      users = i32 capacity;
+      pids = i32 capacity;
+      files = i32 capacity;
+      tags = u8 capacity;
+      col_a = i32 capacity;
+      col_b = i32 capacity;
+      col_c = i32 capacity;
+      col_d = i32 capacity;
     }
 
   let length t = t.len
 
   let grow t =
-    let cap = Array.length t.times in
+    let cap = A1.dim t.times in
     let cap' = cap * 2 in
-    let gi old =
-      let fresh = Array.make cap' 0 in
-      Array.blit old 0 fresh 0 cap;
+    let gi (old : i32_col) =
+      let fresh = i32 cap' in
+      A1.blit old (A1.sub fresh 0 cap);
       fresh
     in
-    let gf old =
-      let fresh = Array.make cap' 0.0 in
-      Array.blit old 0 fresh 0 cap;
-      fresh
-    in
-    t.times <- gf t.times;
+    (let fresh = f64 cap' in
+     A1.blit t.times (A1.sub fresh 0 cap);
+     t.times <- fresh);
     t.servers <- gi t.servers;
     t.clients <- gi t.clients;
     t.users <- gi t.users;
     t.pids <- gi t.pids;
     t.files <- gi t.files;
-    (let fresh = Bytes.make cap' '\000' in
-     Bytes.blit t.tags 0 fresh 0 cap;
+    (let fresh = u8 cap' in
+     A1.blit t.tags (A1.sub fresh 0 cap);
      t.tags <- fresh);
     t.col_a <- gi t.col_a;
     t.col_b <- gi t.col_b;
@@ -250,19 +338,19 @@ module Builder = struct
     t.col_d <- gi t.col_d
 
   let add_raw t ~time ~server ~client ~user ~pid ~file ~raw_tag ~a ~b ~c ~d =
-    if t.len = Array.length t.times then grow t;
+    if t.len = A1.dim t.times then grow t;
     let i = t.len in
-    Array.unsafe_set t.times i time;
-    Array.unsafe_set t.servers i server;
-    Array.unsafe_set t.clients i client;
-    Array.unsafe_set t.users i user;
-    Array.unsafe_set t.pids i pid;
-    Array.unsafe_set t.files i file;
-    Bytes.unsafe_set t.tags i (Char.unsafe_chr (raw_tag land 0xFF));
-    Array.unsafe_set t.col_a i a;
-    Array.unsafe_set t.col_b i b;
-    Array.unsafe_set t.col_c i c;
-    Array.unsafe_set t.col_d i d;
+    A1.unsafe_set t.times i time;
+    A1.unsafe_set t.servers i (to_i32 "server" server);
+    A1.unsafe_set t.clients i (to_i32 "client" client);
+    A1.unsafe_set t.users i (to_i32 "user" user);
+    A1.unsafe_set t.pids i (to_i32 "pid" pid);
+    A1.unsafe_set t.files i (to_i32 "file" file);
+    A1.unsafe_set t.tags i (raw_tag land 0xFF);
+    A1.unsafe_set t.col_a i (to_i32 "payload a" a);
+    A1.unsafe_set t.col_b i (to_i32 "payload b" b);
+    A1.unsafe_set t.col_c i (to_i32 "payload c" c);
+    A1.unsafe_set t.col_d i (to_i32 "payload d" d);
     t.len <- i + 1
 
   let add t (r : Record.t) =
@@ -275,21 +363,85 @@ module Builder = struct
       ~file:(Ids.File.to_int r.file)
       ~raw_tag ~a ~b ~c ~d
 
+  (* Append one record of an existing batch; the source columns are
+     already int32 so no range checks are needed. *)
+  let add_from t (src : batch) i =
+    if t.len = A1.dim t.times then grow t;
+    let j = t.len in
+    A1.unsafe_set t.times j (A1.unsafe_get src.times i);
+    A1.unsafe_set t.servers j (A1.unsafe_get src.servers i);
+    A1.unsafe_set t.clients j (A1.unsafe_get src.clients i);
+    A1.unsafe_set t.users j (A1.unsafe_get src.users i);
+    A1.unsafe_set t.pids j (A1.unsafe_get src.pids i);
+    A1.unsafe_set t.files j (A1.unsafe_get src.files i);
+    A1.unsafe_set t.tags j (A1.unsafe_get src.tags i);
+    A1.unsafe_set t.col_a j (A1.unsafe_get src.col_a i);
+    A1.unsafe_set t.col_b j (A1.unsafe_get src.col_b i);
+    A1.unsafe_set t.col_c j (A1.unsafe_get src.col_c i);
+    A1.unsafe_set t.col_d j (A1.unsafe_get src.col_d i);
+    t.len <- j + 1
+
+  (* Whole-batch append: grow once, then one blit per column. *)
+  let append_batch t (src : batch) =
+    let n = src.len in
+    if n > 0 then begin
+      while t.len + n > A1.dim t.times do
+        grow t
+      done;
+      let j = t.len in
+      let blit_f64 (a : f64_col) (b : f64_col) =
+        A1.blit (A1.sub a 0 n) (A1.sub b j n)
+      in
+      let blit_i32 (a : i32_col) (b : i32_col) =
+        A1.blit (A1.sub a 0 n) (A1.sub b j n)
+      in
+      let blit_u8 (a : u8_col) (b : u8_col) =
+        A1.blit (A1.sub a 0 n) (A1.sub b j n)
+      in
+      blit_f64 src.times t.times;
+      blit_i32 src.servers t.servers;
+      blit_i32 src.clients t.clients;
+      blit_i32 src.users t.users;
+      blit_i32 src.pids t.pids;
+      blit_i32 src.files t.files;
+      blit_u8 src.tags t.tags;
+      blit_i32 src.col_a t.col_a;
+      blit_i32 src.col_b t.col_b;
+      blit_i32 src.col_c t.col_c;
+      blit_i32 src.col_d t.col_d;
+      t.len <- j + n
+    end
+
+  let copy_f64 (src : f64_col) n =
+    let dst = f64 n in
+    A1.blit (A1.sub src 0 n) dst;
+    dst
+
+  let copy_i32 (src : i32_col) n =
+    let dst = i32 n in
+    A1.blit (A1.sub src 0 n) dst;
+    dst
+
+  let copy_u8 (src : u8_col) n =
+    let dst = u8 n in
+    A1.blit (A1.sub src 0 n) dst;
+    dst
+
   let finish t : batch =
     let n = t.len in
     {
       len = n;
-      times = Array.sub t.times 0 n;
-      servers = Array.sub t.servers 0 n;
-      clients = Array.sub t.clients 0 n;
-      users = Array.sub t.users 0 n;
-      pids = Array.sub t.pids 0 n;
-      files = Array.sub t.files 0 n;
-      tags = Bytes.sub t.tags 0 n;
-      col_a = Array.sub t.col_a 0 n;
-      col_b = Array.sub t.col_b 0 n;
-      col_c = Array.sub t.col_c 0 n;
-      col_d = Array.sub t.col_d 0 n;
+      times = copy_f64 t.times n;
+      servers = copy_i32 t.servers n;
+      clients = copy_i32 t.clients n;
+      users = copy_i32 t.users n;
+      pids = copy_i32 t.pids n;
+      files = copy_i32 t.files n;
+      tags = copy_u8 t.tags n;
+      col_a = copy_i32 t.col_a n;
+      col_b = copy_i32 t.col_b n;
+      col_c = copy_i32 t.col_c n;
+      col_d = copy_i32 t.col_d n;
     }
 
   (* Identical copies, but [finish] documents that the builder is done
@@ -309,3 +461,11 @@ let of_list records =
   let builder = Builder.create ~capacity:(max 16 (List.length records)) () in
   List.iter (Builder.add builder) records;
   Builder.finish builder
+
+let concat = function
+  | [ b ] -> b
+  | batches ->
+    let total = List.fold_left (fun acc b -> acc + b.len) 0 batches in
+    let builder = Builder.create ~capacity:(max 16 total) () in
+    List.iter (Builder.append_batch builder) batches;
+    Builder.finish builder

@@ -1,11 +1,18 @@
-(** Struct-of-arrays trace storage.
+(** Struct-of-arrays trace storage on Bigarray columns.
 
     A batch holds the same information as a [Record.t array], laid out as
-    columns: one float array for timestamps, int arrays for the ids and
-    the per-kind integer payload, and a tag byte per record packing the
-    event kind with its boolean flags.  Analyses iterate the columns with
-    the accessors below instead of pattern-matching boxed variants; none
-    of the accessors allocate.
+    off-heap columns: a float64 Bigarray for timestamps, int32 Bigarrays
+    for the ids and the per-kind integer payload, and an unsigned-int8
+    tag byte per record packing the event kind with its boolean flags.
+    Analyses iterate the columns with the accessors below instead of
+    pattern-matching boxed variants; none of the accessors allocate.
+    Column data lives outside the OCaml heap, so batches contribute a
+    few words each to GC statistics regardless of record count, and a
+    column can be a window straight onto an [mmap]'d trace segment
+    (see {!of_columns} and [Segment]).
+
+    Ids and payload values are stored as int32; appending a value outside
+    int32 range raises [Invalid_argument] rather than truncating.
 
     Tag byte layout:
     {v bits 0-2  kind (see the tag_* constants)
@@ -26,6 +33,12 @@
 
 type t
 
+type f64_col = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type i32_col = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type u8_col = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 val length : t -> int
 
 (** {1 Kind tags} *)
@@ -41,8 +54,11 @@ val tag_shared_write : int
 
 (** {1 Cursor accessors}
 
-    All O(1) and allocation-free. Indices are not bounds-checked beyond
-    the usual array checks; iterate with [for i = 0 to length b - 1]. *)
+    All O(1) and allocation-free.  Every column has exactly [length b]
+    elements, so the Bigarray bounds check on these accessors is the
+    batch bounds check: an out-of-range index raises [Invalid_argument].
+    Loops that already maintain [0 <= i < length b] can use the
+    {!Unsafe} variants to skip it. *)
 
 val time : t -> int -> float
 
@@ -83,6 +99,51 @@ val c : t -> int -> int
 
 val d : t -> int -> int
 
+(** {1 Unsafe accessors}
+
+    Same meanings as above with the bounds check elided (fenced behind
+    this submodule; the checked accessors are the default).  Only for
+    loops whose index is already bounded by [length b] — an out-of-range
+    index reads unrelated memory. *)
+
+module Unsafe : sig
+  val time : t -> int -> float
+
+  val server : t -> int -> int
+
+  val client : t -> int -> int
+
+  val user : t -> int -> int
+
+  val pid : t -> int -> int
+
+  val file : t -> int -> int
+
+  val user_id : t -> int -> Ids.User.t
+
+  val file_id : t -> int -> Ids.File.t
+
+  val tag : t -> int -> int
+
+  val raw_tag : t -> int -> int
+
+  val migrated : t -> int -> bool
+
+  val open_mode : t -> int -> Record.open_mode
+
+  val created : t -> int -> bool
+
+  val is_dir : t -> int -> bool
+
+  val a : t -> int -> int
+
+  val b : t -> int -> int
+
+  val c : t -> int -> int
+
+  val d : t -> int -> int
+end
+
 (** {1 Conversions} *)
 
 val of_array : Record.t array -> t
@@ -101,6 +162,28 @@ val iter : (Record.t -> unit) -> t -> unit
 
 val equal : t -> t -> bool
 (** Structural equality of contents (exact float comparison on times). *)
+
+val concat : t list -> t
+(** Concatenate batches in order. A singleton list returns its batch
+    unchanged (no copy). *)
+
+val of_columns :
+  len:int ->
+  times:f64_col ->
+  servers:i32_col ->
+  clients:i32_col ->
+  users:i32_col ->
+  pids:i32_col ->
+  files:i32_col ->
+  tags:u8_col ->
+  col_a:i32_col ->
+  col_b:i32_col ->
+  col_c:i32_col ->
+  col_d:i32_col ->
+  t
+(** Assemble a batch directly from columns — typically windows onto an
+    [mmap]'d segment — without copying. Every column must have dimension
+    [len]; raises [Invalid_argument] otherwise. *)
 
 (** {1 Building} *)
 
@@ -131,6 +214,13 @@ module Builder : sig
     unit
   (** Append from already-decoded columns (the binary codec's fast path).
       [raw_tag] is the full tag byte, flags included. *)
+
+  val add_from : t -> batch -> int -> unit
+  (** Append record [i] of an existing batch (no range re-checks: the
+      source columns are already int32). *)
+
+  val append_batch : t -> batch -> unit
+  (** Append every record of a batch with one blit per column. *)
 
   val finish : t -> batch
   (** Trim and return the batch. The builder must not be reused. *)

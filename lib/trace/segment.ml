@@ -1,0 +1,319 @@
+(* Columnar on-disk trace segments.
+
+   A segment is a fixed 64-byte header followed by the batch columns,
+   stored whole and naturally aligned, little-endian:
+
+     offset 0    magic (8 bytes)
+     offset 8    record count n          (int64 LE)
+     offset 16   segment length in bytes (int64 LE, header included)
+     offset 24   reserved (zeros to offset 64)
+     offset 64   times    float64[n]   -- 8-byte aligned
+     + 8n        servers  int32[n]     -- 4-byte aligned (8n is)
+     + 4n each   clients, users, pids, files,
+                 col_a, col_b, col_c, col_d (int32[n])
+     + 44n       tags     uint8[n]
+     ...         zero padding to the next multiple of 8
+
+   Because every column is a contiguous slab at a naturally aligned
+   offset and the segment length is a multiple of 8, a reader can serve
+   the columns zero-copy: each column becomes a Bigarray window onto the
+   [Unix.map_file]'d file, with no per-record decode.  A file is a
+   sequence of segments; segment starts stay 8-aligned by construction.
+
+   The zero-copy path reinterprets raw bytes in host byte order, so it
+   is only enabled on little-endian hosts (and can be forced off with
+   DFS_MMAP=0); the portable fallback decodes the same bytes with
+   explicit little-endian reads into fresh Bigarrays — still a bulk
+   column copy, never a per-record decode. *)
+
+module A1 = Bigarray.Array1
+module B = Record_batch
+
+let magic = "\xD7DFSC\x01\x00\x00"
+
+let header_bytes = 64
+
+let bytes_per_record = 45
+
+let segment_bytes ~count = (header_bytes + (bytes_per_record * count) + 7) land lnot 7
+
+let is_segment s =
+  String.length s >= String.length magic
+  && String.sub s 0 (String.length magic) = magic
+
+let mmap_enabled () =
+  (not Sys.big_endian)
+  &&
+  match Sys.getenv_opt "DFS_MMAP" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ | None -> true
+
+let m_encoded_bytes = Dfs_obs.Metrics.counter "trace.encoded_bytes"
+
+let m_mapped_bytes = Dfs_obs.Metrics.counter "trace.mapped_bytes"
+
+let m_skipped = Dfs_obs.Metrics.counter "trace.decode.skipped_records"
+
+(* Column byte offsets relative to the segment start. *)
+let off_times _n = header_bytes
+
+let off_servers n = header_bytes + (8 * n)
+
+let off_clients n = off_servers n + (4 * n)
+
+let off_users n = off_clients n + (4 * n)
+
+let off_pids n = off_users n + (4 * n)
+
+let off_files n = off_pids n + (4 * n)
+
+let off_col_a n = off_files n + (4 * n)
+
+let off_col_b n = off_col_a n + (4 * n)
+
+let off_col_c n = off_col_b n + (4 * n)
+
+let off_col_d n = off_col_c n + (4 * n)
+
+let off_tags n = off_col_d n + (4 * n)
+
+(* -- encoding ------------------------------------------------------------- *)
+
+let encode_batch batch =
+  let n = B.length batch in
+  let seg_len = segment_bytes ~count:n in
+  let buf = Bytes.make seg_len '\000' in
+  Bytes.blit_string magic 0 buf 0 (String.length magic);
+  Bytes.set_int64_le buf 8 (Int64.of_int n);
+  Bytes.set_int64_le buf 16 (Int64.of_int seg_len);
+  let t0 = off_times n in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le buf
+      (t0 + (8 * i))
+      (Int64.bits_of_float (B.Unsafe.time batch i))
+  done;
+  let put_i32 base get =
+    for i = 0 to n - 1 do
+      Bytes.set_int32_le buf (base + (4 * i)) (Int32.of_int (get batch i))
+    done
+  in
+  put_i32 (off_servers n) B.Unsafe.server;
+  put_i32 (off_clients n) B.Unsafe.client;
+  put_i32 (off_users n) B.Unsafe.user;
+  put_i32 (off_pids n) B.Unsafe.pid;
+  put_i32 (off_files n) B.Unsafe.file;
+  put_i32 (off_col_a n) B.Unsafe.a;
+  put_i32 (off_col_b n) B.Unsafe.b;
+  put_i32 (off_col_c n) B.Unsafe.c;
+  put_i32 (off_col_d n) B.Unsafe.d;
+  let tg = off_tags n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set buf (tg + i) (Char.unsafe_chr (B.Unsafe.raw_tag batch i))
+  done;
+  Dfs_obs.Metrics.add m_encoded_bytes seg_len;
+  Bytes.unsafe_to_string buf
+
+let write_batch oc batch =
+  let s = encode_batch batch in
+  output_string oc s;
+  String.length s
+
+(* -- header parsing -------------------------------------------------------- *)
+
+(* [header] is at least the first 64 bytes of a segment that starts at
+   absolute offset [pos] in a source of [total] bytes.  Returns the
+   record count and segment length after validating magic, extents and
+   alignment. *)
+let parse_header ~pos ~total header =
+  if String.length header < header_bytes then
+    Error (Printf.sprintf "byte %d: truncated segment header" pos)
+  else if String.sub header 0 (String.length magic) <> magic then
+    Error
+      (Printf.sprintf "byte %d: bad segment magic %S" pos
+         (String.sub header 0 (String.length magic)))
+  else begin
+    let n64 = String.get_int64_le header 8 in
+    let len64 = String.get_int64_le header 16 in
+    if Int64.compare n64 0L < 0 || Int64.compare n64 (Int64.of_int max_int) > 0
+    then Error (Printf.sprintf "byte %d: bad record count %Ld" pos n64)
+    else begin
+      let n = Int64.to_int n64 in
+      let seg_len = Int64.to_int len64 in
+      if seg_len <> segment_bytes ~count:n then
+        Error
+          (Printf.sprintf
+             "byte %d: misaligned segment (length %d for %d records, want %d)"
+             pos seg_len n (segment_bytes ~count:n))
+      else if pos + seg_len > total then
+        Error
+          (Printf.sprintf
+             "byte %d: truncated segment (%d bytes declared, %d available)"
+             pos seg_len (total - pos))
+      else Ok (n, seg_len)
+    end
+  end
+
+let check_tags ~pos get n =
+  let bad = ref None in
+  (try
+     for i = 0 to n - 1 do
+       let raw = get i in
+       if not (Binary_codec.tag_ok raw) then begin
+         bad := Some (Printf.sprintf "byte %d: malformed tag 0x%02x" (pos + i) raw);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !bad with None -> Ok () | Some e -> Error e
+
+(* -- portable (copy) decode ------------------------------------------------ *)
+
+let decode_segment_of_string s ~pos ~n =
+  let times = A1.create Bigarray.float64 Bigarray.c_layout n in
+  let t0 = pos + off_times n in
+  for i = 0 to n - 1 do
+    A1.unsafe_set times i
+      (Int64.float_of_bits (String.get_int64_le s (t0 + (8 * i))))
+  done;
+  let read_i32 base =
+    let col = A1.create Bigarray.int32 Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      A1.unsafe_set col i (String.get_int32_le s (base + (4 * i)))
+    done;
+    col
+  in
+  let servers = read_i32 (pos + off_servers n) in
+  let clients = read_i32 (pos + off_clients n) in
+  let users = read_i32 (pos + off_users n) in
+  let pids = read_i32 (pos + off_pids n) in
+  let files = read_i32 (pos + off_files n) in
+  let col_a = read_i32 (pos + off_col_a n) in
+  let col_b = read_i32 (pos + off_col_b n) in
+  let col_c = read_i32 (pos + off_col_c n) in
+  let col_d = read_i32 (pos + off_col_d n) in
+  let tags = A1.create Bigarray.int8_unsigned Bigarray.c_layout n in
+  let tg = pos + off_tags n in
+  for i = 0 to n - 1 do
+    A1.unsafe_set tags i (Char.code (String.unsafe_get s (tg + i)))
+  done;
+  Result.map
+    (fun () ->
+      Dfs_obs.Metrics.add m_skipped n;
+      B.of_columns ~len:n ~times ~servers ~clients ~users ~pids ~files ~tags
+        ~col_a ~col_b ~col_c ~col_d)
+    (check_tags ~pos:(pos + off_tags n) (fun i -> A1.unsafe_get tags i) n)
+
+let of_string s =
+  let total = String.length s in
+  let rec go pos acc =
+    if pos >= total then Ok (List.rev acc)
+    else
+      let header =
+        String.sub s pos (min header_bytes (total - pos))
+      in
+      match parse_header ~pos ~total header with
+      | Error e -> Error e
+      | Ok (n, seg_len) -> (
+        match decode_segment_of_string s ~pos ~n with
+        | Error e -> Error e
+        | Ok batch -> go (pos + seg_len) (batch :: acc))
+  in
+  go 0 []
+
+(* -- zero-copy (mmap) read ------------------------------------------------- *)
+
+(* [Unix.map_file] accepts arbitrary byte offsets (it aligns the mapping
+   internally), and the mapping outlives the descriptor, so each column
+   becomes its own window and the fd is closed right after the loop. *)
+let map_col (type a b) fd (kind : (a, b) Bigarray.kind) ~pos n :
+    (a, b, Bigarray.c_layout) A1.t =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) kind Bigarray.c_layout false
+       [| n |])
+
+let map_segment fd ~pos ~n =
+  if n = 0 then
+    Ok
+      (B.of_columns ~len:0
+         ~times:(A1.create Bigarray.float64 Bigarray.c_layout 0)
+         ~servers:(A1.create Bigarray.int32 Bigarray.c_layout 0)
+         ~clients:(A1.create Bigarray.int32 Bigarray.c_layout 0)
+         ~users:(A1.create Bigarray.int32 Bigarray.c_layout 0)
+         ~pids:(A1.create Bigarray.int32 Bigarray.c_layout 0)
+         ~files:(A1.create Bigarray.int32 Bigarray.c_layout 0)
+         ~tags:(A1.create Bigarray.int8_unsigned Bigarray.c_layout 0)
+         ~col_a:(A1.create Bigarray.int32 Bigarray.c_layout 0)
+         ~col_b:(A1.create Bigarray.int32 Bigarray.c_layout 0)
+         ~col_c:(A1.create Bigarray.int32 Bigarray.c_layout 0)
+         ~col_d:(A1.create Bigarray.int32 Bigarray.c_layout 0))
+  else begin
+    let i32 off = map_col fd Bigarray.int32 ~pos:(pos + off) n in
+    let times = map_col fd Bigarray.float64 ~pos:(pos + off_times n) n in
+    let servers = i32 (off_servers n) in
+    let clients = i32 (off_clients n) in
+    let users = i32 (off_users n) in
+    let pids = i32 (off_pids n) in
+    let files = i32 (off_files n) in
+    let col_a = i32 (off_col_a n) in
+    let col_b = i32 (off_col_b n) in
+    let col_c = i32 (off_col_c n) in
+    let col_d = i32 (off_col_d n) in
+    let tags = map_col fd Bigarray.int8_unsigned ~pos:(pos + off_tags n) n in
+    Dfs_obs.Metrics.add m_mapped_bytes (bytes_per_record * n);
+    Result.map
+      (fun () ->
+        Dfs_obs.Metrics.add m_skipped n;
+        B.of_columns ~len:n ~times ~servers ~clients ~users ~pids ~files
+          ~tags ~col_a ~col_b ~col_c ~col_d)
+      (check_tags ~pos:(pos + off_tags n) (fun i -> A1.unsafe_get tags i) n)
+  end
+
+let really_read fd buf ~pos ~len =
+  let got = ref 0 and eof = ref false in
+  while !got < len && not !eof do
+    let k = Unix.read fd buf (pos + !got) (len - !got) in
+    if k = 0 then eof := true else got := !got + k
+  done;
+  !got
+
+let map_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let total = (Unix.fstat fd).Unix.st_size in
+      let header = Bytes.create header_bytes in
+      let rec go pos acc =
+        if pos >= total then Ok (List.rev acc)
+        else begin
+          ignore (Unix.lseek fd pos Unix.SEEK_SET);
+          let got = really_read fd header ~pos:0 ~len:header_bytes in
+          match
+            parse_header ~pos ~total (Bytes.sub_string header 0 got)
+          with
+          | Error e -> Error e
+          | Ok (n, seg_len) -> (
+            match map_segment fd ~pos ~n with
+            | Error e -> Error e
+            | Ok batch -> go (pos + seg_len) (batch :: acc))
+        end
+      in
+      go 0 [])
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_file path =
+  try
+    if mmap_enabled () then map_file path else of_string (read_all path)
+  with
+  | Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "%s: %s" path (Unix.error_message err))
+  | Sys_error e -> Error e
+
+let batch_of_file path = Result.map B.concat (read_file path)
+
+let batch_of_string s = Result.map B.concat (of_string s)

@@ -1,0 +1,69 @@
+(** Columnar on-disk trace segments, readable zero-copy via [mmap].
+
+    Layout of one segment (all integers little-endian):
+
+    {v
+      offset 0    magic (8 bytes)
+      offset 8    record count n          int64
+      offset 16   segment length in bytes int64 (header included)
+      offset 24   reserved, zero to offset 64
+      offset 64   times    float64[n]     8-byte aligned
+      + 8n        servers  int32[n]       4-byte aligned
+      + 4n each   clients, users, pids, files,
+                  col_a, col_b, col_c, col_d   int32[n]
+      + 44n       tags     uint8[n]
+      ...         zero padding to a multiple of 8
+    v}
+
+    A file is a sequence of segments; every segment length is a multiple
+    of 8, so all column offsets stay naturally aligned.  On little-endian
+    hosts (unless [DFS_MMAP=0]) {!read_file} serves each column as a
+    Bigarray window straight onto the [Unix.map_file]'d file — no copy,
+    no per-record decode; the portable fallback bulk-copies the columns
+    with explicit little-endian reads.
+
+    Counters: [trace.encoded_bytes] (segment bytes written),
+    [trace.mapped_bytes] (column bytes served via [mmap]) and
+    [trace.decode.skipped_records] (records served without per-record
+    decode, on either read path). *)
+
+val magic : string
+(** 8-byte file magic ("\xD7DFSC\x01\x00\x00"). *)
+
+val header_bytes : int
+(** Fixed segment header size (64). *)
+
+val bytes_per_record : int
+(** Column payload bytes per record (45). *)
+
+val segment_bytes : count:int -> int
+(** Total encoded size of a segment holding [count] records, padding
+    included. *)
+
+val is_segment : string -> bool
+(** Does the string start with the segment magic? *)
+
+val mmap_enabled : unit -> bool
+(** Whether reads go through [Unix.map_file]: true on little-endian
+    hosts unless the [DFS_MMAP] environment variable is [0]/[false]/
+    [no]/[off]. Re-read on every call, so tests can toggle it. *)
+
+val encode_batch : Record_batch.t -> string
+(** One whole segment, header and padding included. *)
+
+val write_batch : out_channel -> Record_batch.t -> int
+(** Append one segment; returns the bytes written. *)
+
+val of_string : string -> (Record_batch.t list, string) result
+(** Decode every segment of an in-memory file image (copy path). *)
+
+val read_file : string -> (Record_batch.t list, string) result
+(** Read every segment of a file, one batch per segment — zero-copy when
+    {!mmap_enabled}, bulk column copy otherwise.  Validation (magic,
+    extents, alignment, tag bytes) is identical on both paths. *)
+
+val batch_of_file : string -> (Record_batch.t, string) result
+(** {!read_file} concatenated; a single-segment file returns its mapped
+    batch without copying. *)
+
+val batch_of_string : string -> (Record_batch.t, string) result

@@ -3,12 +3,12 @@
    Emitted records accumulate in a columnar [Record_batch.Builder]; every
    [chunk_records] appends the open chunk is sealed.  Sealed chunks either
    stay in memory as batches or — when a spill directory is configured —
-   are written out as self-describing binary trace segments (the same
-   format [Binary_codec] uses for trace files, magic header included) and
-   only a path plus record count stays live.  A finished sink is a
-   [chunks] value: an ordered list of segments that can be re-streamed as
-   batches any number of times, loading spilled segments back on demand
-   one chunk at a time. *)
+   are written out as self-describing columnar [Segment] files (fixed
+   header plus naturally-aligned whole columns) and only a path plus
+   record count stays live.  A finished sink is a [chunks] value: an
+   ordered list of segments that can be re-streamed as batches any number
+   of times; spilled segments load back zero-copy via [Unix.map_file]
+   (one mmap'd window per column) with no per-record decode. *)
 
 module B = Record_batch
 
@@ -58,7 +58,7 @@ let create ?(chunk_records = default_chunk_records) ?spill () =
   }
 
 let seg_path spill ~name ~index =
-  Filename.concat spill.dir (Printf.sprintf "%s-%06d.dfsb" name index)
+  Filename.concat spill.dir (Printf.sprintf "%s-%06d.dfsc" name index)
 
 let seal t =
   let n = B.Builder.length t.builder in
@@ -72,13 +72,14 @@ let seal t =
       | Some spill ->
         let path = seg_path spill ~name:spill.name ~index:t.next_seg in
         t.next_seg <- t.next_seg + 1;
-        let data = Binary_codec.encode_batch batch in
         let oc = open_out_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc data);
+        let bytes =
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> Segment.write_batch oc batch)
+        in
         Dfs_obs.Metrics.incr m_spilled;
-        Dfs_obs.Metrics.add m_spilled_bytes (String.length data);
+        Dfs_obs.Metrics.add m_spilled_bytes bytes;
         Seg { path; len = n }
     in
     t.sealed_rev <- chunk :: t.sealed_rev;
@@ -90,10 +91,7 @@ let emit t r =
   if B.Builder.length t.builder >= t.chunk_records then seal t
 
 let emit_from t batch i =
-  B.Builder.add_raw t.builder ~time:(B.time batch i) ~server:(B.server batch i)
-    ~client:(B.client batch i) ~user:(B.user batch i) ~pid:(B.pid batch i)
-    ~file:(B.file batch i) ~raw_tag:(B.raw_tag batch i) ~a:(B.a batch i)
-    ~b:(B.b batch i) ~c:(B.c batch i) ~d:(B.d batch i);
+  B.Builder.add_from t.builder batch i;
   if B.Builder.length t.builder >= t.chunk_records then seal t
 
 (* A non-destructive snapshot: sealed chunks plus a copy of the open
@@ -121,7 +119,7 @@ let close t =
 let load_chunk = function
   | Mem b -> b
   | Seg { path; _ } -> (
-    match Reader.batch_of_file path with
+    match Segment.batch_of_file path with
     | Ok b -> b
     | Error e -> failwith (Printf.sprintf "Sink: bad spill segment %s: %s" path e))
 
@@ -155,15 +153,7 @@ let to_records c =
 
 let to_batch c =
   let builder = B.Builder.create ~capacity:(max 16 c.total) () in
-  iter_batches
-    (fun b ->
-      for i = 0 to B.length b - 1 do
-        B.Builder.add_raw builder ~time:(B.time b i) ~server:(B.server b i)
-          ~client:(B.client b i) ~user:(B.user b i) ~pid:(B.pid b i)
-          ~file:(B.file b i) ~raw_tag:(B.raw_tag b i) ~a:(B.a b i)
-          ~b:(B.b b i) ~c:(B.c b i) ~d:(B.d b i)
-      done)
-    c;
+  iter_batches (B.Builder.append_batch builder) c;
   B.Builder.finish builder
 
 let of_batch b = { segments = (if B.length b = 0 then [] else [ Mem b ]); total = B.length b }

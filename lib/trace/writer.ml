@@ -1,13 +1,25 @@
-type format = Text | Binary
+type format = Text | Binary | Columnar
 
 let format_of_string = function
   | "text" -> Ok Text
   | "binary" -> Ok Binary
-  | s -> Error (Printf.sprintf "bad trace format %S (expected text|binary)" s)
+  | "columnar" -> Ok Columnar
+  | s -> Error (Printf.sprintf "bad trace format %S (expected text|binary|columnar)" s)
 
-let format_to_string = function Text -> "text" | Binary -> "binary"
+let format_to_string = function
+  | Text -> "text"
+  | Binary -> "binary"
+  | Columnar -> "columnar"
 
-type mode = Text_mode | Binary_mode of Binary_codec.Encoder.t
+(* Columnar output buffers records and seals a whole segment every
+   [columnar_segment_records] (and at [flush]/close), so archived traces
+   stay mmap-able in bounded-size pieces. *)
+let columnar_segment_records = 65_536
+
+type mode =
+  | Text_mode
+  | Binary_mode of Binary_codec.Encoder.t
+  | Columnar_mode of Record_batch.Builder.t
 
 type t = {
   emit : string -> unit;
@@ -17,7 +29,8 @@ type t = {
 }
 
 (* The header goes out at creation, not on the first record, so a trace
-   with zero records is still a valid (header-only) file. *)
+   with zero records is still a valid (header-only) file: text gets its
+   header line, binary its magic, columnar an empty segment. *)
 let make format emit do_flush =
   let mode =
     match format with
@@ -28,6 +41,9 @@ let make format emit do_flush =
     | Binary ->
       emit Binary_codec.magic;
       Binary_mode (Binary_codec.Encoder.create ())
+    | Columnar ->
+      emit (Segment.encode_batch (Record_batch.of_list []));
+      Columnar_mode (Record_batch.Builder.create ~capacity:4096 ())
   in
   { emit; do_flush; count = 0; mode }
 
@@ -37,17 +53,31 @@ let to_buffer ?(format = Text) buf =
 let to_channel ?(format = Text) oc =
   make format (output_string oc) (fun () -> Stdlib.flush oc)
 
+let seal_segment t builder =
+  if Record_batch.Builder.length builder > 0 then begin
+    t.emit (Segment.encode_batch (Record_batch.Builder.snapshot builder));
+    Record_batch.Builder.reset builder
+  end
+
 let write t r =
   (match t.mode with
   | Text_mode ->
     t.emit (Codec.encode r);
     t.emit "\n"
-  | Binary_mode enc -> t.emit (Binary_codec.Encoder.encode enc r));
+  | Binary_mode enc -> t.emit (Binary_codec.Encoder.encode enc r)
+  | Columnar_mode builder ->
+    Record_batch.Builder.add builder r;
+    if Record_batch.Builder.length builder >= columnar_segment_records then
+      seal_segment t builder);
   t.count <- t.count + 1
 
 let count t = t.count
 
-let flush t = t.do_flush ()
+let flush t =
+  (match t.mode with
+  | Text_mode | Binary_mode _ -> ()
+  | Columnar_mode builder -> seal_segment t builder);
+  t.do_flush ()
 
 let with_file ?format path f =
   let oc = open_out_bin path in

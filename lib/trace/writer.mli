@@ -2,14 +2,16 @@
 
     Each simulated file server writes its own trace (the paper gathered
     traces on the four servers only). A writer prepends the format header
-    and then encodes records either as text lines ({!Codec}) or in the
-    compact binary format ({!Binary_codec}); readers pick the decoder by
-    sniffing the header. *)
+    and then encodes records as text lines ({!Codec}), in the compact
+    varint binary format ({!Binary_codec}), or as mmap-able columnar
+    segments ({!Segment}, sealed every 65536 records and on
+    {!flush}/close); readers pick the decoder by sniffing the header. *)
 
-type format = Text | Binary
+type format = Text | Binary | Columnar
 
 val format_of_string : string -> (format, string) result
-(** Parses ["text"] and ["binary"] (the [--trace-format] CLI values). *)
+(** Parses ["text"], ["binary"] and ["columnar"] (the [--trace-format]
+    CLI values). *)
 
 val format_to_string : format -> string
 

@@ -63,6 +63,8 @@ let map_seq f xs =
     [| !busy |];
   results
 
+let in_pool_task () = Domain.DLS.get in_task
+
 let map pool f xs =
   reject_nested ();
   let items = Array.of_list xs in
@@ -95,3 +97,11 @@ let map pool f xs =
     Array.iteri (fun _ -> function Some e -> raise e | None -> ()) errors;
     Array.to_list (Array.map Option.get results)
   end
+
+(* Opportunistic parallelism: a plain [List.map] when already inside a
+   pool task (where [map] would reject nested use) so callers like the
+   sharded fused analysis can fan out when the pool is free and degrade
+   gracefully when an outer map already owns the domains.  The
+   sequential fallback publishes no gauges and spawns nothing. *)
+let map_auto pool f xs =
+  if in_pool_task () then List.map f xs else map pool f xs

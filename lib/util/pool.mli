@@ -41,6 +41,16 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     calling domain, with no domains spawned: [DFS_JOBS=1] gives the
     exact sequential execution. *)
 
+val in_pool_task : unit -> bool
+(** True while the calling domain is executing a pool task (parallel or
+    sequential path). *)
+
+val map_auto : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, but when called from inside a pool task — where {!map}
+    would raise on nested use — it degrades to a plain sequential
+    [List.map] in the calling domain (no gauges, no spans). Results are
+    identical either way; only the execution strategy differs. *)
+
 (** {1 Observability}
 
     Every [map] publishes utilization gauges into the default

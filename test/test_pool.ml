@@ -59,6 +59,23 @@ let test_nested_use_rejected () =
 let test_jobs_clamped () =
   Alcotest.(check int) "jobs >= 1" 1 (Pool.jobs (Pool.create ~jobs:0 ()))
 
+let test_map_auto_degrades_inside_task () =
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.(check bool) "top level is not a pool task" false
+    (Pool.in_pool_task ());
+  Alcotest.(check (list int)) "top-level map_auto uses the pool" [ 2; 4; 6 ]
+    (Pool.map_auto pool (fun x -> x * 2) [ 1; 2; 3 ]);
+  (* inside a task, [map] raises but [map_auto] falls back to List.map *)
+  let nested =
+    Pool.map pool
+      (fun () ->
+        Pool.in_pool_task ()
+        && Pool.map_auto pool (fun x -> x + 1) [ 1; 2 ] = [ 2; 3 ])
+      [ (); () ]
+  in
+  Alcotest.(check (list bool)) "nested map_auto runs sequentially"
+    [ true; true ] nested
+
 (* -- sharded metrics ---------------------------------------------------------- *)
 
 let test_counter_shards_sum_across_domains () =
@@ -125,6 +142,28 @@ let test_dataset_deterministic_across_jobs () =
       Alcotest.(check bool) "identical trace stats" true (sa = sb))
     seq.runs par.runs
 
+(* The sharded fused pass must be bit-identical to the sequential sweep:
+   per-record stats merge commutatively and the order-sensitive access/
+   death streams are k-way merged by global record index before replay.
+   Structural equality over the whole result (CDF sample lists included)
+   is exactly that claim. *)
+let test_fused_sharded_equals_sequential () =
+  let ds = Dfs_core.Dataset.generate ~scale:0.004 ~traces:[ 1; 2 ] ~jobs:1 () in
+  let pool = Pool.create ~jobs:4 () in
+  List.iter
+    (fun (run : Dfs_core.Dataset.run) ->
+      let seq =
+        Dfs_analysis.Fused.analyze_seq (Dfs_core.Dataset.trace_seq run)
+      in
+      let par = Dfs_analysis.Fused.analyze_chunks ~pool run.trace in
+      Alcotest.(check int)
+        (run.preset.name ^ ": same access count")
+        (List.length seq.accesses) (List.length par.accesses);
+      Alcotest.(check bool)
+        (run.preset.name ^ ": sharded result bit-identical")
+        true (seq = par))
+    ds.runs
+
 let test_dataset_sessions_memoized () =
   let ds = Dfs_core.Dataset.generate ~scale:0.004 ~traces:[ 1 ] ~jobs:1 () in
   let run = List.hd ds.runs in
@@ -146,6 +185,8 @@ let suite =
     Alcotest.test_case "pool: nested use rejected" `Quick
       test_nested_use_rejected;
     Alcotest.test_case "pool: jobs clamped to 1" `Quick test_jobs_clamped;
+    Alcotest.test_case "pool: map_auto degrades inside a task" `Quick
+      test_map_auto_degrades_inside_task;
     Alcotest.test_case "metrics: counter shards sum" `Quick
       test_counter_shards_sum_across_domains;
     Alcotest.test_case "metrics: histogram shards merge" `Quick
@@ -154,6 +195,8 @@ let suite =
       test_counter_visible_from_spawning_domain;
     Alcotest.test_case "dataset: jobs=1 equals jobs=4" `Slow
       test_dataset_deterministic_across_jobs;
+    Alcotest.test_case "fused: sharded equals sequential" `Slow
+      test_fused_sharded_equals_sequential;
     Alcotest.test_case "dataset: sessions memoized" `Quick
       test_dataset_sessions_memoized;
   ]

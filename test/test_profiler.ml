@@ -283,7 +283,8 @@ let test_diff_flags_regression () =
     Run_report.diff ~old_:(sample_bench ()) (sample_bench ~wall:15.0 ())
   in
   Alcotest.(check bool) "not ok" false (Run_report.diff_ok d);
-  Alcotest.(check int) "one regression" 1 (List.length d.regressions);
+  (* the +50% run trips both wall gates: total and analysis phase *)
+  Alcotest.(check int) "two regressions" 2 (List.length d.regressions);
   let row =
     List.find (fun (r : Run_report.row) -> r.metric = "total_wall_s") d.rows
   in
@@ -326,6 +327,24 @@ let test_diff_config_mismatch () =
   Alcotest.(check bool) "incomparable" false (Run_report.diff_ok d);
   Alcotest.(check int) "mismatch reported" 1 (List.length d.config_mismatches)
 
+let test_diff_schema_bump_is_note_not_mismatch () =
+  let other =
+    match sample_bench () with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "schema" then (k, Json.String "dfs-bench-run/5") else (k, v))
+           fields)
+    | _ -> assert false
+  in
+  let d = Run_report.diff ~old_:(sample_bench ()) other in
+  Alcotest.(check bool) "still comparable" true (Run_report.diff_ok d);
+  Alcotest.(check int) "no config mismatch" 0 (List.length d.config_mismatches);
+  Alcotest.(check int) "schema note" 1 (List.length d.notes);
+  Alcotest.(check bool) "note rendered" true
+    (contains ~needle:"note: schema changed" (Run_report.render_diff d))
+
 let suite =
   [
     ("profiler disabled records nothing", `Quick, test_disabled_records_nothing);
@@ -342,4 +361,7 @@ let suite =
     ("diff heap gate + custom thresholds", `Quick,
       test_diff_heap_gate_and_custom_thresholds);
     ("diff config mismatch", `Quick, test_diff_config_mismatch);
+    ( "diff schema bump is note not mismatch",
+      `Quick,
+      test_diff_schema_bump_is_note_not_mismatch );
   ]

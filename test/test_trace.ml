@@ -377,6 +377,7 @@ let encode_trace ~format records =
   let buf = Buffer.create 4096 in
   let w = Writer.to_buffer ~format buf in
   List.iter (Writer.write w) records;
+  Writer.flush w;
   Buffer.contents buf
 
 let decode_trace s =
@@ -480,6 +481,136 @@ let test_binary_rejects_malformed_tag () =
           (contains_sub ~sub:"malformed tag" e))
     [ 0xFF; 0x30 ]
 
+(* -- columnar segments --------------------------------------------------------- *)
+
+let with_mmap enabled f =
+  let prev = Sys.getenv_opt "DFS_MMAP" in
+  Unix.putenv "DFS_MMAP" (if enabled then "1" else "0");
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DFS_MMAP" (Option.value ~default:"" prev))
+    f
+
+let write_segment_file records =
+  let path = Filename.temp_file "dfs" ".dfsc" in
+  let oc = open_out_bin path in
+  ignore (Segment.write_batch oc (Record_batch.of_list records));
+  close_out oc;
+  path
+
+let test_segment_writer_roundtrip () =
+  (* the columnar writer format: exact on any float time (raw IEEE-754
+     bits, like the binary codec) *)
+  let s = encode_trace ~format:Writer.Columnar records_for_io in
+  Alcotest.(check bool) "sniffs as a segment file" true (Segment.is_segment s);
+  let back = decode_trace s in
+  Alcotest.(check int) "count" (List.length records_for_io) (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) "record equal (incl. exact time)" true
+        (Record.equal a b))
+    records_for_io back;
+  (* an empty columnar file is still a well-formed (empty) segment file *)
+  let empty = encode_trace ~format:Writer.Columnar [] in
+  Alcotest.(check bool) "empty file sniffs as segment" true
+    (Segment.is_segment empty);
+  Alcotest.(check int) "empty file decodes to zero records" 0
+    (List.length (decode_trace empty))
+
+let test_segment_mmap_roundtrip_presets () =
+  (* Round-trip the merged trace of all eight presets through an on-disk
+     segment file, once through the mmap path and once through the
+     portable copy path; both must agree with the source bit-for-bit. *)
+  List.iter
+    (fun n ->
+      let p =
+        Dfs_workload.Presets.scaled (Dfs_workload.Presets.trace n) ~factor:0.002
+      in
+      let cluster, _ = Dfs_workload.Presets.run p in
+      let records = Dfs_sim.Cluster.merged_trace cluster in
+      let expected = Record_batch.of_list records in
+      let path = write_segment_file records in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let read label =
+            match Segment.batch_of_file path with
+            | Ok b -> b
+            | Error e -> Alcotest.failf "trace%d %s: %s" n label e
+          in
+          let mapped = with_mmap true (fun () -> read "mmap") in
+          let copied = with_mmap false (fun () -> read "copy") in
+          Alcotest.(check bool)
+            (Printf.sprintf "trace%d: mmap read exact" n)
+            true
+            (Record_batch.equal expected mapped);
+          Alcotest.(check bool)
+            (Printf.sprintf "trace%d: copy read exact" n)
+            true
+            (Record_batch.equal expected copied)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let segment_read_both_paths s =
+  (* exercise the string (copy) decoder and the file reader on both
+     paths; all three must agree on acceptance *)
+  let path = Filename.temp_file "dfs" ".dfsc" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc s;
+      close_out oc;
+      let of_str = Segment.batch_of_string s in
+      let mapped = with_mmap true (fun () -> Segment.batch_of_file path) in
+      let copied = with_mmap false (fun () -> Segment.batch_of_file path) in
+      (of_str, mapped, copied))
+
+let check_segment_rejected ~what ~needle s =
+  let of_str, mapped, copied = segment_read_both_paths s in
+  List.iter
+    (fun (label, r) ->
+      match r with
+      | Ok _ -> Alcotest.failf "%s: %s accepted" what label
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s mentions %S" what label needle)
+          true
+          (contains_sub ~sub:needle e))
+    [ ("of_string", of_str); ("mmap", mapped); ("copy", copied) ]
+
+let test_segment_rejects_truncation () =
+  let s = Segment.encode_batch (Record_batch.of_list records_for_io) in
+  (* a cut inside the header and a cut inside the columns *)
+  check_segment_rejected ~what:"header cut" ~needle:"truncated"
+    (String.sub s 0 (Segment.header_bytes - 1));
+  check_segment_rejected ~what:"column cut" ~needle:"truncated"
+    (String.sub s 0 (String.length s - 1))
+
+let test_segment_rejects_misalignment () =
+  let s = Segment.encode_batch (Record_batch.of_list records_for_io) in
+  (* declare a segment length that cannot hold the declared record
+     count: the extents no longer line up *)
+  let bad = Bytes.of_string s in
+  Bytes.set_int64_le bad 16 (Int64.of_int (String.length s - 3));
+  check_segment_rejected ~what:"bad length" ~needle:"misaligned"
+    (Bytes.to_string bad);
+  (* negative record count *)
+  let bad = Bytes.of_string s in
+  Bytes.set_int64_le bad 8 (-1L);
+  check_segment_rejected ~what:"negative count" ~needle:"record count"
+    (Bytes.to_string bad)
+
+let test_segment_rejects_malformed_tag () =
+  let records = records_for_io in
+  let s = Segment.encode_batch (Record_batch.of_list records) in
+  let n = List.length records in
+  (* tags column starts at header + 44n; 0xFF sets flag bits no kind
+     allows *)
+  let bad = Bytes.of_string s in
+  Bytes.set bad (Segment.header_bytes + (44 * n)) '\xFF';
+  check_segment_rejected ~what:"bad tag" ~needle:"malformed tag"
+    (Bytes.to_string bad)
+
 (* -- properties -------------------------------------------------------------------- *)
 
 let gen_kind =
@@ -544,6 +675,56 @@ let prop_binary_codec_exact =
       let back = decode_trace (encode_trace ~format:Writer.Binary rs) in
       List.length back = List.length rs && List.for_all2 Record.equal rs back)
 
+(* The Bigarray-backed batch must read back exactly what the boxed
+   records said, through both the bounds-checked and the unsafe
+   accessors — the whole point of the columnar cursor is that analyses
+   can trust it record for record. *)
+let prop_batch_columns_match_boxed =
+  QCheck.Test.make ~name:"bigarray columns agree with boxed records"
+    ~count:100
+    QCheck.(list_of_size Gen.(0 -- 60) arb_full_record)
+    (fun rs ->
+      let b = Record_batch.of_list rs in
+      Record_batch.length b = List.length rs
+      && List.for_all2 Record.equal rs (Array.to_list (Record_batch.to_array b))
+      && List.for_all2
+           (fun (r : Record.t) i ->
+             Record.equal r (Record_batch.get b i)
+             && Record_batch.time b i = r.time
+             && Record_batch.time b i = Record_batch.Unsafe.time b i
+             && Record_batch.server b i = Ids.Server.to_int r.server
+             && Record_batch.server b i = Record_batch.Unsafe.server b i
+             && Record_batch.client b i = Ids.Client.to_int r.client
+             && Record_batch.client b i = Record_batch.Unsafe.client b i
+             && Record_batch.user b i = Ids.User.to_int r.user
+             && Record_batch.user b i = Record_batch.Unsafe.user b i
+             && Record_batch.pid b i = Ids.Process.to_int r.pid
+             && Record_batch.pid b i = Record_batch.Unsafe.pid b i
+             && Record_batch.file b i = Ids.File.to_int r.file
+             && Record_batch.file b i = Record_batch.Unsafe.file b i
+             && Record_batch.migrated b i = r.migrated
+             && Record_batch.migrated b i = Record_batch.Unsafe.migrated b i
+             && Record_batch.tag b i = Record_batch.Unsafe.tag b i
+             && Record_batch.a b i = Record_batch.Unsafe.a b i
+             && Record_batch.b b i = Record_batch.Unsafe.b b i
+             && Record_batch.c b i = Record_batch.Unsafe.c b i
+             && Record_batch.d b i = Record_batch.Unsafe.d b i)
+           rs
+           (List.init (List.length rs) Fun.id))
+
+(* Segment files are exact on any payload, mmap or not. *)
+let prop_segment_roundtrip_exact =
+  QCheck.Test.make ~name:"segment codec exact on random traces" ~count:60
+    QCheck.(list_of_size Gen.(0 -- 40) arb_full_record)
+    (fun rs ->
+      let s = Segment.encode_batch (Record_batch.of_list rs) in
+      match Segment.batch_of_string s with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok b ->
+        Record_batch.length b = List.length rs
+        && List.for_all2 Record.equal rs
+             (Array.to_list (Record_batch.to_array b)))
+
 let prop_merge_sorted =
   QCheck.Test.make ~name:"merge output is time-sorted" ~count:100
     QCheck.(
@@ -583,6 +764,8 @@ let qcheck_tests =
       prop_codec_roundtrip;
       prop_text_codec_exact_on_quantized;
       prop_binary_codec_exact;
+      prop_batch_columns_match_boxed;
+      prop_segment_roundtrip_exact;
       prop_merge_sorted;
       prop_merge_chunks_equiv;
     ]
@@ -619,5 +802,11 @@ let suite =
     ("binary rejects truncation", `Quick, test_binary_rejects_truncation);
     ("binary rejects bad magic", `Quick, test_binary_rejects_bad_magic);
     ("binary rejects malformed tag", `Quick, test_binary_rejects_malformed_tag);
+    ("segment writer roundtrip", `Quick, test_segment_writer_roundtrip);
+    ("segment mmap roundtrip all presets", `Slow,
+      test_segment_mmap_roundtrip_presets);
+    ("segment rejects truncation", `Quick, test_segment_rejects_truncation);
+    ("segment rejects misalignment", `Quick, test_segment_rejects_misalignment);
+    ("segment rejects malformed tag", `Quick, test_segment_rejects_malformed_tag);
   ]
   @ qcheck_tests
