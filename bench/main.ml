@@ -92,7 +92,7 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
   let report =
     J.Obj
       [
-        ("schema", J.String "dfs-bench-run/5");
+        ("schema", J.String "dfs-bench-run/6");
         ("scale", J.Float scale);
         ("jobs", J.Int jobs);
         ( "faults",
@@ -134,6 +134,17 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
               ("mapped_bytes", J.Int (trace_counter "trace.mapped_bytes"));
               ( "decode_skipped_records",
                 J.Int (trace_counter "trace.decode.skipped_records") );
+              (* durability & integrity: checksum-verified volume plus
+                 the retry / corruption counters (all zero on a healthy
+                 run) *)
+              ( "verified_bytes",
+                J.Int (trace_counter "trace.checksum.verified_bytes") );
+              ("io_retries", J.Int (trace_counter "trace.io.retries"));
+              ("io_giveups", J.Int (trace_counter "trace.io.giveups"));
+              ( "corruption_detected",
+                J.Int (trace_counter "trace.corruption.detected") );
+              ( "corruption_salvaged_records",
+                J.Int (trace_counter "trace.corruption.salvaged_records") );
             ] );
         ( "experiments",
           J.List

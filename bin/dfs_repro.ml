@@ -366,37 +366,125 @@ let simulate_cmd =
 
 (* -- analyze --------------------------------------------------------------------- *)
 
+let on_corruption_arg =
+  let doc =
+    "What to do when a trace file is damaged: $(b,fail) (default) stop with \
+     a one-line diagnostic, or $(b,salvage) keep each file's longest valid \
+     prefix, count the loss in the trace.corruption.* counters, and \
+     continue."
+  in
+  Arg.(
+    value & opt string "fail" & info [ "on-corruption" ] ~docv:"POLICY" ~doc)
+
+let parse_on_corruption s =
+  match Dfs_trace.Corruption.of_string s with
+  | Ok p -> p
+  | Error e ->
+    Dfs_obs.Log.error "%s" e;
+    exit 1
+
 let analyze_cmd =
   let files_arg =
     let doc = "Per-server trace files to merge and analyze." in
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
-  let run () files =
-    let streams =
-      List.map
-        (fun path ->
-          match Dfs_trace.Reader.of_file path with
-          | Ok records -> records
-          | Error e ->
-            Dfs_obs.Log.error "%s: %s" path e;
-            exit 1)
-        files
-    in
-    let merged =
-      Dfs_trace.Merge.scrub ~self_users:Dfs_sim.Cluster.self_users
-        (Dfs_trace.Merge.merge streams)
-    in
-    let mbatch = Dfs_trace.Record_batch.of_list merged in
-    let stats = Dfs_analysis.Trace_stats.of_batch mbatch in
-    Format.printf "%a@." Dfs_analysis.Trace_stats.pp stats;
-    let act600 = Dfs_analysis.Activity.analyze ~interval:600.0 mbatch in
-    let act10 = Dfs_analysis.Activity.analyze ~interval:10.0 mbatch in
-    Format.printf "%a@.%a@." Dfs_analysis.Activity.pp act600
-      Dfs_analysis.Activity.pp act10
+  let run () files on_corruption metrics_out =
+    let on_corruption = parse_on_corruption on_corruption in
+    with_obs ~metrics_out ~trace_out:None (fun () ->
+        let streams =
+          List.map
+            (fun path ->
+              (* Corrupt, truncated or misaligned inputs are an exit-2
+                 diagnostic naming file, offset and reason — never a raw
+                 backtrace. *)
+              match Dfs_trace.Reader.of_file ~on_corruption path with
+              | Ok records -> records
+              | Error e ->
+                Dfs_obs.Log.error "%s: %s" path e;
+                exit 2
+              | exception Failure e ->
+                Dfs_obs.Log.error "%s: %s" path e;
+                exit 2
+              | exception Sys_error e ->
+                Dfs_obs.Log.error "%s" e;
+                exit 2)
+            files
+        in
+        let merged =
+          Dfs_trace.Merge.scrub ~self_users:Dfs_sim.Cluster.self_users
+            (Dfs_trace.Merge.merge streams)
+        in
+        let mbatch = Dfs_trace.Record_batch.of_list merged in
+        let stats = Dfs_analysis.Trace_stats.of_batch mbatch in
+        Format.printf "%a@." Dfs_analysis.Trace_stats.pp stats;
+        let act600 = Dfs_analysis.Activity.analyze ~interval:600.0 mbatch in
+        let act10 = Dfs_analysis.Activity.analyze ~interval:10.0 mbatch in
+        Format.printf "%a@.%a@." Dfs_analysis.Activity.pp act600
+          Dfs_analysis.Activity.pp act10;
+        let d = Dfs_trace.Corruption.detected () in
+        if d > 0 then
+          Dfs_obs.Log.warn
+            "%d corrupt trace source(s) salvaged; %d records recovered \
+             ahead of the damage"
+            d
+            (Dfs_trace.Corruption.salvaged_records ()))
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Merge and analyze previously written trace files")
-    Term.(const run $ verbosity_term $ files_arg)
+    Term.(
+      const run $ verbosity_term $ files_arg $ on_corruption_arg
+      $ metrics_out_arg)
+
+(* -- fsck ------------------------------------------------------------------------- *)
+
+let fsck_cmd =
+  let repair_arg =
+    let doc =
+      "Repair damaged traces in place: truncate each to its longest valid \
+       prefix (whole segments, records or lines), rewrite an all-invalid \
+       columnar file as one empty sealed segment, and delete orphaned \
+       $(b,.tmp) files left by an interrupted seal. Unrecognized files are \
+       never modified."
+    in
+    Arg.(value & flag & info [ "repair" ] ~doc)
+  in
+  let paths_arg =
+    let doc =
+      "Trace files or directories to verify (directories expand to their \
+       .dfsc/.dfsb/.trace/.txt/.tmp entries)."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let run () repair paths =
+    let verdicts = Dfs_trace.Fsck.check_paths ~repair paths in
+    List.iter
+      (fun v ->
+        print_endline
+          (Dfs_obs.Json.to_string (Dfs_trace.Fsck.verdict_to_json v)))
+      verdicts;
+    let n st =
+      List.length
+        (List.filter (fun v -> v.Dfs_trace.Fsck.status = st) verdicts)
+    in
+    Dfs_obs.Log.info
+      "fsck: %d file(s) — %d ok, %d corrupt, %d repaired, %d orphan-tmp, %d \
+       unknown, %d error(s)"
+      (List.length verdicts) (n Dfs_trace.Fsck.Clean)
+      (n Dfs_trace.Fsck.Corrupt) (n Dfs_trace.Fsck.Repaired)
+      (n Dfs_trace.Fsck.Orphan_tmp) (n Dfs_trace.Fsck.Unknown)
+      (n Dfs_trace.Fsck.Io_error);
+    let code = Dfs_trace.Fsck.exit_code verdicts in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify trace files (text, binary and checksummed columnar), \
+          printing one machine-readable JSON verdict per file; with \
+          $(b,--repair), salvage each file's longest valid prefix. Exits 0 \
+          when everything is clean, 1 when corruption, orphans or unknown \
+          files were found (even if repaired), 2 on I/O errors")
+    Term.(const run $ verbosity_term $ repair_arg $ paths_arg)
 
 (* -- stats ------------------------------------------------------------------------ *)
 
@@ -541,6 +629,7 @@ let main =
       facts_cmd;
       simulate_cmd;
       analyze_cmd;
+      fsck_cmd;
       stats_cmd;
       report_cmd;
       bench_diff_cmd;

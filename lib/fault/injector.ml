@@ -54,6 +54,8 @@ let m_lost_per_crash = Dfs_obs.Metrics.histogram "sim.fault.lost_bytes_per_crash
 
 let m_stall = Dfs_obs.Metrics.histogram "sim.fault.rpc_stall_s"
 
+let m_backoff_capped = Dfs_obs.Metrics.counter "sim.fault.backoff_capped"
+
 let create ~profile ~n_servers ~horizon =
   {
     prof = profile;
@@ -102,27 +104,59 @@ let unreachable_until t ~server ~now =
 
 let server_down t ~server ~now = unreachable_until t ~server ~now <> None
 
-(* The client retries on a timeout that doubles up to the profile
-   ceiling; it only notices the server is back on the retry that first
-   lands after the outage ends, so the charged stall is the cumulative
-   backoff that first reaches past [remaining]. Deterministic — no
-   randomness needed for the outage path. *)
-let backoff_stall (p : Profile.t) ~remaining =
-  let rec go acc step n =
-    if acc >= remaining then (acc, n)
-    else go (acc +. step) (Float.min (2.0 *. step) p.rpc_backoff_max) (n + 1)
+(* Jitter draw for retransmission [attempt] against [server]: a fresh
+   RNG split keyed only by (profile seed, server, attempt) — never the
+   injector's stateful stream — so the same retry always waits the same
+   time no matter how work is sharded across domains ([DFS_JOBS=1] and
+   [DFS_JOBS=N] are byte-identical). *)
+let jitter_unit (p : Profile.t) ~server ~attempt =
+  let key =
+    (p.seed * 0x9E3779B1)
+    lxor (server * 0x85EBCA77)
+    lxor ((attempt + 1) * 0xC2B2AE3D)
   in
-  go 0.0 p.rpc_timeout 0
+  Rng.float (Rng.create key)
+
+(* The wait before retransmission [attempt] (0-based): the doubling
+   timeout, spread by the profile's jitter fraction, clamped to the
+   ceiling.  Also reports whether the ceiling clipped this step. *)
+let backoff_step_capped (p : Profile.t) ~server ~attempt =
+  let raw = Float.ldexp p.rpc_timeout attempt in
+  let jittered =
+    if p.rpc_backoff_jitter <= 0.0 then raw
+    else raw *. (1.0 +. (p.rpc_backoff_jitter *. jitter_unit p ~server ~attempt))
+  in
+  if jittered >= p.rpc_backoff_max then (p.rpc_backoff_max, true)
+  else (jittered, false)
+
+let backoff_step p ~server ~attempt = fst (backoff_step_capped p ~server ~attempt)
+
+(* The client retries on a (jittered) timeout that doubles up to the
+   profile ceiling; it only notices the server is back on the retry that
+   first lands after the outage ends, so the charged stall is the
+   cumulative backoff that first reaches past [remaining].  Returns
+   (stall, retries, ceiling-clipped steps). *)
+let backoff_stall (p : Profile.t) ~server ~remaining =
+  let rec go acc n capped =
+    if acc >= remaining then (acc, n, capped)
+    else
+      let step, hit = backoff_step_capped p ~server ~attempt:n in
+      go (acc +. step) (n + 1) (if hit then capped + 1 else capped)
+  in
+  go 0.0 0 0
 
 let max_drop_retries = 8
 
 let rpc_delay t ~server ~now =
   match unreachable_until t ~server ~now with
   | Some until ->
-    let stall, retries = backoff_stall t.prof ~remaining:(until -. now) in
+    let stall, retries, capped =
+      backoff_stall t.prof ~server ~remaining:(until -. now)
+    in
     t.st.rpc_retries <- t.st.rpc_retries + retries;
     t.st.rpc_stall_s <- t.st.rpc_stall_s +. stall;
     Dfs_obs.Metrics.add m_retries retries;
+    if capped > 0 then Dfs_obs.Metrics.add m_backoff_capped capped;
     Dfs_obs.Metrics.observe m_stall stall;
     span ~now ~name:"rpc-stall" ~dur:stall
       [ ("server", Dfs_obs.Json.Int server);
@@ -132,20 +166,21 @@ let rpc_delay t ~server ~now =
     if t.prof.rpc_drop_prob <= 0.0 then 0.0
     else begin
       (* Packet loss: geometric number of retransmissions, each costing
-         the current (doubling) timeout. *)
-      let rec go step acc n =
+         the current (doubling, jittered) timeout. *)
+      let rec go acc n =
         if n >= max_drop_retries then acc
         else if Rng.bernoulli t.rng t.prof.rpc_drop_prob then begin
           t.st.rpc_drops <- t.st.rpc_drops + 1;
           t.st.rpc_retries <- t.st.rpc_retries + 1;
           Dfs_obs.Metrics.incr m_drops;
           Dfs_obs.Metrics.incr m_retries;
-          go (Float.min (2.0 *. step) t.prof.rpc_backoff_max) (acc +. step)
-            (n + 1)
+          let step, hit = backoff_step_capped t.prof ~server ~attempt:n in
+          if hit then Dfs_obs.Metrics.incr m_backoff_capped;
+          go (acc +. step) (n + 1)
         end
         else acc
       in
-      let stall = go t.prof.rpc_timeout 0.0 0 in
+      let stall = go 0.0 0 in
       if stall > 0.0 then begin
         t.st.rpc_stall_s <- t.st.rpc_stall_s +. stall;
         Dfs_obs.Metrics.observe m_stall stall

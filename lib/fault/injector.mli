@@ -41,6 +41,15 @@ val stats : t -> stats
 
 (** {1 Data-path queries} *)
 
+val backoff_step : Profile.t -> server:int -> attempt:int -> float
+(** The wait before retransmission [attempt] (0-based): the doubling
+    timeout [rpc_timeout * 2^attempt], spread by [rpc_backoff_jitter]
+    using a pure per-(seed, server, attempt) RNG split, clamped to
+    [rpc_backoff_max].  A pure function — the same retry waits the same
+    time regardless of [DFS_JOBS] sharding.  Each ceiling-clipped step
+    taken by {!rpc_delay} bumps the [sim.fault.backoff_capped]
+    counter. *)
+
 val server_down : t -> server:int -> now:float -> bool
 (** Down or unreachable behind a partition. *)
 

@@ -9,6 +9,7 @@ type t = {
   disk_error_penalty : float;
   rpc_timeout : float;
   rpc_backoff_max : float;
+  rpc_backoff_jitter : float;
 }
 
 let none =
@@ -23,6 +24,7 @@ let none =
     disk_error_penalty = 0.050;
     rpc_timeout = 0.5;
     rpc_backoff_max = 30.0;
+    rpc_backoff_jitter = 0.0;
   }
 
 let light =
@@ -35,6 +37,7 @@ let light =
     partition_mtbf = 12.0 *. 3600.0;
     partition_mttr = 30.0;
     disk_error_prob = 1e-4;
+    rpc_backoff_jitter = 0.1;
   }
 
 let crash_heavy =
@@ -47,6 +50,7 @@ let crash_heavy =
     partition_mtbf = 2.0 *. 3600.0;
     partition_mttr = 45.0;
     disk_error_prob = 1e-3;
+    rpc_backoff_jitter = 0.1;
   }
 
 let is_none p =

@@ -22,6 +22,12 @@ type t = {
       (** extra service time per transient disk error (retry + recalibrate) *)
   rpc_timeout : float;  (** client RPC timeout before the first retry *)
   rpc_backoff_max : float;  (** retry interval ceiling, seconds *)
+  rpc_backoff_jitter : float;
+      (** jitter fraction applied to each retry interval: attempt [k]
+          waits [timeout * 2^k * (1 + jitter * u)] (clamped to
+          [rpc_backoff_max]) where [u] in [0,1) is drawn from a pure
+          per-(seed, server, attempt) RNG split — deterministic and
+          independent of [DFS_JOBS].  [0] disables jitter. *)
 }
 
 val none : t

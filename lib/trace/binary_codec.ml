@@ -165,15 +165,30 @@ let encode_batch batch =
 
 (* -- decoding ------------------------------------------------------------- *)
 
-let decode_string s =
+type partial = {
+  batch : Record_batch.t;
+  consumed : int;
+  error : (int * string) option;
+}
+
+let decode_string_partial s =
   if not (is_binary s) then
-    Error
-      (Printf.sprintf "bad binary trace magic %S"
-         (String.sub s 0 (min (String.length s) (String.length magic))))
+    {
+      batch = Record_batch.of_list [];
+      consumed = 0;
+      error =
+        Some
+          ( 0,
+            Printf.sprintf "byte 0: bad binary trace magic %S"
+              (String.sub s 0 (min (String.length s) (String.length magic))) );
+    }
   else begin
     let len = String.length s in
     let builder = Record_batch.Builder.create ~capacity:(max 16 (len / 16)) () in
     let pos = ref (String.length magic) in
+    (* Byte offset just past the last fully decoded record: the longest
+       salvageable prefix of a damaged stream. *)
+    let consumed = ref (String.length magic) in
     let time_bits = ref 0L in
     let server = ref 0
     and client = ref 0
@@ -219,13 +234,25 @@ let decode_string s =
          let c = if arity >= 3 then payload () else 0 in
          let d = if arity >= 3 then payload () else 0 in
          Record_batch.Builder.add_raw builder ~time ~server ~client ~user
-           ~pid ~file ~raw_tag ~a ~b ~c ~d
+           ~pid ~file ~raw_tag ~a ~b ~c ~d;
+         consumed := !pos
        done
      with
     | Exit -> ()
     | Truncated ->
-      err := Some "truncated binary trace (unexpected end of data)");
-    match !err with
-    | None -> Ok (Record_batch.Builder.finish builder)
-    | Some e -> Error e
+      err :=
+        Some
+          (Printf.sprintf
+             "byte %d: truncated binary trace (unexpected end of data)"
+             !consumed));
+    {
+      batch = Record_batch.Builder.finish builder;
+      consumed = !consumed;
+      error = Option.map (fun e -> (!consumed, e)) !err;
+    }
   end
+
+let decode_string s =
+  match decode_string_partial s with
+  | { error = None; batch; _ } -> Ok batch
+  | { error = Some (_, reason); _ } -> Error reason

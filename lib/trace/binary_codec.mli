@@ -40,4 +40,19 @@ val encode_batch : Record_batch.t -> string
 
 val decode_string : string -> (Record_batch.t, string) result
 (** Decode a whole binary trace (magic included). Reports truncation,
-    bad magic, and malformed tag bytes. *)
+    bad magic, and malformed tag bytes with their byte offset. *)
+
+type partial = {
+  batch : Record_batch.t;  (** the longest decodable record prefix *)
+  consumed : int;
+      (** bytes of that prefix, magic included; salvage truncates
+          here *)
+  error : (int * string) option;
+      (** offset and one-line reason of the first damage, [None] when
+          the stream is clean *)
+}
+
+val decode_string_partial : string -> partial
+(** Like {!decode_string}, but never fails: damaged streams yield the
+    decodable prefix plus the diagnostic.  The format has no framing,
+    so [consumed] advances only past complete records. *)

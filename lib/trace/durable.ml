@@ -1,0 +1,60 @@
+(* Crash-safe file replacement for the trace pipeline.
+
+   A spill chunk or archived trace must never be observable in a torn
+   state under its final name: a reader that finds [<name>.dfsc] may
+   assume it is a complete, sealed file.  [replace] provides that
+   guarantee the classic way — write [<path>.tmp], fsync the file,
+   atomically rename over [path], fsync the directory so the rename
+   itself survives a crash.  A crash at any point leaves either the old
+   state or the new state under the final name, plus at worst an
+   orphaned [.tmp] that fsck removes.
+
+   All syscalls run under [Io_retry], so transient disk errors (EINTR,
+   EIO, ...) get bounded retries; [replace] re-runs its writer callback
+   on retry, so callers must pass an idempotent writer (the sink writes
+   an in-memory batch, which is). *)
+
+let tmp_suffix = ".tmp"
+
+let tmp_path path = path ^ tmp_suffix
+
+let is_tmp path = Filename.check_suffix path tmp_suffix
+
+let fsync_channel oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* Directory fsync can fail with EINVAL/EBADF on exotic filesystems;
+   losing it degrades to pre-fsync durability, not corruption, so those
+   failures are swallowed. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let unlink_noerr path = try Sys.remove path with Sys_error _ -> ()
+
+let rename_into_place ~tmp ~path =
+  Unix.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let replace ~op ~path f =
+  let tmp = tmp_path path in
+  Io_retry.run ~op ~path (fun () ->
+      let oc = open_out_bin tmp in
+      match
+        let r = f oc in
+        fsync_channel oc;
+        close_out oc;
+        r
+      with
+      | r ->
+        rename_into_place ~tmp ~path;
+        r
+      | exception e ->
+        close_out_noerr oc;
+        unlink_noerr tmp;
+        raise e)

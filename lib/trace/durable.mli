@@ -1,0 +1,30 @@
+(** Crash-safe file replacement: tmp + fsync + atomic rename + directory
+    fsync, with {!Io_retry} around every syscall.  A file written through
+    {!replace} is never observable torn under its final name — a crash
+    leaves the old state, the new state, or an orphaned [.tmp]. *)
+
+val replace : op:string -> path:string -> (out_channel -> 'a) -> 'a
+(** [replace ~op ~path f] runs [f] on a fresh [path ^ ".tmp"] channel,
+    fsyncs and closes it, renames it over [path] and fsyncs the parent
+    directory.  On any exception the temp file is closed and unlinked
+    and the exception re-raised; [path] is untouched.  [f] may be re-run
+    after a transient I/O error, so it must be idempotent. *)
+
+val tmp_path : string -> string
+(** [path ^ ".tmp"]. *)
+
+val is_tmp : string -> bool
+(** Does the path carry the temp suffix? (fsck treats these as sealing
+    leftovers.) *)
+
+val fsync_channel : out_channel -> unit
+(** Flush OCaml buffers, then [fsync] the fd. *)
+
+val fsync_dir : string -> unit
+(** Best-effort directory fsync (failures are swallowed: they degrade
+    durability, not integrity). *)
+
+val unlink_noerr : string -> unit
+
+val rename_into_place : tmp:string -> path:string -> unit
+(** Atomic rename followed by parent-directory fsync. *)

@@ -17,13 +17,18 @@ val is_sorted : Record.t list -> bool
 (** True when records are in non-decreasing time order. *)
 
 val merge_iter :
-  Sink.chunks list -> emit:(Record_batch.t -> int -> unit) -> unit
+  ?on_corruption:Corruption.policy ->
+  Sink.chunks list ->
+  emit:(Record_batch.t -> int -> unit) ->
+  unit
 (** Streaming k-way merge over chunked per-server traces.  Each source
     must be time-sorted; [emit] receives [(batch, index)] cursors in
     global time order (ties broken by server id, matching {!merge}).
-    Only one chunk per source is resident at a time. *)
+    Only one chunk per source is resident at a time.  [on_corruption]
+    governs spilled-chunk loads (see {!Sink.load_chunk}). *)
 
 val merge_chunks :
+  ?on_corruption:Corruption.policy ->
   ?chunk_records:int ->
   ?spill:Sink.spill ->
   ?scrub:Ids.User.Set.t ->

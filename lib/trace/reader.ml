@@ -1,25 +1,48 @@
-let parse_lines lines ~init ~f =
+let default_source = "<trace>"
+
+(* Under [Salvage], a parse failure keeps the records decoded ahead of
+   the damage and records the incident; under [Fail] it surfaces as the
+   reader's [Error].  [count] is how many records the prefix holds. *)
+let finish_policy ~on_corruption ~source ~count ~ok = function
+  | None -> Ok ok
+  | Some reason -> (
+    match (on_corruption : Corruption.policy) with
+    | Corruption.Fail -> Error reason
+    | Corruption.Salvage ->
+      Corruption.note ~source ~salvaged:count reason;
+      Ok ok)
+
+let parse_lines ?(on_corruption = Corruption.Fail) ?(source = default_source)
+    lines ~init ~f =
   (* [lines] is a Seq of raw lines including the header. *)
   match lines () with
-  | Seq.Nil -> Error "empty trace"
+  | Seq.Nil ->
+    finish_policy ~on_corruption ~source ~count:0 ~ok:init
+      (Some "empty trace")
   | Seq.Cons (first, rest) ->
     if not (String.equal first Codec.header) then
-      Error (Printf.sprintf "bad trace header %S" first)
+      finish_policy ~on_corruption ~source ~count:0 ~ok:init
+        (Some (Printf.sprintf "bad trace header %S" first))
     else begin
-      let acc = ref init and line_no = ref 1 and err = ref None in
+      let acc = ref init
+      and count = ref 0
+      and line_no = ref 1
+      and err = ref None in
       (try
          Seq.iter
            (fun line ->
              incr line_no;
              if not (String.equal line "") then
                match Codec.decode line with
-               | Ok r -> acc := f !acc r
+               | Ok r ->
+                 acc := f !acc r;
+                 incr count
                | Error e ->
                  err := Some (Printf.sprintf "line %d: %s" !line_no e);
                  raise Exit)
            rest
        with Exit -> ());
-      match !err with Some e -> Error e | None -> Ok !acc
+      finish_policy ~on_corruption ~source ~count:!count ~ok:!acc !err
     end
 
 let lines_of_string s = String.split_on_char '\n' s |> List.to_seq
@@ -32,41 +55,60 @@ let fold_batches batches ~init ~f =
       !acc)
     init batches
 
-let fold_string s ~init ~f =
+(* Binary traces have no framing, so salvage keeps the longest decodable
+   record prefix. *)
+let decode_binary ?(on_corruption = Corruption.Fail)
+    ?(source = default_source) s =
+  match (on_corruption : Corruption.policy) with
+  | Corruption.Fail -> Binary_codec.decode_string s
+  | Corruption.Salvage ->
+    let p = Binary_codec.decode_string_partial s in
+    (match p.Binary_codec.error with
+    | None -> ()
+    | Some (_, reason) ->
+      Corruption.note ~source
+        ~salvaged:(Record_batch.length p.Binary_codec.batch)
+        reason);
+    Ok p.Binary_codec.batch
+
+let fold_string ?on_corruption ?source s ~init ~f =
   if Segment.is_segment s then
-    Result.map (fun batches -> fold_batches batches ~init ~f) (Segment.of_string s)
+    Result.map
+      (fun batches -> fold_batches batches ~init ~f)
+      (Segment.of_string ?on_corruption s)
   else if Binary_codec.is_binary s then
     Result.map
       (fun batch ->
         let acc = ref init in
         Record_batch.iter (fun r -> acc := f !acc r) batch;
         !acc)
-      (Binary_codec.decode_string s)
-  else parse_lines (lines_of_string s) ~init ~f
+      (decode_binary ?on_corruption ?source s)
+  else parse_lines ?on_corruption ?source (lines_of_string s) ~init ~f
 
-let of_string s =
+let of_string ?on_corruption ?source s =
   if Segment.is_segment s then
     Result.map
       (fun batches ->
         List.rev (fold_batches batches ~init:[] ~f:(fun acc r -> r :: acc)))
-      (Segment.of_string s)
+      (Segment.of_string ?on_corruption s)
   else if Binary_codec.is_binary s then
     Result.map
       (fun batch -> Array.to_list (Record_batch.to_array batch))
-      (Binary_codec.decode_string s)
+      (decode_binary ?on_corruption ?source s)
   else
     Result.map List.rev
-      (parse_lines (lines_of_string s) ~init:[] ~f:(fun acc r -> r :: acc))
+      (parse_lines ?on_corruption ?source (lines_of_string s) ~init:[]
+         ~f:(fun acc r -> r :: acc))
 
-let batch_of_string s =
-  if Segment.is_segment s then Segment.batch_of_string s
-  else if Binary_codec.is_binary s then Binary_codec.decode_string s
+let batch_of_string ?on_corruption ?source s =
+  if Segment.is_segment s then Segment.batch_of_string ?on_corruption s
+  else if Binary_codec.is_binary s then decode_binary ?on_corruption ?source s
   else begin
     let builder = Record_batch.Builder.create () in
     Result.map
       (fun () -> Record_batch.Builder.finish builder)
-      (parse_lines (lines_of_string s) ~init:() ~f:(fun () r ->
-           Record_batch.Builder.add builder r))
+      (parse_lines ?on_corruption ?source (lines_of_string s) ~init:()
+         ~f:(fun () r -> Record_batch.Builder.add builder r))
   end
 
 let lines_of_channel ic =
@@ -102,33 +144,36 @@ let sniff_format ic =
   else if Binary_codec.is_binary prefix then `Binary
   else `Text
 
-let fold_file path ~init ~f =
+let fold_file ?on_corruption path ~init ~f =
   with_channel path (fun ic ->
       match sniff_format ic with
       | `Columnar ->
         (* [Segment.read_file] can serve the columns zero-copy. *)
         Result.map
           (fun batches -> fold_batches batches ~init ~f)
-          (Segment.read_file path)
-      | `Binary -> fold_string (read_all ic) ~init ~f
-      | `Text -> parse_lines (lines_of_channel ic) ~init ~f)
+          (Segment.read_file ?on_corruption path)
+      | `Binary -> fold_string ?on_corruption ~source:path (read_all ic) ~init ~f
+      | `Text ->
+        parse_lines ?on_corruption ~source:path (lines_of_channel ic) ~init ~f)
 
-let of_file path =
+let of_file ?on_corruption path =
   with_channel path (fun ic ->
       match sniff_format ic with
       | `Columnar ->
         Result.map
           (fun batches ->
             List.rev (fold_batches batches ~init:[] ~f:(fun acc r -> r :: acc)))
-          (Segment.read_file path)
-      | `Binary -> of_string (read_all ic)
+          (Segment.read_file ?on_corruption path)
+      | `Binary -> of_string ?on_corruption ~source:path (read_all ic)
       | `Text ->
         Result.map List.rev
-          (parse_lines (lines_of_channel ic) ~init:[] ~f:(fun acc r ->
-               r :: acc)))
+          (parse_lines ?on_corruption ~source:path (lines_of_channel ic)
+             ~init:[] ~f:(fun acc r -> r :: acc)))
 
-let batch_of_file path =
+let batch_of_file ?on_corruption path =
   with_channel path (fun ic ->
       match sniff_format ic with
-      | `Columnar -> Result.map Record_batch.concat (Segment.read_file path)
-      | `Binary | `Text -> batch_of_string (read_all ic))
+      | `Columnar ->
+        Result.map Record_batch.concat (Segment.read_file ?on_corruption path)
+      | `Binary | `Text ->
+        batch_of_string ?on_corruption ~source:path (read_all ic))

@@ -6,19 +6,44 @@
     format on the read side. Readers check the version header and report
     the first malformed line (text) or byte offset (binary/columnar).
     Columnar files are served straight off [mmap]'d columns when
-    {!Segment.mmap_enabled}. *)
+    {!Segment.mmap_enabled}.
 
-val of_string : string -> (Record.t list, string) result
+    All entry points take an [?on_corruption] policy (default
+    {!Corruption.Fail}).  Under [Salvage], damage in any format keeps
+    the longest valid prefix — whole segments (columnar), whole records
+    (binary) or whole lines (text) — and records the incident via
+    {!Corruption.note} instead of failing.  [?source] labels the
+    diagnostics for in-memory parses; file entry points use the path. *)
+
+val of_string :
+  ?on_corruption:Corruption.policy ->
+  ?source:string ->
+  string ->
+  (Record.t list, string) result
 (** Parse a whole trace held in memory. *)
 
-val of_file : string -> (Record.t list, string) result
+val of_file :
+  ?on_corruption:Corruption.policy ->
+  string ->
+  (Record.t list, string) result
 
 val fold_file :
-  string -> init:'a -> f:('a -> Record.t -> 'a) -> ('a, string) result
+  ?on_corruption:Corruption.policy ->
+  string ->
+  init:'a ->
+  f:('a -> Record.t -> 'a) ->
+  ('a, string) result
 (** Streaming fold over a trace file. For text traces this does not hold
     records in memory; a binary trace is decoded to a batch first. *)
 
-val batch_of_string : string -> (Record_batch.t, string) result
-(** Parse straight into a struct-of-arrays batch (either format). *)
+val batch_of_string :
+  ?on_corruption:Corruption.policy ->
+  ?source:string ->
+  string ->
+  (Record_batch.t, string) result
+(** Parse straight into a struct-of-arrays batch (any format). *)
 
-val batch_of_file : string -> (Record_batch.t, string) result
+val batch_of_file :
+  ?on_corruption:Corruption.policy ->
+  string ->
+  (Record_batch.t, string) result

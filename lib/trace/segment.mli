@@ -1,13 +1,19 @@
-(** Columnar on-disk trace segments, readable zero-copy via [mmap].
+(** Columnar on-disk trace segments, readable zero-copy via [mmap],
+    self-verifying via CRC-32C.
 
-    Layout of one segment (all integers little-endian):
+    Layout of one v2 segment (all integers little-endian):
 
     {v
-      offset 0    magic (8 bytes)
+      offset 0    magic (8 bytes, "\xD7DFSC\x02\x00\x00")
       offset 8    record count n          int64
       offset 16   segment length in bytes int64 (header included)
-      offset 24   reserved, zero to offset 64
-      offset 64   times    float64[n]     8-byte aligned
+      offset 24   header CRC-32C          uint32 (over the 128 header
+                  bytes with this field zeroed)
+      offset 28   column CRC-32C[11]      uint32 each, in column order
+                  (times, servers, clients, users, pids, files,
+                   col_a..col_d, tags)
+      offset 72   reserved, zero to offset 128
+      offset 128  times    float64[n]     8-byte aligned
       + 8n        servers  int32[n]       4-byte aligned
       + 4n each   clients, users, pids, files,
                   col_a, col_b, col_c, col_d   int32[n]
@@ -15,55 +21,125 @@
       ...         zero padding to a multiple of 8
     v}
 
+    v1 segments (magic "\xD7DFSC\x01\x00\x00", 64-byte header, no
+    checksums) remain readable, and files may mix versions.
+
     A file is a sequence of segments; every segment length is a multiple
     of 8, so all column offsets stay naturally aligned.  On little-endian
     hosts (unless [DFS_MMAP=0]) {!read_file} serves each column as a
     Bigarray window straight onto the [Unix.map_file]'d file — no copy,
     no per-record decode; the portable fallback bulk-copies the columns
-    with explicit little-endian reads.
+    with explicit little-endian reads.  Checksums are verified once per
+    column over the mapped window (or the source string), and a
+    per-process (size, mtime) cache skips re-verification of files that
+    already scanned clean.
 
     Counters: [trace.encoded_bytes] (segment bytes written),
-    [trace.mapped_bytes] (column bytes served via [mmap]) and
+    [trace.mapped_bytes] (column bytes served via [mmap]),
     [trace.decode.skipped_records] (records served without per-record
-    decode, on either read path). *)
+    decode, on either read path) and [trace.checksum.verified_bytes]
+    (column bytes hashed during verification). *)
 
 val magic : string
-(** 8-byte file magic ("\xD7DFSC\x01\x00\x00"). *)
+(** 8-byte v2 file magic ("\xD7DFSC\x02\x00\x00"). *)
+
+val magic_v1 : string
+(** 8-byte v1 file magic ("\xD7DFSC\x01\x00\x00"). *)
 
 val header_bytes : int
-(** Fixed segment header size (64). *)
+(** Fixed v2 segment header size (128). *)
+
+val header_bytes_v1 : int
+(** Fixed v1 segment header size (64). *)
 
 val bytes_per_record : int
 (** Column payload bytes per record (45). *)
 
 val segment_bytes : count:int -> int
-(** Total encoded size of a segment holding [count] records, padding
+(** Total encoded size of a v2 segment holding [count] records, padding
     included. *)
 
 val is_segment : string -> bool
-(** Does the string start with the segment magic? *)
+(** Does the string start with either segment magic? *)
+
+val segment_version : string -> int option
+(** [Some 1]/[Some 2] when the string starts with a known magic. *)
 
 val mmap_enabled : unit -> bool
 (** Whether reads go through [Unix.map_file]: true on little-endian
     hosts unless the [DFS_MMAP] environment variable is [0]/[false]/
     [no]/[off]. Re-read on every call, so tests can toggle it. *)
 
-val encode_batch : Record_batch.t -> string
-(** One whole segment, header and padding included. *)
+val encode_batch : ?version:int -> Record_batch.t -> string
+(** One whole segment, header, checksums and padding included.
+    [version] defaults to 2; [~version:1] emits the legacy unchecksummed
+    layout (for compatibility tests and old-archive tooling).
+    @raise Invalid_argument on any other version. *)
 
-val write_batch : out_channel -> Record_batch.t -> int
+val write_batch : ?version:int -> out_channel -> Record_batch.t -> int
 (** Append one segment; returns the bytes written. *)
 
-val of_string : string -> (Record_batch.t list, string) result
-(** Decode every segment of an in-memory file image (copy path). *)
+(** {1 Scanning and salvage} *)
 
-val read_file : string -> (Record_batch.t list, string) result
+type scan_error = {
+  offset : int;  (** byte offset of the first invalid segment *)
+  reason : string;  (** one-line diagnostic, ["byte %d: ..."] *)
+}
+
+type scan = {
+  batches : Record_batch.t list;  (** decoded valid prefix, in order *)
+  records : int;  (** total records in [batches] *)
+  valid_bytes : int;
+      (** length of the longest valid segment-sequence prefix; equals
+          [total_bytes] iff the source is clean *)
+  total_bytes : int;
+  error : scan_error option;  (** [None] iff the source is clean *)
+}
+
+val scan_string : ?verify:bool -> string -> scan
+(** Walk every segment of an in-memory file image, stopping at the first
+    invalid one instead of failing.  [verify] (default true) checks v2
+    header and column CRCs; structure, extent and tag checks always
+    run. *)
+
+val scan_file : ?verify:bool -> string -> (scan, string) result
+(** Same over a file (zero-copy when {!mmap_enabled}); [Error] only for
+    I/O failures (open/stat/map), never for corruption.  Always hits the
+    disk — no verified-file cache — so fsck sees the current bytes. *)
+
+(** {1 Reading} *)
+
+val of_string :
+  ?on_corruption:Corruption.policy ->
+  string ->
+  (Record_batch.t list, string) result
+(** Decode every segment of an in-memory file image (copy path).
+    Under [Fail] (default) the first invalid segment is an [Error];
+    under [Salvage] the valid prefix is returned and the incident is
+    counted via {!Corruption.note}. *)
+
+val read_file :
+  ?on_corruption:Corruption.policy ->
+  string ->
+  (Record_batch.t list, string) result
 (** Read every segment of a file, one batch per segment — zero-copy when
     {!mmap_enabled}, bulk column copy otherwise.  Validation (magic,
-    extents, alignment, tag bytes) is identical on both paths. *)
+    checksums, extents, alignment, tag bytes) is identical on both
+    paths; checksum verification is skipped when the file's
+    (size, mtime) already scanned clean this process. *)
 
-val batch_of_file : string -> (Record_batch.t, string) result
+val batch_of_file :
+  ?on_corruption:Corruption.policy ->
+  string ->
+  (Record_batch.t, string) result
 (** {!read_file} concatenated; a single-segment file returns its mapped
     batch without copying. *)
 
-val batch_of_string : string -> (Record_batch.t, string) result
+val batch_of_string :
+  ?on_corruption:Corruption.policy ->
+  string ->
+  (Record_batch.t, string) result
+
+val cache_clear : unit -> unit
+(** Drop the verified-file cache (tests and fsck --repair use this after
+    rewriting files in place). *)

@@ -72,11 +72,12 @@ let seal t =
       | Some spill ->
         let path = seg_path spill ~name:spill.name ~index:t.next_seg in
         t.next_seg <- t.next_seg + 1;
-        let oc = open_out_bin path in
+        (* Crash-safe: the chunk is only ever observable under its final
+           name as a complete sealed segment (a crash mid-seal leaves an
+           orphaned .tmp, which fsck removes). *)
         let bytes =
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () -> Segment.write_batch oc batch)
+          Durable.replace ~op:"spill-seal" ~path (fun oc ->
+              Segment.write_batch oc batch)
         in
         Dfs_obs.Metrics.incr m_spilled;
         Dfs_obs.Metrics.add m_spilled_bytes bytes;
@@ -116,10 +117,10 @@ let close t =
 
 (* -- reading chunk streams ------------------------------------------------ *)
 
-let load_chunk = function
+let load_chunk ?on_corruption = function
   | Mem b -> b
   | Seg { path; _ } -> (
-    match Segment.batch_of_file path with
+    match Segment.batch_of_file ?on_corruption path with
     | Ok b -> b
     | Error e -> failwith (Printf.sprintf "Sink: bad spill segment %s: %s" path e))
 
@@ -135,7 +136,8 @@ let spilled_count c =
 (* Replayable: each traversal walks the segment list afresh, loading
    spilled segments on demand; at most one loaded chunk is live per
    in-flight traversal. *)
-let to_seq c = Seq.map load_chunk (List.to_seq c.segments)
+let to_seq ?on_corruption c =
+  Seq.map (fun ch -> load_chunk ?on_corruption ch) (List.to_seq c.segments)
 
 let iter_batches f c = Seq.iter f (to_seq c)
 

@@ -5,9 +5,11 @@
     longer fits.  A sink accumulates records in a columnar
     {!Record_batch.Builder} and seals a chunk every [chunk_records]
     appends.  Sealed chunks either stay in memory as batches, or — when a
-    spill directory is configured — are written to disk as binary trace
-    segments (the {!Binary_codec} format, so any trace reader can open
-    them) with only the path and record count kept live.
+    spill directory is configured — are written to disk as checksummed
+    columnar {!Segment} files with only the path and record count kept
+    live.  Spill files are sealed crash-safely (tmp + fsync + atomic
+    rename + directory fsync), so a chunk is never observable torn under
+    its final name.
 
     A finished sink yields a {!chunks} value: an ordered, replayable
     stream of batches.  Re-streaming loads spilled segments back one at a
@@ -15,7 +17,7 @@
 
 type spill = { dir : string; name : string }
 (** Spilled segments land in [dir] (created if missing) as
-    [<name>-<seq>.dfsb].  [name] must be unique per concurrently-open
+    [<name>-<seq>.dfsc].  [name] must be unique per concurrently-open
     sink within [dir]. *)
 
 type chunk = Mem of Record_batch.t | Seg of { path : string; len : int }
@@ -58,11 +60,14 @@ val chunk_count : chunks -> int
 val spilled_count : chunks -> int
 (** How many segments live on disk rather than in memory. *)
 
-val load_chunk : chunk -> Record_batch.t
+val load_chunk : ?on_corruption:Corruption.policy -> chunk -> Record_batch.t
 (** In-memory chunks are returned as-is; spilled segments are decoded
-    from disk.  @raise Failure when a segment file is missing/corrupt. *)
+    from disk.  Under [Fail] (default) corruption raises; under
+    [Salvage] the chunk's valid record prefix is returned and counted.
+    @raise Failure when a segment file is missing/corrupt (policy
+    [Fail]) or unreadable (either policy). *)
 
-val to_seq : chunks -> Record_batch.t Seq.t
+val to_seq : ?on_corruption:Corruption.policy -> chunks -> Record_batch.t Seq.t
 (** Replayable: every traversal re-walks the segment list (re-loading
     spilled segments), so multi-pass analyses can fold it repeatedly. *)
 

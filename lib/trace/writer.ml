@@ -79,12 +79,29 @@ let flush t =
   | Columnar_mode builder -> seal_segment t builder);
   t.do_flush ()
 
+(* Crash-safe: the trace streams into [path ^ ".tmp"] and only claims
+   its final name once fully written and fsynced.  The user callback [f]
+   runs exactly once (it may be a whole simulation), so only the
+   open/seal syscalls go through the retry loop — not [f] itself. *)
 let with_file ?format path f =
-  let oc = open_out_bin path in
-  let t = to_channel ?format oc in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      let result = f t in
-      flush t;
-      result)
+  let tmp = Durable.tmp_path path in
+  let oc =
+    Io_retry.run ~op:"trace-open" ~path (fun () -> open_out_bin tmp)
+  in
+  match
+    let t = to_channel ?format oc in
+    let result = f t in
+    flush t;
+    result
+  with
+  | result ->
+    Io_retry.run ~op:"trace-seal" ~path (fun () ->
+        Durable.fsync_channel oc);
+    close_out oc;
+    Io_retry.run ~op:"trace-seal" ~path (fun () ->
+        Durable.rename_into_place ~tmp ~path);
+    result
+  | exception e ->
+    close_out_noerr oc;
+    Durable.unlink_noerr tmp;
+    raise e

@@ -30,5 +30,8 @@ val count : t -> int
 val flush : t -> unit
 
 val with_file : ?format:format -> string -> (t -> 'a) -> 'a
-(** [with_file path f] opens [path] (binary-safe), runs [f], and closes
-    the file even if [f] raises. *)
+(** [with_file path f] streams the trace into [path ^ ".tmp"]
+    (binary-safe), then fsyncs and atomically renames it to [path] once
+    [f] returns, fsyncing the directory too.  If [f] raises, the temp
+    file is removed and [path] is left untouched — a trace file under
+    its final name is always complete. *)

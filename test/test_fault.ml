@@ -124,14 +124,15 @@ let test_none_schedule_empty () =
 
 (* -- retry/backoff ------------------------------------------------------------ *)
 
-(* Reference model: cumulative doubling backoff (capped) until the sum
-   first reaches the remaining outage time. *)
-let expected_stall (p : Profile.t) ~remaining =
-  let rec go acc step n =
+(* Reference model: cumulative doubling (jittered, capped) backoff until
+   the sum first reaches the remaining outage time, built from the same
+   pure per-attempt step the injector charges. *)
+let expected_stall (p : Profile.t) ~server ~remaining =
+  let rec go acc n =
     if acc >= remaining then (acc, n)
-    else go (acc +. step) (Float.min (2.0 *. step) p.Profile.rpc_backoff_max) (n + 1)
+    else go (acc +. Injector.backoff_step p ~server ~attempt:n) (n + 1)
   in
-  go 0.0 p.Profile.rpc_timeout 0
+  go 0.0 0
 
 let test_rpc_delay_backoff () =
   let inj =
@@ -144,7 +145,7 @@ let test_rpc_delay_backoff () =
     let now = w.Schedule.down_at +. 0.25 in
     let remaining = w.Schedule.up_at -. now in
     let want_stall, want_retries =
-      expected_stall (Injector.profile inj) ~remaining
+      expected_stall (Injector.profile inj) ~server:0 ~remaining
     in
     let stall = Injector.rpc_delay inj ~server:0 ~now in
     Alcotest.(check (float 1e-9)) "stall is cumulative backoff" want_stall stall;
@@ -163,15 +164,89 @@ let test_rpc_delay_backoff () =
       (Injector.rpc_delay quiet ~server:0 ~now:(w.Schedule.up_at +. 0.5))
 
 let test_backoff_arithmetic () =
-  (* timeout 0.5 doubling: 0.5 + 1.0 = 1.5 >= 1.2 after two retries. *)
-  let p = { Profile.crash_heavy with rpc_timeout = 0.5; rpc_backoff_max = 30.0 } in
-  let stall, retries = expected_stall p ~remaining:1.2 in
+  (* With jitter off the classic doubling arithmetic is exact:
+     0.5 + 1.0 = 1.5 >= 1.2 after two retries. *)
+  let p =
+    {
+      Profile.crash_heavy with
+      rpc_timeout = 0.5;
+      rpc_backoff_max = 30.0;
+      rpc_backoff_jitter = 0.0;
+    }
+  in
+  let stall, retries = expected_stall p ~server:0 ~remaining:1.2 in
   Alcotest.(check (float 1e-9)) "stall" 1.5 stall;
   Alcotest.(check int) "retries" 2 retries;
   (* The ceiling kicks in for long outages: 0.5+1+2+4+8+16+30+30... *)
-  let stall, retries = expected_stall p ~remaining:100.0 in
+  let stall, retries = expected_stall p ~server:0 ~remaining:100.0 in
   Alcotest.(check (float 1e-9)) "capped stall" 121.5 stall;
   Alcotest.(check int) "capped retries" 9 retries
+
+let test_backoff_jitter_deterministic () =
+  let p =
+    {
+      Profile.crash_heavy with
+      rpc_timeout = 0.5;
+      rpc_backoff_max = 30.0;
+      rpc_backoff_jitter = 0.1;
+    }
+  in
+  let unjittered = { p with Profile.rpc_backoff_jitter = 0.0 } in
+  for server = 0 to 3 do
+    for attempt = 0 to 9 do
+      let step = Injector.backoff_step p ~server ~attempt in
+      (* Pure function: same (seed, server, attempt) -> same wait. *)
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "deterministic s%d a%d" server attempt)
+        step
+        (Injector.backoff_step p ~server ~attempt);
+      let base = Injector.backoff_step unjittered ~server ~attempt in
+      Alcotest.(check bool) "jitter only lengthens" true (step >= base);
+      Alcotest.(check bool) "jitter bounded by fraction" true
+        (step <= Float.min (base *. 1.1) p.Profile.rpc_backoff_max);
+      Alcotest.(check bool) "ceiling holds" true
+        (step <= p.Profile.rpc_backoff_max)
+    done
+  done;
+  (* Distinct servers draw from distinct RNG splits: the early (uncapped)
+     steps should not all coincide. *)
+  let differs = ref false in
+  for attempt = 0 to 4 do
+    if
+      Injector.backoff_step p ~server:0 ~attempt
+      <> Injector.backoff_step p ~server:1 ~attempt
+    then differs := true
+  done;
+  Alcotest.(check bool) "per-server splits differ" true !differs;
+  (* Deep attempts sit exactly on the ceiling. *)
+  Alcotest.(check (float 0.0)) "deep attempt capped" 30.0
+    (Injector.backoff_step p ~server:0 ~attempt:20)
+
+let test_backoff_capped_counter () =
+  let before =
+    match Dfs_obs.Metrics.find "sim.fault.backoff_capped" with
+    | Some (Dfs_obs.Metrics.Counter c) -> Dfs_obs.Metrics.value c
+    | _ -> 0
+  in
+  let inj =
+    Injector.create ~profile:Profile.crash_heavy ~n_servers:1 ~horizon:86400.0
+  in
+  let sched = Injector.schedule inj in
+  (* An outage long enough that the doubling retry interval must reach
+     the ceiling: 0.5+1+2+4+8+16 = 31.5 s of uncapped backoff. *)
+  (match
+     List.find_opt
+       (fun w -> w.Schedule.up_at -. w.Schedule.down_at > 40.0)
+       (Schedule.server_outages sched 0)
+   with
+  | None -> Alcotest.fail "expected a >40s outage in a day of crash_heavy"
+  | Some w -> ignore (Injector.rpc_delay inj ~server:0 ~now:w.Schedule.down_at));
+  let after =
+    match Dfs_obs.Metrics.find "sim.fault.backoff_capped" with
+    | Some (Dfs_obs.Metrics.Counter c) -> Dfs_obs.Metrics.value c
+    | _ -> 0
+  in
+  Alcotest.(check bool) "capped steps counted" true (after > before)
 
 let test_disk_penalty_bounds () =
   let inj =
@@ -411,6 +486,10 @@ let suite =
     Alcotest.test_case "none schedule empty" `Quick test_none_schedule_empty;
     Alcotest.test_case "rpc delay backoff" `Quick test_rpc_delay_backoff;
     Alcotest.test_case "backoff arithmetic" `Quick test_backoff_arithmetic;
+    Alcotest.test_case "backoff jitter deterministic" `Quick
+      test_backoff_jitter_deterministic;
+    Alcotest.test_case "backoff capped counter" `Quick
+      test_backoff_capped_counter;
     Alcotest.test_case "disk penalty bounds" `Quick test_disk_penalty_bounds;
     Alcotest.test_case "offline queue fifo" `Quick test_offline_queue_fifo;
     Alcotest.test_case "cache crash loses dirty" `Quick

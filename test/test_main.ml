@@ -1,4 +1,7 @@
 let () =
+  (* Chaos-harness child mode: emit a spill run and exit (see
+     Test_crash.maybe_run_child).  Must happen before alcotest starts. *)
+  Test_crash.maybe_run_child ();
   Alcotest.run "dfs-repro"
     [
       ("util", Test_util.suite);
@@ -6,6 +9,7 @@ let () =
       ("obs", Test_obs.suite);
       ("profiler", Test_profiler.suite);
       ("trace", Test_trace.suite);
+      ("crash", Test_crash.suite);
       ("cache", Test_cache.suite);
       ("vm", Test_vm.suite);
       ("sim", Test_sim.suite);

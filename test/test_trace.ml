@@ -587,28 +587,44 @@ let test_segment_rejects_truncation () =
     (String.sub s 0 (String.length s - 1))
 
 let test_segment_rejects_misalignment () =
+  (* On v2 any poked header field trips the header checksum before the
+     structural checks even run. *)
   let s = Segment.encode_batch (Record_batch.of_list records_for_io) in
-  (* declare a segment length that cannot hold the declared record
-     count: the extents no longer line up *)
   let bad = Bytes.of_string s in
   Bytes.set_int64_le bad 16 (Int64.of_int (String.length s - 3));
-  check_segment_rejected ~what:"bad length" ~needle:"misaligned"
+  check_segment_rejected ~what:"bad length v2" ~needle:"header checksum"
     (Bytes.to_string bad);
-  (* negative record count *)
   let bad = Bytes.of_string s in
   Bytes.set_int64_le bad 8 (-1L);
-  check_segment_rejected ~what:"negative count" ~needle:"record count"
+  check_segment_rejected ~what:"negative count v2" ~needle:"header checksum"
+    (Bytes.to_string bad);
+  (* v1 has no checksums, so the same pokes must still be caught by the
+     structural extent/alignment checks. *)
+  let s1 = Segment.encode_batch ~version:1 (Record_batch.of_list records_for_io) in
+  let bad = Bytes.of_string s1 in
+  Bytes.set_int64_le bad 16 (Int64.of_int (String.length s1 - 3));
+  check_segment_rejected ~what:"bad length v1" ~needle:"misaligned"
+    (Bytes.to_string bad);
+  let bad = Bytes.of_string s1 in
+  Bytes.set_int64_le bad 8 (-1L);
+  check_segment_rejected ~what:"negative count v1" ~needle:"record count"
     (Bytes.to_string bad)
 
 let test_segment_rejects_malformed_tag () =
   let records = records_for_io in
-  let s = Segment.encode_batch (Record_batch.of_list records) in
   let n = List.length records in
   (* tags column starts at header + 44n; 0xFF sets flag bits no kind
-     allows *)
+     allows.  On v2 the column checksum catches the flip first; on v1
+     the per-record tag check is the only line of defense. *)
+  let s = Segment.encode_batch (Record_batch.of_list records) in
   let bad = Bytes.of_string s in
   Bytes.set bad (Segment.header_bytes + (44 * n)) '\xFF';
-  check_segment_rejected ~what:"bad tag" ~needle:"malformed tag"
+  check_segment_rejected ~what:"bad tag v2" ~needle:"column tags"
+    (Bytes.to_string bad);
+  let s1 = Segment.encode_batch ~version:1 (Record_batch.of_list records) in
+  let bad = Bytes.of_string s1 in
+  Bytes.set bad (Segment.header_bytes_v1 + (44 * n)) '\xFF';
+  check_segment_rejected ~what:"bad tag v1" ~needle:"malformed tag"
     (Bytes.to_string bad)
 
 (* -- properties -------------------------------------------------------------------- *)

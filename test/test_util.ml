@@ -596,9 +596,58 @@ let prop_dist_clamp_respected =
           x >= lo && x <= hi)
         (List.init 50 Fun.id))
 
+(* -- crc32c ----------------------------------------------------------------- *)
+
+let test_crc32c_vectors () =
+  (* Reference vectors for CRC-32C (Castagnoli): RFC 3720 appendix and
+     the classic check value. *)
+  Alcotest.(check int) "empty" 0 (Crc32c.string "");
+  Alcotest.(check int) "123456789" 0xE3069283 (Crc32c.string "123456789");
+  Alcotest.(check int) "32 zero bytes" 0x8A9136AA
+    (Crc32c.string (String.make 32 '\x00'));
+  Alcotest.(check int) "32 0xFF bytes" 0x62A8AB43
+    (Crc32c.string (String.make 32 '\xff'))
+
+let test_crc32c_streaming_matches_oneshot () =
+  let s = String.init 257 (fun i -> Char.chr ((i * 61 + 7) land 0xFF)) in
+  Alcotest.(check int) "sub of whole" (Crc32c.string s)
+    (Crc32c.string_sub s ~pos:0 ~len:(String.length s));
+  (* Fold in uneven pieces; slice-by-8 must not care about alignment. *)
+  let st = ref Crc32c.init in
+  let pos = ref 0 in
+  List.iter
+    (fun len ->
+      st := Crc32c.update_string !st s ~pos:!pos ~len;
+      pos := !pos + len)
+    [ 1; 3; 8; 13; 64; 100; 68 ];
+  Alcotest.(check int) "all bytes folded" (String.length s) !pos;
+  Alcotest.(check int) "streaming = one-shot" (Crc32c.string s)
+    (Crc32c.finalize !st);
+  let big = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout
+      (String.length s)
+  in
+  String.iteri (fun i c -> big.{i} <- Char.code c) s;
+  Alcotest.(check int) "bigstring agrees with string" (Crc32c.string s)
+    (Crc32c.bigstring_sub big ~pos:0 ~len:(String.length s));
+  Alcotest.(check int) "bigstring window agrees"
+    (Crc32c.string_sub s ~pos:9 ~len:100)
+    (Crc32c.bigstring_sub big ~pos:9 ~len:100)
+
+let prop_crc32c_split_invariance =
+  QCheck.Test.make ~name:"crc32c split-anywhere invariance" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 200)) (int_bound 200))
+    (fun (s, cut0) ->
+      let cut = min cut0 (String.length s) in
+      let st = Crc32c.update_string Crc32c.init s ~pos:0 ~len:cut in
+      let st =
+        Crc32c.update_string st s ~pos:cut ~len:(String.length s - cut)
+      in
+      Crc32c.finalize st = Crc32c.string s)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
+      prop_crc32c_split_invariance;
       prop_stats_mean_bounds;
       prop_stats_merge_equals_sequential;
       prop_cdf_monotone;
@@ -662,5 +711,7 @@ let suite =
     ("chart of_cdf percent", `Quick, test_chart_of_cdf_percent);
     ("chart two series", `Quick, test_chart_two_series);
     ("chart no positive x", `Quick, test_chart_no_positive_x);
+    ("crc32c vectors", `Quick, test_crc32c_vectors);
+    ("crc32c streaming", `Quick, test_crc32c_streaming_matches_oneshot);
   ]
   @ qcheck_tests
