@@ -76,12 +76,40 @@ let fault_profile () =
     | Some _ -> None
     | None -> failwith (Printf.sprintf "DFS_FAULTS: unknown profile %S" name))
 
+(* Per-shard busy/stall gauges published by the PDES executor, read back
+   for the report: shard indices are dense from 0, so stop at the first
+   missing one. *)
+let shard_utilization () =
+  let module J = Dfs_obs.Json in
+  let rec collect i acc =
+    let busy_name = Printf.sprintf "sim.shard%d.busy_s" i in
+    match Dfs_obs.Metrics.find busy_name with
+    | Some (Dfs_obs.Metrics.Gauge busy) ->
+      let stall =
+        Dfs_obs.Metrics.gauge (Printf.sprintf "sim.shard%d.stall_s" i)
+      in
+      let entry =
+        J.Obj
+          [
+            ("busy_s", J.Float (Dfs_obs.Metrics.gauge_value busy));
+            ("stall_s", J.Float (Dfs_obs.Metrics.gauge_value stall));
+          ]
+      in
+      collect (i + 1) (entry :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  collect 0 []
+
 let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
-    ~records_total ~experiments ~total_wall =
+    ~records_total ~experiments ~total_wall ~sim_shards ~scale_wall
+    ~scale_partitions ~scale_records =
   let module J = Dfs_obs.Json in
   let gc = Gc.quick_stat () in
   let trace_counter name =
     Dfs_obs.Metrics.value (Dfs_obs.Metrics.counter name)
+  in
+  let sim_gauge name =
+    Dfs_obs.Metrics.gauge_value (Dfs_obs.Metrics.gauge name)
   in
   (* decode throughput: trace records served per phase-second.  The
      analysis phase streams every run's trace (zero-copy from mapped
@@ -92,9 +120,10 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
   let report =
     J.Obj
       [
-        ("schema", J.String "dfs-bench-run/6");
+        ("schema", J.String "dfs-bench-run/7");
         ("scale", J.Float scale);
         ("jobs", J.Int jobs);
+        ("sim_shards", J.Int sim_shards);
         ( "faults",
           J.String
             (match faults with
@@ -105,8 +134,23 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
             [
               ("sim_wall_s", J.Float sim_wall);
               ("analysis_wall_s", J.Float analysis_wall);
+              ("scale_wall_s", J.Float scale_wall);
               ("sim_records_per_s", J.Float (per_s sim_wall));
               ("analysis_records_per_s", J.Float (per_s analysis_wall));
+            ] );
+        (* the sharded-simulation telemetry: barrier counts across every
+           windowed run, plus the scale phase's partition layout and
+           per-shard busy/stall split *)
+        ( "sim",
+          J.Obj
+            [
+              ("barrier_count", J.Int (trace_counter "sim.barrier.count"));
+              ("lookahead_s", J.Float (sim_gauge "sim.lookahead_s"));
+              ("partitions", J.Int scale_partitions);
+              ("scale_records", J.Int scale_records);
+              ( "remote_messages",
+                J.Int (trace_counter "sim.pdes.messages") );
+              ("shards", J.List (shard_utilization ()));
             ] );
         ("total_wall_s", J.Float total_wall);
         (* peak-heap telemetry: the regression gate for the streaming
@@ -404,6 +448,44 @@ let ablation_local_paging () =
      not worth a local disk)\n\n"
     (100.0 *. float_of_int backing /. float_of_int (max 1 (Dfs_sim.Traffic.total t)))
 
+(* -- sharded scale phase ------------------------------------------------------ *)
+
+(* A partitioned PDES run sized off DFS_SCALE: real cross-partition
+   traffic through the window barriers, executed on DFS_SIM_SHARDS
+   domains (default auto).  This is what populates the per-shard
+   busy/stall gauges and the partition/barrier telemetry in the run
+   report; its wall time is the sharded-scaling headline number. *)
+let run_scale_phase ~scale =
+  let cfg =
+    {
+      Dfs_workload.Sharded.default_config with
+      Dfs_workload.Sharded.n_clients = 192;
+      n_servers = 4;
+      duration = Float.max 300.0 (scale *. 86400.0);
+      chunk_records = Some (Dfs_core.Dataset.default_chunk_records ());
+      spill_dir = Dfs_core.Dataset.default_spill_dir ();
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = Dfs_workload.Sharded.run cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "== scale: %d clients over %d partitions on %d shard worker(s) ==\n"
+    cfg.Dfs_workload.Sharded.n_clients r.Dfs_workload.Sharded.partitions
+    r.Dfs_workload.Sharded.workers;
+  Printf.printf "  %-28s %d\n" "window barriers"
+    r.Dfs_workload.Sharded.barriers;
+  Printf.printf "  %-28s %d\n" "cross-partition messages"
+    r.Dfs_workload.Sharded.remote_msgs;
+  Printf.printf "  %-28s %d\n" "merged trace records"
+    (Dfs_trace.Sink.length r.Dfs_workload.Sharded.merged);
+  Printf.printf "  %-28s %.2f s\n\n" "wall" wall;
+  let records = Dfs_trace.Sink.length r.Dfs_workload.Sharded.merged in
+  let partitions = r.Dfs_workload.Sharded.partitions in
+  let workers = r.Dfs_workload.Sharded.workers in
+  Dfs_workload.Sharded.release r;
+  (wall, partitions, workers, records)
+
 let () =
   (* The simulation phase allocates heavily (every event, RPC and cache
      op); a larger minor heap and a lazier major GC trade memory we have
@@ -474,12 +556,16 @@ let () =
       ablation_migration_policy ();
       ablation_local_paging ();
       ablation_lfs_crossover ds);
+  let scale_wall, scale_partitions, sim_shards, scale_records =
+    run_scale_phase ~scale:ds.Dfs_core.Dataset.scale
+  in
   let total_wall = Unix.gettimeofday () -. t0 in
   (* span-loss accounting lands in the embedded metrics snapshot *)
   Dfs_obs.Tracer.record_export_counters Dfs_obs.Tracer.default;
   write_run_report ~scale:ds.Dfs_core.Dataset.scale
     ~jobs:(Dfs_util.Pool.jobs pool) ~faults ~sim_wall ~analysis_wall
-    ~records_total ~experiments:experiment_walls ~total_wall;
+    ~records_total ~experiments:experiment_walls ~total_wall ~sim_shards
+    ~scale_wall ~scale_partitions ~scale_records;
   Option.iter
     (fun path ->
       let oc = open_out path in

@@ -19,6 +19,16 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let sim_shards_arg =
+  let doc =
+    "Number of domains executing the sharded simulation's lookahead \
+     windows. Defaults to DFS_SIM_SHARDS, else the machine's recommended \
+     domain count. The partition layout is a pure function of the cluster \
+     configuration — never of this setting — so results are byte-identical \
+     whatever the value."
+  in
+  Arg.(value & opt (some int) None & info [ "sim-shards" ] ~docv:"N" ~doc)
+
 let traces_arg =
   let doc = "Comma-separated trace numbers (1-8) to simulate." in
   Arg.(
@@ -219,8 +229,9 @@ let experiment_cmd =
     let doc = "Experiment ids (table1..table12, fig1..fig4)." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run () ids scale traces jobs faults fault_seed chunk_records spill_dir
-      metrics_out trace_out profile_out =
+  let run () ids scale traces jobs faults fault_seed sim_shards chunk_records
+      spill_dir metrics_out trace_out profile_out =
+    Dfs_workload.Sharded.set_shards sim_shards;
     let unknown =
       List.filter (fun id -> Dfs_core.Experiment.find id = None) ids
     in
@@ -248,14 +259,15 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce specific tables/figures")
     Term.(
       const run $ verbosity_term $ ids_arg $ scale_arg $ traces_arg $ jobs_arg
-      $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
-      $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
+      $ faults_arg $ fault_seed_arg $ sim_shards_arg $ chunk_records_arg
+      $ spill_dir_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
 
 (* -- all ----------------------------------------------------------------------- *)
 
 let all_cmd =
-  let run () scale traces jobs faults fault_seed chunk_records spill_dir
-      metrics_out trace_out profile_out =
+  let run () scale traces jobs faults fault_seed sim_shards chunk_records
+      spill_dir metrics_out trace_out profile_out =
+    Dfs_workload.Sharded.set_shards sim_shards;
     with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let ds =
           make_dataset ?faults:(fault_profile faults fault_seed)
@@ -271,8 +283,8 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Reproduce every table and figure")
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
-      $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
-      $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
+      $ faults_arg $ fault_seed_arg $ sim_shards_arg $ chunk_records_arg
+      $ spill_dir_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
 
 (* -- facts -------------------------------------------------------------------- *)
 
@@ -281,8 +293,9 @@ let facts_cmd =
     let doc = "Emit the scorecard as a markdown table (for EXPERIMENTS.md)." in
     Arg.(value & flag & info [ "markdown" ] ~doc)
   in
-  let run () scale traces jobs faults fault_seed chunk_records spill_dir
-      markdown metrics_out trace_out profile_out =
+  let run () scale traces jobs faults fault_seed sim_shards chunk_records
+      spill_dir markdown metrics_out trace_out profile_out =
+    Dfs_workload.Sharded.set_shards sim_shards;
     with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let ds =
           make_dataset ?faults:(fault_profile faults fault_seed)
@@ -300,8 +313,9 @@ let facts_cmd =
          "Check the paper's headline findings (the prose claims) against           the simulation")
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
-      $ faults_arg $ fault_seed_arg $ chunk_records_arg $ spill_dir_arg
-      $ markdown_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
+      $ faults_arg $ fault_seed_arg $ sim_shards_arg $ chunk_records_arg
+      $ spill_dir_arg $ markdown_arg $ metrics_out_arg $ trace_out_arg
+      $ profile_out_arg)
 
 (* -- simulate ------------------------------------------------------------------- *)
 
@@ -338,7 +352,8 @@ let simulate_cmd =
     let doc = "Directory to write per-server trace files into." in
     Arg.(value & opt string "traces" & info [ "out" ] ~docv:"DIR" ~doc)
   in
-  let run () n scale out format metrics_out trace_out profile_out =
+  let run () n scale out format sim_shards metrics_out trace_out profile_out =
+    Dfs_workload.Sharded.set_shards sim_shards;
     let format = parse_trace_format format in
     with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let preset = scaled_preset n scale in
@@ -362,7 +377,8 @@ let simulate_cmd =
        ~doc:"Simulate one trace preset and write per-server trace files")
     Term.(
       const run $ verbosity_term $ trace_n_arg $ scale_arg $ out_arg
-      $ trace_format_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
+      $ trace_format_arg $ sim_shards_arg $ metrics_out_arg $ trace_out_arg
+      $ profile_out_arg)
 
 (* -- analyze --------------------------------------------------------------------- *)
 
@@ -489,7 +505,9 @@ let fsck_cmd =
 (* -- stats ------------------------------------------------------------------------ *)
 
 let stats_cmd =
-  let run () n scale faults fault_seed metrics_out trace_out profile_out =
+  let run () n scale faults fault_seed sim_shards metrics_out trace_out
+      profile_out =
+    Dfs_workload.Sharded.set_shards sim_shards;
     with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let preset = scaled_preset n scale in
         let preset =
@@ -528,7 +546,90 @@ let stats_cmd =
           quantiles)")
     Term.(
       const run $ verbosity_term $ trace_n_arg $ scale_arg $ faults_arg
-      $ fault_seed_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
+      $ fault_seed_arg $ sim_shards_arg $ metrics_out_arg $ trace_out_arg
+      $ profile_out_arg)
+
+(* -- scale --------------------------------------------------------------------- *)
+
+let scale_cmd =
+  let clients_arg =
+    let doc = "Total client workstations across all partitions." in
+    Arg.(value & opt int 320 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let servers_arg =
+    let doc = "Total home servers across all partitions." in
+    Arg.(value & opt int 8 & info [ "servers" ] ~docv:"N" ~doc)
+  in
+  let days_arg =
+    let doc = "Simulated duration in days (fractions allowed)." in
+    Arg.(value & opt float 0.05 & info [ "days" ] ~docv:"DAYS" ~doc)
+  in
+  let seed_arg =
+    let doc = "Workload seed (each partition derives its own stream)." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let partitions_arg =
+    let doc =
+      "Number of logical partitions (default: one per ~64 clients, capped \
+       by the server count). Part of the configuration — changing it \
+       changes the workload — unlike $(b,--sim-shards), which only picks \
+       how many domains execute it."
+    in
+    Arg.(value & opt (some int) None & info [ "partitions" ] ~docv:"N" ~doc)
+  in
+  let run () clients servers days seed partitions faults fault_seed sim_shards
+      chunk_records spill_dir metrics_out trace_out profile_out =
+    Dfs_workload.Sharded.set_shards sim_shards;
+    with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
+        let fault_profile =
+          Option.value
+            (fault_profile faults fault_seed)
+            ~default:Dfs_fault.Profile.none
+        in
+        let cfg =
+          {
+            Dfs_workload.Sharded.default_config with
+            Dfs_workload.Sharded.n_clients = clients;
+            n_servers = servers;
+            seed;
+            duration = days *. 86400.0;
+            fault_profile;
+            partitions;
+            chunk_records;
+            spill_dir;
+          }
+        in
+        let r = Dfs_workload.Sharded.run cfg in
+        let records = ref 0 in
+        Dfs_trace.Sink.iter (fun _ -> incr records) r.merged;
+        (* Deterministic summary only — no wall-clock values, so CI can
+           byte-compare this output across worker counts. *)
+        Printf.printf "== scale: %d clients, %d servers, %g days, seed %d, faults %s ==\n"
+          clients servers days seed
+          (Option.value faults ~default:"none");
+        Printf.printf "%-24s %d\n" "partitions" r.partitions;
+        Printf.printf "%-24s %d\n" "users" r.users;
+        Printf.printf "%-24s %d\n" "trace_records" !records;
+        Printf.printf "%-24s %08x\n" "trace_crc32c"
+          (Dfs_workload.Sharded.digest r.merged);
+        Printf.printf "%-24s %d\n" "barriers" r.barriers;
+        Printf.printf "%-24s %d\n" "remote_msgs" r.remote_msgs;
+        Dfs_workload.Sharded.release r)
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Run a large partitioned cluster as one conservative parallel \
+          discrete-event simulation and print a deterministic summary \
+          (partition count, user count, merged-trace record count and \
+          CRC-32C, barrier and cross-partition message counts). The \
+          summary is byte-identical for any $(b,--sim-shards) and \
+          DFS_JOBS value")
+    Term.(
+      const run $ verbosity_term $ clients_arg $ servers_arg $ days_arg
+      $ seed_arg $ partitions_arg $ faults_arg $ fault_seed_arg
+      $ sim_shards_arg $ chunk_records_arg $ spill_dir_arg $ metrics_out_arg
+      $ trace_out_arg $ profile_out_arg)
 
 (* -- report / bench-diff ------------------------------------------------------ *)
 
@@ -631,6 +732,7 @@ let main =
       analyze_cmd;
       fsck_cmd;
       stats_cmd;
+      scale_cmd;
       report_cmd;
       bench_diff_cmd;
     ]

@@ -20,6 +20,9 @@ type pending_writeback = { pw_file : int; pw_index : int; pw_bytes : int }
 type t = {
   prof : Profile.t;
   sched : Schedule.t;
+  server_id_base : int;
+      (* global id of local server 0; the schedule always covers the
+         full global cluster, queries translate local -> global *)
   rng : Rng.t;  (* drop / disk-error draws only; never the workload's *)
   queues : pending_writeback Queue.t array;
   mutable queued : int array;  (* bytes parked per server *)
@@ -56,11 +59,25 @@ let m_stall = Dfs_obs.Metrics.histogram "sim.fault.rpc_stall_s"
 
 let m_backoff_capped = Dfs_obs.Metrics.counter "sim.fault.backoff_capped"
 
-let create ~profile ~n_servers ~horizon =
+let create ~profile ~n_servers ?(server_id_base = 0) ?schedule_servers
+    ~horizon () =
+  (* The schedule is generated for the FULL global cluster in every
+     partition — generation is pure and cheap, and per-server streams
+     are split in fixed server order, so partitioning never perturbs any
+     server's outage windows (each partition just reads its own slice). *)
+  let schedule_servers =
+    Option.value schedule_servers ~default:(server_id_base + n_servers)
+  in
+  assert (schedule_servers >= server_id_base + n_servers);
   {
     prof = profile;
-    sched = Schedule.generate ~profile ~n_servers ~horizon;
-    rng = Rng.create ((profile.Profile.seed * 48271) lxor 0xfa117);
+    sched = Schedule.generate ~profile ~n_servers:schedule_servers ~horizon;
+    server_id_base;
+    rng =
+      Rng.create
+        ((profile.Profile.seed * 48271)
+        lxor 0xfa117
+        lxor (server_id_base * 0x9E3779B1));
     queues = Array.init n_servers (fun _ -> Queue.create ());
     queued = Array.make n_servers 0;
     st =
@@ -93,6 +110,7 @@ let span ~now ~name ~dur attrs =
 (* -- data-path queries ----------------------------------------------------- *)
 
 let unreachable_until t ~server ~now =
+  let server = t.server_id_base + server in
   let until = ref neg_infinity in
   (match Schedule.server_down t.sched ~server ~now with
   | Some w -> until := w.Schedule.up_at
@@ -148,10 +166,13 @@ let backoff_stall (p : Profile.t) ~server ~remaining =
 let max_drop_retries = 8
 
 let rpc_delay t ~server ~now =
+  (* Jitter draws key on the GLOBAL server id so a given retry waits the
+     same time whether the cluster is partitioned or not. *)
+  let gserver = t.server_id_base + server in
   match unreachable_until t ~server ~now with
   | Some until ->
     let stall, retries, capped =
-      backoff_stall t.prof ~server ~remaining:(until -. now)
+      backoff_stall t.prof ~server:gserver ~remaining:(until -. now)
     in
     t.st.rpc_retries <- t.st.rpc_retries + retries;
     t.st.rpc_stall_s <- t.st.rpc_stall_s +. stall;
@@ -174,7 +195,7 @@ let rpc_delay t ~server ~now =
           t.st.rpc_retries <- t.st.rpc_retries + 1;
           Dfs_obs.Metrics.incr m_drops;
           Dfs_obs.Metrics.incr m_retries;
-          let step, hit = backoff_step_capped t.prof ~server ~attempt:n in
+          let step, hit = backoff_step_capped t.prof ~server:gserver ~attempt:n in
           if hit then Dfs_obs.Metrics.incr m_backoff_capped;
           go (acc +. step) (n + 1)
         end

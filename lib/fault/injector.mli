@@ -31,7 +31,24 @@ type stats = {
 
 type t
 
-val create : profile:Profile.t -> n_servers:int -> horizon:float -> t
+val create :
+  profile:Profile.t ->
+  n_servers:int ->
+  ?server_id_base:int ->
+  ?schedule_servers:int ->
+  horizon:float ->
+  unit ->
+  t
+(** One injector per cluster (or per partition of a partitioned
+    cluster).  [n_servers] is the number of {e local} servers this
+    injector answers queries for; their global ids start at
+    [server_id_base] (default 0).  The outage schedule is always
+    generated for the full global cluster of [schedule_servers] servers
+    (default [server_id_base + n_servers]) — generation is pure, and
+    splitting it per partition this way leaves every server's windows
+    identical to the unpartitioned schedule.  Data-path queries take
+    local server indices; jitter draws key on global ids so retry
+    timing is partition-independent. *)
 
 val profile : t -> Profile.t
 

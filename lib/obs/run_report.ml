@@ -287,6 +287,50 @@ let report ?metrics ?profile bench =
         wall
     | None, _ -> ()));
   line "";
+  (* -- per-shard utilization (the PDES worker team) -- *)
+  line "## Per-shard utilization";
+  line "";
+  let shard_busy =
+    List.filter_map
+      (fun (k, v) ->
+        if starts_with ~prefix:"sim.shard" k && ends_with ~suffix:".busy_s" k
+        then Option.map (fun f -> (k, f)) (fnum v)
+        else None)
+      (gauge_fields metrics)
+  in
+  (match shard_busy with
+  | [] ->
+    line "_no sim.shard* gauges in the metrics snapshot (sharded simulation";
+    line "telemetry; present on any windowed run since schema v7)_"
+  | shard_busy ->
+    let stall_of k =
+      (* sim.shard<i>.busy_s -> sim.shard<i>.stall_s *)
+      let base = String.sub k 0 (String.length k - String.length "busy_s") in
+      Option.value ~default:0.0
+        (Option.bind
+           (List.assoc_opt (base ^ "stall_s") (gauge_fields metrics))
+           fnum)
+    in
+    md_table buf
+      ~header:[ "shard worker"; "busy (s)"; "stall (s)"; "utilization" ]
+      (List.map
+         (fun (k, b) ->
+           let stall = stall_of k in
+           let frac = if b +. stall > 0.0 then b /. (b +. stall) else 0.0 in
+           [
+             k;
+             Printf.sprintf "%.3f" b;
+             Printf.sprintf "%.3f" stall;
+             Printf.sprintf "%s %.0f%%" (bar frac) (100.0 *. frac);
+           ])
+         (List.sort (fun (a, _) (b, _) -> String.compare a b) shard_busy));
+    match Option.bind metrics (member_num "sim.barrier.count") with
+    | Some barriers ->
+      line "";
+      line "Stall is time parked at the %.0f window barriers waiting for \
+            slower shards." barriers
+    | None -> ());
+  line "";
   Buffer.contents buf
 
 (* -- bench diff ------------------------------------------------------------- *)
@@ -312,6 +356,7 @@ type diff = {
 let default_thresholds =
   [
     ("total_wall_s", 0.25);
+    ("phases.sim_wall_s", 0.25);
     ("phases.analysis_wall_s", 0.25);
     ("gc.top_heap_words", 0.25);
   ]

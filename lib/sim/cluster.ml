@@ -19,6 +19,12 @@ type config = {
   trace_chunk_records : int;
   trace_spill_dir : string option;
   trace_spill_tag : string;
+  client_id_base : int;
+  server_id_base : int;
+  file_id_base : int;
+  user_id_base : int;
+  pid_base : int;
+  fault_schedule_servers : int option;
 }
 
 (* Fault windows are generated eagerly out to this horizon; runs longer
@@ -43,13 +49,24 @@ let default_config =
     trace_chunk_records = Sink.default_chunk_records;
     trace_spill_dir = None;
     trace_spill_tag = "cluster";
+    client_id_base = 0;
+    server_id_base = 0;
+    file_id_base = 0;
+    user_id_base = 0;
+    pid_base = 0;
+    fault_schedule_servers = None;
   }
 
 let daemon_user = Ids.User.of_int 9000
 
 let backup_user = Ids.User.of_int 9001
 
-let self_users = Ids.User.Set.of_list [ daemon_user; backup_user ]
+(* Cross-partition remote reads of a sharded simulation run under this
+   identity; like the daemon and backup users it is shared by every
+   partition and scrubbed from the merged trace. *)
+let remote_user = Ids.User.of_int 9002
+
+let self_users = Ids.User.Set.of_list [ daemon_user; backup_user; remote_user ]
 
 type t = {
   cfg : config;
@@ -64,6 +81,7 @@ type t = {
   mutable released : bool;
   faults : Dfs_fault.Injector.t option;
   mutable next_infra_pid : int;
+  mutable remote_cursor : int;  (* rotating file pick for remote reads *)
 }
 
 let cfg t = t.cfg
@@ -81,6 +99,8 @@ let clients t = t.clients
 let servers t = t.servers
 
 let client t i = t.clients.(i)
+
+let client_id t i = Ids.Client.of_int (t.cfg.client_id_base + i)
 
 let counters t = t.counters
 
@@ -102,7 +122,7 @@ let log_infra_access t ~server_idx ~cred ~file ~size ~mode ~bytes_read
   let base kind =
     {
       Record.time = now;
-      server = Ids.Server.of_int server_idx;
+      server = Ids.Server.of_int (t.cfg.server_id_base + server_idx);
       client = (cred : Cred.t).client;
       user = cred.user;
       pid = cred.pid;
@@ -126,9 +146,9 @@ let trace_daemon_step t =
     Array.iteri
       (fun i _server ->
         let cred =
-          infra_cred t ~user:daemon_user ~client:(Ids.Client.of_int 0)
+          infra_cred t ~user:daemon_user ~client:(client_id t 0)
         in
-        let file = Ids.File.of_int (800000 + i) in
+        let file = Ids.File.of_int (800000 + t.cfg.server_id_base + i) in
         let chunk = 32 * 1024 in
         log_infra_access t ~server_idx:i ~cred ~file ~size:(chunk * 10)
           ~mode:Record.Write_only ~bytes_read:0 ~bytes_written:chunk)
@@ -142,16 +162,17 @@ let backup_step t =
     let scanned = ref 0 in
     let limit = 500 in
     let total = Fs_state.total_files t.fs in
+    let file_base = Fs_state.file_id_base t.fs in
     let stride = max 1 (total / limit) in
     let i = ref 0 in
     while !i < total && !scanned < limit do
-      (match Fs_state.find t.fs (Ids.File.of_int !i) with
+      (match Fs_state.find t.fs (Ids.File.of_int (file_base + !i)) with
       | Some info when info.exists && not info.is_dir && info.size > 0 ->
         incr scanned;
-        let server_idx = Ids.Server.to_int info.server in
+        let server_idx = Ids.Server.to_int info.server - t.cfg.server_id_base in
         let server = t.servers.(server_idx) in
         let cred =
-          infra_cred t ~user:backup_user ~client:(Ids.Client.of_int 0)
+          infra_cred t ~user:backup_user ~client:(client_id t 0)
         in
         (* server-side read: warms/pollutes the server cache only *)
         Bc.read (Server.cache server) ~now ~cls:Bc.Class_file ~migrated:false
@@ -161,6 +182,46 @@ let backup_step t =
       | Some _ | None -> ());
       i := !i + stride
     done
+  end
+
+(* A cross-partition remote read: a client homed in another partition of
+   a sharded simulation reads one of our files through its server.  The
+   server-side cache, network and disk accounting all see it — so
+   cross-shard delivery order is output-visible, which is exactly what
+   makes the sharded byte-identity checks meaningful — and the records
+   are emitted under [remote_user], scrubbed from the merged trace like
+   the rest of the infrastructure traffic.  Returns the bytes served. *)
+let remote_access t ~client ~bytes =
+  let total = Fs_state.total_files t.fs in
+  if total = 0 || bytes <= 0 then 0
+  else begin
+    let file_base = Fs_state.file_id_base t.fs in
+    let probes = min total 256 in
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None && !i < probes do
+      let idx = file_base + ((t.remote_cursor + !i) mod total) in
+      (match Fs_state.find t.fs (Ids.File.of_int idx) with
+      | Some info when info.exists && not info.is_dir && info.size > 0 ->
+        found := Some info
+      | Some _ | None -> ());
+      incr i
+    done;
+    t.remote_cursor <- (t.remote_cursor + !i) mod total;
+    match !found with
+    | None -> 0
+    | Some info ->
+      let now = Engine.now t.engine in
+      let len = min bytes info.size in
+      let server_idx = Ids.Server.to_int info.server - t.cfg.server_id_base in
+      let server = t.servers.(server_idx) in
+      Bc.read (Server.cache server) ~now ~cls:Bc.Class_file ~migrated:false
+        ~file:info.id ~file_size:info.size ~off:0 ~len;
+      ignore (Network.rpc t.network ~kind:"remote-read" ~bytes:len);
+      let cred = infra_cred t ~user:remote_user ~client in
+      log_infra_access t ~server_idx ~cred ~file:info.id ~size:info.size
+        ~mode:Record.Read_only ~bytes_read:len ~bytes_written:0;
+      len
   end
 
 (* -- assembly -------------------------------------------------------------- *)
@@ -173,7 +234,11 @@ let create cfg =
      for a telemetry-only clock. *)
   Dfs_obs.Clock.set_source (fun () -> Engine.now engine);
   let rng = Dfs_util.Rng.create cfg.seed in
-  let fs = Fs_state.create ~n_servers:cfg.n_servers ~rng:(Dfs_util.Rng.split rng) () in
+  let fs =
+    Fs_state.create ~n_servers:cfg.n_servers
+      ~server_id_base:cfg.server_id_base ~file_id_base:cfg.file_id_base
+      ~rng:(Dfs_util.Rng.split rng) ()
+  in
   let network = Network.create ~config:cfg.network_config () in
   let log_sink i =
     let spill =
@@ -190,17 +255,19 @@ let create cfg =
     else
       Some
         (Dfs_fault.Injector.create ~profile:cfg.fault_profile
-           ~n_servers:cfg.n_servers ~horizon:fault_horizon)
+           ~n_servers:cfg.n_servers ~server_id_base:cfg.server_id_base
+           ?schedule_servers:cfg.fault_schedule_servers
+           ~horizon:fault_horizon ())
   in
   let servers =
     Array.init cfg.n_servers (fun i ->
-        Server.create ~id:(Ids.Server.of_int i) ~config:cfg.server_config ~fs
-          ~network
+        Server.create ~id:(Ids.Server.of_int (cfg.server_id_base + i))
+          ~config:cfg.server_config ~fs ~network
           ~log:(fun r -> Sink.emit logs.(i) r)
           ?faults:(Option.map (fun inj -> (inj, i)) faults)
           ())
   in
-  let server_of sid = servers.(Ids.Server.to_int sid) in
+  let server_of sid = servers.(Ids.Server.to_int sid - cfg.server_id_base) in
   let mem_choices = Array.of_list cfg.client_memory_choices in
   let clients =
     Array.init cfg.n_clients (fun i ->
@@ -210,7 +277,8 @@ let create cfg =
           if Array.length mem_choices = 0 then cfg.client_config.memory_bytes
           else mem_choices.(i mod Array.length mem_choices)
         in
-        Client.create ~engine ~id:(Ids.Client.of_int i) ~fs ~server_of
+        Client.create ~engine ~id:(Ids.Client.of_int (cfg.client_id_base + i))
+          ~fs ~server_of
           ~paging_server:servers.(0)
           ~config:{ cfg.client_config with memory_bytes }
           ())
@@ -234,6 +302,7 @@ let create cfg =
       released = false;
       faults;
       next_infra_pid = 0;
+      remote_cursor = 0;
     }
   in
   (* -- fault wiring: crashes, reboots, the recovery storm ------------------ *)
@@ -266,7 +335,7 @@ let create cfg =
                         let _lat, rpcs = Client.recover c ~server in
                         Dfs_fault.Injector.note_recovery_rpcs inj rpcs))
                   clients))
-          (Dfs_fault.Schedule.server_outages sched i))
+          (Dfs_fault.Schedule.server_outages sched (cfg.server_id_base + i)))
       servers;
     List.iter
       (fun (w : Dfs_fault.Schedule.window) ->

@@ -32,6 +32,23 @@ type config = {
   trace_spill_tag : string;
       (** segment-file name prefix; must be unique among clusters
           spilling into the same directory *)
+  client_id_base : int;
+      (** global id of local client 0.  The id-base fields (all default
+          0) exist for partitioned (sharded) simulations: each partition
+          is an ordinary cluster whose clients/servers/files/users/pids
+          mint ids from disjoint global ranges, so per-partition traces
+          merge into one coherent global trace.  With every base 0 a
+          cluster is byte-identical to one built before these fields
+          existed. *)
+  server_id_base : int;  (** global id of local server 0 *)
+  file_id_base : int;  (** first file id the namespace allocates *)
+  user_id_base : int;  (** first workload user id (consumed by the driver) *)
+  pid_base : int;  (** first workload pid (consumed by the driver) *)
+  fault_schedule_servers : int option;
+      (** total servers of the global fault schedule (default:
+          [server_id_base + n_servers]); partitions of one sharded run
+          pass the global total so every partition reads its slice of
+          the {e same} schedule *)
 }
 
 val default_config : config
@@ -41,6 +58,10 @@ val daemon_user : Dfs_trace.Ids.User.t
 
 val backup_user : Dfs_trace.Ids.User.t
 (** Reserved identity of the nightly tape backup. *)
+
+val remote_user : Dfs_trace.Ids.User.t
+(** Reserved identity of cross-partition remote reads in sharded
+    simulations; scrubbed like the other infrastructure users. *)
 
 val self_users : Dfs_trace.Ids.User.Set.t
 
@@ -64,6 +85,17 @@ val clients : t -> Client.t array
 val servers : t -> Server.t array
 
 val client : t -> int -> Client.t
+
+val client_id : t -> int -> Dfs_trace.Ids.Client.t
+(** Global trace id of local client [i]
+    ([client_id_base + i]); the id workload credentials must carry. *)
+
+val remote_access : t -> client:Dfs_trace.Ids.Client.t -> bytes:int -> int
+(** Serve a cross-partition remote read issued by [client] (a client of
+    another partition): picks a live local file (rotating cursor), runs
+    the read through the owning server's cache, accounts the RPC, and
+    emits scrubbed {!remote_user} open/close records.  Returns the bytes
+    served (0 when no file qualifies). *)
 
 val counters : t -> Counters.t
 

@@ -125,7 +125,9 @@ let every t ~interval ?start action =
   in
   ignore (schedule t ~at:first fire)
 
-let run_until t horizon =
+exception Below_floor of { time : float; floor : float }
+
+let run_core t ~floor horizon =
   let continue = ref true in
   while !continue do
     match H.peek t.heap with
@@ -136,6 +138,12 @@ let run_until t horizon =
       ev.in_heap <- false;
       if ev.cancelled then t.cancelled_pending <- t.cancelled_pending - 1
       else begin
+        (* Conservative-PDES safety net: a live event below the window
+           floor means a cross-shard message arrived late — the lookahead
+           contract was violated somewhere, and the run is not
+           reproducible.  Fail loudly rather than execute out of order. *)
+        if ev.time < floor then
+          raise (Below_floor { time = ev.time; floor });
         t.clock <- ev.time;
         t.executed <- t.executed + 1;
         Dfs_obs.Metrics.incr m_events;
@@ -148,6 +156,16 @@ let run_until t horizon =
       end
   done;
   if horizon > t.clock then t.clock <- horizon
+
+let run_until t horizon = run_core t ~floor:neg_infinity horizon
+
+let run_window t ~floor horizon = run_core t ~floor horizon
+
+(* Earliest queued live-or-cancelled event time: cancelled events are
+   still a conservative (early) bound, and using the raw peek keeps the
+   answer independent of compaction timing. *)
+let next_time t =
+  match H.peek t.heap with None -> None | Some ev -> Some ev.time
 
 let events_executed t = t.executed
 

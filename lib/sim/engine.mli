@@ -40,6 +40,24 @@ val run_until : t -> float -> unit
 (** Execute events in time order until the queue is empty or the next
     event is later than the given horizon. Time is left at the horizon. *)
 
+exception Below_floor of { time : float; floor : float }
+(** A live event surfaced below the current window floor — the
+    conservative-PDES lookahead contract was violated (see
+    {!run_window}). *)
+
+val run_window : t -> floor:float -> float -> unit
+(** [run_window t ~floor horizon] is {!run_until} restricted to one
+    conservative-PDES window: executing any live event with
+    [time < floor] raises {!Below_floor} instead of running it.  The
+    window floor is a hard safety property, not a filter — events below
+    it can only exist if cross-shard delivery broke the lookahead
+    contract. *)
+
+val next_time : t -> float option
+(** Time of the earliest queued event, if any — the shard's bound for
+    barrier-time fast-forwarding.  Conservative: a cancelled event not
+    yet swept may be reported, which can only make the bound earlier. *)
+
 val pending : t -> int
 (** Events still queued, including cancelled ones awaiting lazy
     deletion. *)

@@ -14,6 +14,8 @@ type file_info = {
 type t = {
   n_servers : int;
   server_weights : float array;
+  server_id_base : int;  (* global id of local server 0 (partitioning) *)
+  file_id_base : int;  (* first file id this state allocates *)
   rng : Dfs_util.Rng.t;
   files : file_info File.Tbl.t;
   mutable next_id : int;
@@ -26,8 +28,10 @@ let default_weights n =
   if n = 1 then [| 1.0 |]
   else Array.init n (fun i -> if i = 0 then 0.7 else 0.3 /. float_of_int (n - 1))
 
-let create ~n_servers ?server_weights ~rng () =
+let create ~n_servers ?(server_id_base = 0) ?(file_id_base = 0)
+    ?server_weights ~rng () =
   assert (n_servers >= 1);
+  assert (server_id_base >= 0 && file_id_base >= 0);
   let server_weights =
     match server_weights with
     | Some w ->
@@ -38,18 +42,26 @@ let create ~n_servers ?server_weights ~rng () =
   {
     n_servers;
     server_weights;
+    server_id_base;
+    file_id_base;
     rng;
     files = File.Tbl.create 4096;
-    next_id = 0;
+    next_id = file_id_base;
     live = 0;
   }
 
 let n_servers t = t.n_servers
 
+let server_id_base t = t.server_id_base
+
+let file_id_base t = t.file_id_base
+
 let pick_server t =
   let choices =
     Array.to_list
-      (Array.mapi (fun i w -> (Server.of_int i, w)) t.server_weights)
+      (Array.mapi
+         (fun i w -> (Server.of_int (t.server_id_base + i), w))
+         t.server_weights)
   in
   Dfs_util.Rng.pick_weighted t.rng choices
 

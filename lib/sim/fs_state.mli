@@ -17,11 +17,28 @@ type file_info = {
 type t
 
 val create :
-  n_servers:int -> ?server_weights:float array -> rng:Dfs_util.Rng.t -> unit -> t
+  n_servers:int ->
+  ?server_id_base:int ->
+  ?file_id_base:int ->
+  ?server_weights:float array ->
+  rng:Dfs_util.Rng.t ->
+  unit ->
+  t
 (** [server_weights] biases file placement (default: 70% of files on
-    server 0, the rest spread evenly, echoing the measured cluster). *)
+    server 0, the rest spread evenly, echoing the measured cluster).
+    [server_id_base] / [file_id_base] (default 0) offset every id this
+    state mints, so the states of a partitioned simulation allocate
+    disjoint global id ranges: [pick_server] returns ids in
+    [server_id_base, server_id_base + n_servers) and files are numbered
+    from [file_id_base]. *)
 
 val n_servers : t -> int
+
+val server_id_base : t -> int
+
+val file_id_base : t -> int
+(** First allocated file id; files span
+    [file_id_base, file_id_base + total_files). *)
 
 val create_file :
   t -> now:float -> ?dir:bool -> ?size:int -> unit -> file_info

@@ -1,6 +1,11 @@
-type config = { bandwidth : float; rpc_latency : float }
+type config = {
+  bandwidth : float;
+  rpc_latency : float;
+  remote_latency : float;
+}
 
-let default_config = { bandwidth = 1.25e6; rpc_latency = 0.002 }
+let default_config =
+  { bandwidth = 1.25e6; rpc_latency = 0.002; remote_latency = 0.05 }
 
 let m_rpcs = Dfs_obs.Metrics.counter "sim.net.rpcs"
 

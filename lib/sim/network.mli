@@ -10,6 +10,10 @@ type t
 type config = {
   bandwidth : float;  (** bytes per second; Ethernet: 1.25e6 *)
   rpc_latency : float;  (** per-RPC round-trip overhead, seconds *)
+  remote_latency : float;
+      (** minimum latency of any {e inter-partition} RPC (the backbone
+          between subnets); the conservative-PDES lookahead window is
+          derived from this lower bound, so it must not be optimistic *)
 }
 
 val default_config : config

@@ -105,3 +105,122 @@ let map pool f xs =
    sequential fallback publishes no gauges and spawns nothing. *)
 let map_auto pool f xs =
   if in_pool_task () then List.map f xs else map pool f xs
+
+(* -- long-lived worker team ------------------------------------------------ *)
+
+module Team = struct
+  (* [map] spawns and joins domains per call, which is fine for
+     seconds-long tasks but not for a barrier-synchronized loop that
+     re-enters its workers thousands of times per run (the sharded
+     simulation executes one [run] per lookahead window).  A team keeps
+     S-1 spawned domains parked on a condition variable; each [run]
+     bumps a generation counter, every member (the caller is member 0)
+     executes [f member], and the caller waits until all spawned members
+     check back in.
+
+     Unlike [map], a team does not set the pool's [in_task] flag: it is
+     a first-class entry point that composes with the preset-level
+     [Pool.map] fan-out — a team of size 1 degrades to a plain call in
+     the calling domain, so creating one inside a pool task is legal
+     (and is exactly what a sharded simulation nested under [--jobs]
+     does). *)
+
+  type t = {
+    size : int;
+    mutex : Mutex.t;
+    work : Condition.t;  (* a new generation is ready, or shutdown *)
+    idle : Condition.t;  (* a spawned member finished its generation *)
+    mutable generation : int;
+    mutable job : (int -> unit) option;
+    mutable remaining : int;  (* spawned members still in the current gen *)
+    mutable errors : (int * exn) list;  (* (member, exn), any order *)
+    mutable stopping : bool;
+    mutable domains : unit Domain.t array;
+  }
+
+  let size t = t.size
+
+  let member_loop t m () =
+    let seen = ref 0 in
+    let continue = ref true in
+    while !continue do
+      Mutex.lock t.mutex;
+      while t.generation = !seen && not t.stopping do
+        Condition.wait t.work t.mutex
+      done;
+      if t.stopping then begin
+        Mutex.unlock t.mutex;
+        continue := false
+      end
+      else begin
+        seen := t.generation;
+        let job = Option.get t.job in
+        Mutex.unlock t.mutex;
+        let err = match job m with () -> None | exception e -> Some e in
+        Mutex.lock t.mutex;
+        (match err with
+        | Some e -> t.errors <- (m, e) :: t.errors
+        | None -> ());
+        t.remaining <- t.remaining - 1;
+        if t.remaining = 0 then Condition.broadcast t.idle;
+        Mutex.unlock t.mutex
+      end
+    done
+
+  let create ?size () =
+    let size = match size with Some s -> max 1 s | None -> default_jobs () in
+    let t =
+      {
+        size;
+        mutex = Mutex.create ();
+        work = Condition.create ();
+        idle = Condition.create ();
+        generation = 0;
+        job = None;
+        remaining = 0;
+        errors = [];
+        stopping = false;
+        domains = [||];
+      }
+    in
+    t.domains <-
+      Array.init (size - 1) (fun i -> Domain.spawn (member_loop t (i + 1)));
+    t
+
+  let run t f =
+    if t.stopping then invalid_arg "Pool.Team.run: team is shut down";
+    if t.size = 1 then f 0
+    else begin
+      Mutex.lock t.mutex;
+      t.job <- Some f;
+      t.errors <- [];
+      t.remaining <- t.size - 1;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      let my_err = match f 0 with () -> None | exception e -> Some e in
+      Mutex.lock t.mutex;
+      while t.remaining > 0 do
+        Condition.wait t.idle t.mutex
+      done;
+      let errors = t.errors in
+      t.errors <- [];
+      t.job <- None;
+      Mutex.unlock t.mutex;
+      let errors =
+        (match my_err with Some e -> (0, e) :: errors | None -> errors)
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      match errors with (_, e) :: _ -> raise e | [] -> ()
+    end
+
+  let shutdown t =
+    if not t.stopping then begin
+      Mutex.lock t.mutex;
+      t.stopping <- true;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      Array.iter Domain.join t.domains;
+      t.domains <- [||]
+    end
+end

@@ -51,6 +51,47 @@ val map_auto : t -> ('a -> 'b) -> 'a list -> 'b list
     [List.map] in the calling domain (no gauges, no spans). Results are
     identical either way; only the execution strategy differs. *)
 
+(** {1 Long-lived worker teams} *)
+
+module Team : sig
+  (** A fixed crew of worker domains for barrier-synchronized loops.
+
+      {!map} spawns and joins domains per call; a sharded simulation
+      re-enters its workers once per lookahead window — thousands of
+      times per run — so the team keeps [size - 1] domains parked on a
+      condition variable between generations.  The calling domain is
+      member 0.
+
+      A team is a first-class entry point, deliberately outside the
+      pool's nested-use guard: it never sets the pool task flag, and a
+      team of [size 1] runs everything in the calling domain with no
+      domains spawned, so creating a team {e inside} a [Pool.map] task
+      (the [--sim-shards] × [--jobs] composition) is legal and cannot
+      deadlock — callers that want the outer pool to keep the domains
+      simply create their inner team with size 1. *)
+
+  type t
+
+  val create : ?size:int -> unit -> t
+  (** Spawn a team of [size] members (clamped to at least 1; default
+      {!default_jobs}).  [size - 1] domains are spawned immediately and
+      parked. *)
+
+  val size : t -> int
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t f] executes [f m] on every member [m] of [0 .. size-1]
+      concurrently ([f 0] in the calling domain) and returns once all
+      members have finished — a full barrier.  If members raise, the
+      exception of the {e lowest-numbered} member is re-raised (so the
+      choice is deterministic).  Not reentrant: only the creating
+      domain may call [run], one generation at a time. *)
+
+  val shutdown : t -> unit
+  (** Park, join and release the spawned domains; idempotent.  [run]
+      raises afterwards. *)
+end
+
 (** {1 Observability}
 
     Every [map] publishes utilization gauges into the default

@@ -18,6 +18,26 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+(* Stateless splitmix64 finalizer, shared by [split_key]. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split_key t key =
+  (* Jump to the key-th odd multiple of the gamma so distinct keys land
+     on distinct stream positions even before mixing. *)
+  let z =
+    Int64.add t.state
+      (Int64.mul golden_gamma (Int64.of_int ((2 * key) + 1)))
+  in
+  { state = mix64 z }
+
+let derive_seed seed key =
+  let z = split_key { state = Int64.of_int seed } key in
+  (* Positive int so the result can feed any [create]-style seed slot. *)
+  Int64.to_int (Int64.shift_right_logical (mix64 z.state) 2)
+
 let float t =
   (* 53 random bits scaled to [0,1). *)
   let x = Int64.shift_right_logical (bits64 t) 11 in

@@ -14,6 +14,19 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 
+val split_key : t -> int -> t
+(** [split_key t key] derives an independent generator from [t]'s
+    {e current} state and [key], without advancing [t]: a pure function
+    of (state, key), unlike {!split} whose result depends on how many
+    draws preceded it.  Distinct keys give decorrelated streams.  Used
+    wherever a stream must be attributable to a stable entity id (e.g.
+    a simulation partition) rather than to draw order. *)
+
+val derive_seed : int -> int -> int
+(** [derive_seed seed key] is a non-negative integer seed derived purely
+    from [(seed, key)] — the seed-level counterpart of {!split_key} for
+    APIs that take an [int] seed rather than a generator. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 

@@ -52,7 +52,8 @@ let now ctx = Engine.now (Cluster.engine ctx.cluster)
 let fresh_cred ctx ~host ~migrated =
   Cred.make ~user:ctx.user
     ~pid:(Migration.fresh_pid ctx.board)
-    ~client:(Ids.Client.of_int host) ~migrated
+    ~client:(Cluster.client_id ctx.cluster host)
+    ~migrated
 
 let sample_int ctx d = Dist.sample_int d ctx.rng
 

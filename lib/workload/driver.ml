@@ -63,7 +63,7 @@ let session t (spec : spec) =
       let login_cred =
         Dfs_sim.Cred.make ~user:spec.user
           ~pid:(Migration.fresh_pid t.board)
-          ~client:(Dfs_trace.Ids.Client.of_int spec.home)
+          ~client:(Cluster.client_id t.cluster spec.home)
           ~migrated:false
       in
       let login_bin = Namespace.pick_binary t.ns ~rng ~name:"sh" in
@@ -124,10 +124,15 @@ let setup ~cluster ~params ?(start_hour = 0.0) ?(special_users = []) () =
       ~n_users:(params.n_regular_users + params.n_occasional_users)
   in
   let n_clients = Array.length (Cluster.clients cluster) in
-  let board = Migration.create ~n_clients () in
+  let cluster_cfg = Cluster.cfg cluster in
+  let board =
+    Migration.create ~n_clients ~pid_base:cluster_cfg.Cluster.pid_base ()
+  in
   let mk_spec idx ~activity_scale ~params ~fixed_app ~group ~think =
     {
-      user = Ids.User.of_int idx;
+      (* [idx] stays local (it drives group assignment and home-client
+         round-robin); only the trace-visible id gets the global base. *)
+      user = Ids.User.of_int (cluster_cfg.Cluster.user_id_base + idx);
       group;
       home = idx mod n_clients;
       params;

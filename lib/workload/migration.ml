@@ -16,13 +16,13 @@ type t = {
   mutable next_pid : int;
 }
 
-let create ~n_clients () =
+let create ~n_clients ?(pid_base = 0) () =
   {
     n_clients;
     load = Array.make n_clients 0;
     last_console = Array.make n_clients neg_infinity;
     history = User.Tbl.create 64;
-    next_pid = 0;
+    next_pid = pid_base;
   }
 
 let fresh_pid t =

@@ -8,7 +8,9 @@
 
 type t
 
-val create : n_clients:int -> unit -> t
+val create : n_clients:int -> ?pid_base:int -> unit -> t
+(** [pid_base] (default 0) is where pid allocation starts — partitions
+    of a sharded simulation use disjoint pid ranges. *)
 
 val fresh_pid : t -> Dfs_trace.Ids.Process.t
 

@@ -105,5 +105,8 @@ let run ?(quiet = true) p =
     Driver.setup ~cluster ~params:p.params ~start_hour:p.start_hour
       ~special_users:p.special_users ()
   in
-  Driver.run driver ~until:p.duration;
+  (* Single-partition conservative-PDES execution: byte-identical to the
+     old [Driver.run] (windows only slice the same event order), but
+     every run now reports barrier/window telemetry. *)
+  Sharded.drive cluster ~until:p.duration;
   (cluster, driver)

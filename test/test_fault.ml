@@ -136,7 +136,7 @@ let expected_stall (p : Profile.t) ~server ~remaining =
 
 let test_rpc_delay_backoff () =
   let inj =
-    Injector.create ~profile:Profile.crash_heavy ~n_servers:1 ~horizon:86400.0
+    Injector.create ~profile:Profile.crash_heavy ~n_servers:1 ~horizon:86400.0 ()
   in
   let sched = Injector.schedule inj in
   match Schedule.server_outages sched 0 with
@@ -158,7 +158,7 @@ let test_rpc_delay_backoff () =
     let quiet =
       Injector.create
         ~profile:{ Profile.crash_heavy with rpc_drop_prob = 0.0 }
-        ~n_servers:1 ~horizon:86400.0
+        ~n_servers:1 ~horizon:86400.0 ()
     in
     Alcotest.(check (float 0.0)) "no outage, no drop: free" 0.0
       (Injector.rpc_delay quiet ~server:0 ~now:(w.Schedule.up_at +. 0.5))
@@ -229,7 +229,7 @@ let test_backoff_capped_counter () =
     | _ -> 0
   in
   let inj =
-    Injector.create ~profile:Profile.crash_heavy ~n_servers:1 ~horizon:86400.0
+    Injector.create ~profile:Profile.crash_heavy ~n_servers:1 ~horizon:86400.0 ()
   in
   let sched = Injector.schedule inj in
   (* An outage long enough that the doubling retry interval must reach
@@ -250,7 +250,7 @@ let test_backoff_capped_counter () =
 
 let test_disk_penalty_bounds () =
   let inj =
-    Injector.create ~profile:Profile.crash_heavy ~n_servers:1 ~horizon:86400.0
+    Injector.create ~profile:Profile.crash_heavy ~n_servers:1 ~horizon:86400.0 ()
   in
   let p = Injector.profile inj in
   for _ = 1 to 1000 do
@@ -267,7 +267,7 @@ let test_disk_penalty_bounds () =
 
 let test_offline_queue_fifo () =
   let inj =
-    Injector.create ~profile:Profile.crash_heavy ~n_servers:2 ~horizon:86400.0
+    Injector.create ~profile:Profile.crash_heavy ~n_servers:2 ~horizon:86400.0 ()
   in
   Injector.queue_writeback inj ~server:0 ~file:7 ~index:0 ~bytes:4096;
   Injector.queue_writeback inj ~server:0 ~file:7 ~index:1 ~bytes:4096;

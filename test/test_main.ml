@@ -14,6 +14,7 @@ let () =
       ("vm", Test_vm.suite);
       ("sim", Test_sim.suite);
       ("fault", Test_fault.suite);
+      ("shard", Test_shard.suite);
       ("workload", Test_workload.suite);
       ("analysis", Test_analysis.suite);
       ("consistency", Test_consistency.suite);

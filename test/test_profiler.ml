@@ -283,8 +283,9 @@ let test_diff_flags_regression () =
     Run_report.diff ~old_:(sample_bench ()) (sample_bench ~wall:15.0 ())
   in
   Alcotest.(check bool) "not ok" false (Run_report.diff_ok d);
-  (* the +50% run trips both wall gates: total and analysis phase *)
-  Alcotest.(check int) "two regressions" 2 (List.length d.regressions);
+  (* the +50% run trips every wall gate: total, sim phase and analysis
+     phase *)
+  Alcotest.(check int) "three regressions" 3 (List.length d.regressions);
   let row =
     List.find (fun (r : Run_report.row) -> r.metric = "total_wall_s") d.rows
   in
