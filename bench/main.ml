@@ -102,7 +102,7 @@ let shard_utilization () =
 
 let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
     ~records_total ~experiments ~total_wall ~sim_shards ~scale_wall
-    ~scale_partitions ~scale_records =
+    ~scale_partitions ~scale_records ~import_wall =
   let module J = Dfs_obs.Json in
   let gc = Gc.quick_stat () in
   let trace_counter name =
@@ -120,7 +120,7 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
   let report =
     J.Obj
       [
-        ("schema", J.String "dfs-bench-run/7");
+        ("schema", J.String "dfs-bench-run/8");
         ("scale", J.Float scale);
         ("jobs", J.Int jobs);
         ("sim_shards", J.Int sim_shards);
@@ -135,6 +135,7 @@ let write_run_report ~scale ~jobs ~faults ~sim_wall ~analysis_wall
               ("sim_wall_s", J.Float sim_wall);
               ("analysis_wall_s", J.Float analysis_wall);
               ("scale_wall_s", J.Float scale_wall);
+              ("import_wall_s", J.Float import_wall);
               ("sim_records_per_s", J.Float (per_s sim_wall));
               ("analysis_records_per_s", J.Float (per_s analysis_wall));
             ] );
@@ -486,6 +487,36 @@ let run_scale_phase ~scale =
   Dfs_workload.Sharded.release r;
   (wall, partitions, workers, records)
 
+(* External-trace ingestion throughput: a deterministic synthetic
+   SNIA-style CSV pushed through the full import pipeline (parse,
+   remap, open/close inference, validation).  Gated by bench-diff via
+   the import_wall_s phase. *)
+let run_import_phase () =
+  let rows = 50_000 in
+  let b = Buffer.create (rows * 32) in
+  Buffer.add_string b "Timestamp,Hostname,DiskNumber,Type,Offset,Size\n";
+  for i = 0 to rows - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "%.3f,host%d,%d,%s,%d,%d\n"
+         (float_of_int i /. 50.0)
+         (i mod 13) (i mod 3)
+         (if i mod 4 = 0 then "Write" else "Read")
+         (i * 4096 mod (1 lsl 24))
+         (4096 * (1 + (i mod 4))))
+  done;
+  let csv = Buffer.contents b in
+  let t0 = Unix.gettimeofday () in
+  (match Dfs_ingest.Import.of_csv_string csv with
+  | Ok (records, stats) ->
+    Printf.printf "== import: %d rows -> %d records (%d files) ==\n"
+      stats.Dfs_ingest.Import.rows (List.length records)
+      stats.Dfs_ingest.Import.files
+  | Error e -> failwith ("bench import phase: " ^ e));
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.printf "  %-28s %.2f s\n\n" "wall" wall;
+  Dfs_obs.Metrics.set (Dfs_obs.Metrics.gauge "phase.import.wall_s") wall;
+  wall
+
 let () =
   (* The simulation phase allocates heavily (every event, RPC and cache
      op); a larger minor heap and a lazier major GC trade memory we have
@@ -559,13 +590,14 @@ let () =
   let scale_wall, scale_partitions, sim_shards, scale_records =
     run_scale_phase ~scale:ds.Dfs_core.Dataset.scale
   in
+  let import_wall = run_import_phase () in
   let total_wall = Unix.gettimeofday () -. t0 in
   (* span-loss accounting lands in the embedded metrics snapshot *)
   Dfs_obs.Tracer.record_export_counters Dfs_obs.Tracer.default;
   write_run_report ~scale:ds.Dfs_core.Dataset.scale
     ~jobs:(Dfs_util.Pool.jobs pool) ~faults ~sim_wall ~analysis_wall
     ~records_total ~experiments:experiment_walls ~total_wall ~sim_shards
-    ~scale_wall ~scale_partitions ~scale_records;
+    ~scale_wall ~scale_partitions ~scale_records ~import_wall;
   Option.iter
     (fun path ->
       let oc = open_out path in

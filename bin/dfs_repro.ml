@@ -210,6 +210,34 @@ let make_dataset ?faults ?chunk_records ?spill_dir scale traces jobs =
   Dfs_core.Dataset.generate ?scale ~traces ?jobs ?faults ?chunk_records
     ?spill_dir ()
 
+let replay_arg =
+  let doc =
+    "Build the dataset by replaying this canonical trace file (e.g. the \
+     output of $(b,import)) through a live cluster instead of simulating \
+     the synthetic presets; $(b,--scale), $(b,--traces) and $(b,--faults) \
+     are ignored. Every table and figure then describes the foreign \
+     workload."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+(* Dataset for the table/figure commands: synthetic presets by default,
+   or a replayed foreign trace under [--replay]. *)
+let dataset_for ?faults ?chunk_records ?spill_dir ~replay scale traces jobs =
+  match replay with
+  | None -> make_dataset ?faults ?chunk_records ?spill_dir scale traces jobs
+  | Some path -> (
+    match Dfs_core.Dataset.of_replay ?jobs path with
+    | Ok (ds, stats) ->
+      Dfs_obs.Log.info
+        "replayed %s: %d records, %d applied, %d skipped, %d clients, %d \
+         files"
+        path stats.Dfs_workload.Replay.records stats.applied stats.skipped
+        stats.clients stats.files;
+      ds
+    | Error e ->
+      Dfs_obs.Log.error "%s" e;
+      exit 2)
+
 (* -- list ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -230,7 +258,7 @@ let experiment_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
   let run () ids scale traces jobs faults fault_seed sim_shards chunk_records
-      spill_dir metrics_out trace_out profile_out =
+      spill_dir replay metrics_out trace_out profile_out =
     Dfs_workload.Sharded.set_shards sim_shards;
     let unknown =
       List.filter (fun id -> Dfs_core.Experiment.find id = None) ids
@@ -243,8 +271,8 @@ let experiment_cmd =
     end;
     with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let ds =
-          make_dataset ?faults:(fault_profile faults fault_seed)
-            ?chunk_records ?spill_dir scale traces jobs
+          dataset_for ?faults:(fault_profile faults fault_seed)
+            ?chunk_records ?spill_dir ~replay scale traces jobs
         in
         List.iter
           (fun id ->
@@ -260,18 +288,19 @@ let experiment_cmd =
     Term.(
       const run $ verbosity_term $ ids_arg $ scale_arg $ traces_arg $ jobs_arg
       $ faults_arg $ fault_seed_arg $ sim_shards_arg $ chunk_records_arg
-      $ spill_dir_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
+      $ spill_dir_arg $ replay_arg $ metrics_out_arg $ trace_out_arg
+      $ profile_out_arg)
 
 (* -- all ----------------------------------------------------------------------- *)
 
 let all_cmd =
   let run () scale traces jobs faults fault_seed sim_shards chunk_records
-      spill_dir metrics_out trace_out profile_out =
+      spill_dir replay metrics_out trace_out profile_out =
     Dfs_workload.Sharded.set_shards sim_shards;
     with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let ds =
-          make_dataset ?faults:(fault_profile faults fault_seed)
-            ?chunk_records ?spill_dir scale traces jobs
+          dataset_for ?faults:(fault_profile faults fault_seed)
+            ?chunk_records ?spill_dir ~replay scale traces jobs
         in
         List.iter
           (fun (e : Dfs_core.Experiment.t) ->
@@ -284,7 +313,8 @@ let all_cmd =
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
       $ faults_arg $ fault_seed_arg $ sim_shards_arg $ chunk_records_arg
-      $ spill_dir_arg $ metrics_out_arg $ trace_out_arg $ profile_out_arg)
+      $ spill_dir_arg $ replay_arg $ metrics_out_arg $ trace_out_arg
+      $ profile_out_arg)
 
 (* -- facts -------------------------------------------------------------------- *)
 
@@ -294,12 +324,12 @@ let facts_cmd =
     Arg.(value & flag & info [ "markdown" ] ~doc)
   in
   let run () scale traces jobs faults fault_seed sim_shards chunk_records
-      spill_dir markdown metrics_out trace_out profile_out =
+      spill_dir markdown replay metrics_out trace_out profile_out =
     Dfs_workload.Sharded.set_shards sim_shards;
     with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
         let ds =
-          make_dataset ?faults:(fault_profile faults fault_seed)
-            ?chunk_records ?spill_dir scale traces jobs
+          dataset_for ?faults:(fault_profile faults fault_seed)
+            ?chunk_records ?spill_dir ~replay scale traces jobs
         in
         if markdown then print_string (Dfs_core.Claims.markdown ds)
         else begin
@@ -314,8 +344,8 @@ let facts_cmd =
     Term.(
       const run $ verbosity_term $ scale_arg $ traces_arg $ jobs_arg
       $ faults_arg $ fault_seed_arg $ sim_shards_arg $ chunk_records_arg
-      $ spill_dir_arg $ markdown_arg $ metrics_out_arg $ trace_out_arg
-      $ profile_out_arg)
+      $ spill_dir_arg $ markdown_arg $ replay_arg $ metrics_out_arg
+      $ trace_out_arg $ profile_out_arg)
 
 (* -- simulate ------------------------------------------------------------------- *)
 
@@ -450,6 +480,165 @@ let analyze_cmd =
     Term.(
       const run $ verbosity_term $ files_arg $ on_corruption_arg
       $ metrics_out_arg)
+
+(* -- import / replay ----------------------------------------------------------- *)
+
+let import_cmd =
+  let csv_arg =
+    let doc =
+      "SNIA-style block-trace CSV \
+       (Timestamp,Hostname,DiskNumber,Type,Offset,Size[,ResponseTime]); \
+       $(b,-) reads standard input."
+    in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"CSV" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the canonical trace to $(docv); $(b,-) (default) writes to \
+       standard output (text format only)."
+    in
+    Arg.(value & opt string "-" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let idle_gap_arg =
+    let doc =
+      "Seconds of per-(process, file) inactivity that close an inferred \
+       open/close session."
+    in
+    Arg.(value & opt float 1.0 & info [ "idle-gap" ] ~docv:"SECONDS" ~doc)
+  in
+  let servers_arg =
+    let doc =
+      "Servers to spread imported files over (file id mod N, \
+       deterministic)."
+    in
+    Arg.(value & opt int 4 & info [ "servers" ] ~docv:"N" ~doc)
+  in
+  let run () csv out format idle_gap servers on_corruption =
+    let on_corruption = parse_on_corruption on_corruption in
+    let format = parse_trace_format format in
+    let config =
+      { Dfs_ingest.Infer.default_config with Dfs_ingest.Infer.idle_gap }
+    in
+    let result =
+      if csv = "-" then
+        Dfs_ingest.Import.of_csv_string ~config ~n_servers:servers
+          ~on_corruption ~source:"<stdin>"
+          (In_channel.input_all In_channel.stdin)
+      else
+        Dfs_ingest.Import.of_csv_file ~config ~n_servers:servers
+          ~on_corruption csv
+    in
+    match result with
+    | Error e ->
+      Dfs_obs.Log.error "%s" e;
+      exit 2
+    | Ok (records, stats) ->
+      (if out = "-" then begin
+         let w = Dfs_trace.Writer.to_channel ~format:Dfs_trace.Writer.Text stdout in
+         List.iter (Dfs_trace.Writer.write w) records;
+         Dfs_trace.Writer.flush w
+       end
+       else
+         Dfs_trace.Writer.with_file ~format out (fun w ->
+             List.iter (Dfs_trace.Writer.write w) records));
+      Dfs_obs.Log.info
+        "imported %d rows (%d bad) from %d hosts: %d files, %d records, \
+         %.1f s span"
+        stats.Dfs_ingest.Import.rows stats.bad_rows stats.hosts stats.files
+        stats.records stats.duration
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Import a SNIA-style block-trace CSV into the canonical trace \
+          format, inferring open/close sessions from per-(host, disk) \
+          access runs. Malformed rows are one-line $(b,file:line:) \
+          diagnostics under the usual fail/salvage corruption policy. The \
+          output replays ($(b,replay), $(b,--replay)) and analyzes \
+          ($(b,analyze)) like a native trace")
+    Term.(
+      const run $ verbosity_term $ csv_arg $ out_arg $ trace_format_arg
+      $ idle_gap_arg $ servers_arg $ on_corruption_arg)
+
+let replay_cmd =
+  let trace_arg =
+    let doc =
+      "Canonical trace to replay (text, binary or columnar); $(b,-) \
+       (default) reads standard input."
+    in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"TRACE" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Write the replayed cluster's own merged trace to $(docv) (in \
+       $(b,--trace-format))."
+    in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run () trace out format on_corruption sim_shards metrics_out trace_out
+      profile_out =
+    Dfs_workload.Sharded.set_shards sim_shards;
+    let on_corruption = parse_on_corruption on_corruption in
+    let format = parse_trace_format format in
+    with_obs ~metrics_out ~trace_out ~profile_out (fun () ->
+        let records =
+          let parsed =
+            if trace = "-" then
+              Dfs_trace.Reader.of_string ~on_corruption ~source:"<stdin>"
+                (In_channel.input_all In_channel.stdin)
+            else Dfs_trace.Reader.of_file ~on_corruption trace
+          in
+          match parsed with
+          | Ok records -> records
+          | Error e ->
+            Dfs_obs.Log.error "%s: %s"
+              (if trace = "-" then "<stdin>" else trace)
+              e;
+            exit 2
+          | exception Sys_error e ->
+            Dfs_obs.Log.error "%s" e;
+            exit 2
+        in
+        match Dfs_workload.Replay.run records with
+        | Error e ->
+          Dfs_obs.Log.error "%s" e;
+          exit 2
+        | Ok (cluster, stats) ->
+          let merged = Dfs_sim.Cluster.merged_chunks cluster in
+          let n_merged = ref 0 in
+          Dfs_trace.Sink.iter (fun _ -> incr n_merged) merged;
+          (* Deterministic summary only (no wall clock), so CI can
+             byte-compare replays across job/shard counts. *)
+          Printf.printf "%-24s %d\n" "input_records" stats.Dfs_workload.Replay.records;
+          Printf.printf "%-24s %d\n" "applied" stats.applied;
+          Printf.printf "%-24s %d\n" "skipped" stats.skipped;
+          Printf.printf "%-24s %d\n" "synthesized_opens" stats.synthesized_opens;
+          Printf.printf "%-24s %d\n" "clients" stats.clients;
+          Printf.printf "%-24s %d\n" "servers" stats.servers;
+          Printf.printf "%-24s %d\n" "files" stats.files;
+          Printf.printf "%-24s %d\n" "replayed_records" !n_merged;
+          Printf.printf "%-24s %08x\n" "replayed_crc32c"
+            (Dfs_workload.Sharded.digest merged);
+          Option.iter
+            (fun path ->
+              Dfs_trace.Writer.with_file ~format path (fun w ->
+                  Dfs_trace.Sink.iter (Dfs_trace.Writer.write w) merged);
+              Dfs_obs.Log.info "wrote replayed trace to %s" path)
+            out;
+          Dfs_sim.Cluster.release_sim_state cluster)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay a canonical trace (e.g. the output of $(b,import)) through \
+          a live simulated cluster — block caches, consistency, counters — \
+          and print a deterministic summary (applied/skipped counts, \
+          replayed-trace record count and CRC-32C). The summary is \
+          byte-identical for any $(b,--sim-shards) and DFS_JOBS value")
+    Term.(
+      const run $ verbosity_term $ trace_arg $ out_arg $ trace_format_arg
+      $ on_corruption_arg $ sim_shards_arg $ metrics_out_arg $ trace_out_arg
+      $ profile_out_arg)
 
 (* -- fsck ------------------------------------------------------------------------- *)
 
@@ -729,6 +918,8 @@ let main =
       all_cmd;
       facts_cmd;
       simulate_cmd;
+      import_cmd;
+      replay_cmd;
       analyze_cmd;
       fsck_cmd;
       stats_cmd;

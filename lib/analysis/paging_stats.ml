@@ -14,7 +14,10 @@ let page = float_of_int Dfs_util.Units.block_size
 let analyze ~n_clients ~duration ~raw
     ?(network = Dfs_sim.Network.default_config)
     ?(disk = Dfs_sim.Disk.default_config) () =
-  assert (n_clients > 0);
+  if n_clients <= 0 then
+    invalid_arg
+      (Printf.sprintf "Paging_stats.analyze: n_clients = %d must be positive"
+         n_clients);
   let cached =
     Traffic.read_bytes raw Traffic.Paging_cached
     + Traffic.write_bytes raw Traffic.Paging_cached

@@ -15,7 +15,8 @@ type memo = {
 type run = {
   preset : Presets.preset;
   cluster : Dfs_sim.Cluster.t;
-  driver : Dfs_workload.Driver.t;
+  driver : Dfs_workload.Driver.t option;
+      (** [None] for replayed runs, which have no synthetic driver *)
   trace : Sink.chunks;
   jobs : int;  (** domains the sharded fused analysis may use *)
   memo : memo;
@@ -87,7 +88,7 @@ let simulate_preset ~scale ~faults ~chunk_records ~spill_dir ~jobs n =
   {
     preset;
     cluster;
-    driver;
+    driver = Some driver;
     trace;
     jobs;
     memo = { lock = Mutex.create (); fused = None };
@@ -122,6 +123,51 @@ let generate ?scale ?(traces = [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ?jobs ?faults
     (Dfs_obs.Metrics.gauge "phase.dataset.jobs")
     (float_of_int (Dfs_util.Pool.jobs pool));
   { scale; jobs = Dfs_util.Pool.jobs pool; runs }
+
+(* A replayed dataset: one run whose cluster executed a foreign trace
+   instead of a synthetic preset.  Every experiment reads it through
+   the same [run] record — the trace-only analyses see the replayed
+   cluster's merged log, the cache/traffic analyses see its finished
+   caches and counters. *)
+let of_replay ?jobs ?on_corruption path =
+  match Dfs_trace.Reader.of_file ?on_corruption path with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok records -> (
+    let t0 = Unix.gettimeofday () in
+    match Dfs_workload.Replay.run records with
+    | Error e -> Error e
+    | Ok (cluster, stats) ->
+      let trace = Dfs_sim.Cluster.merged_chunks cluster in
+      Dfs_sim.Cluster.release_sim_state cluster;
+      Dfs_obs.Metrics.set
+        (Dfs_obs.Metrics.gauge "phase.sim.replay.wall_s")
+        (Unix.gettimeofday () -. t0);
+      let cfg = Dfs_sim.Cluster.cfg cluster in
+      let preset =
+        {
+          Presets.name = "replay";
+          seed = cfg.Dfs_sim.Cluster.seed;
+          duration = stats.Dfs_workload.Replay.horizon;
+          start_hour = 0.0;
+          cluster_config = cfg;
+          params = Dfs_workload.Params.default;
+          special_users = [];
+        }
+      in
+      let jobs =
+        match jobs with Some j -> j | None -> Dfs_util.Pool.default_jobs ()
+      in
+      let run =
+        {
+          preset;
+          cluster;
+          driver = None;
+          trace;
+          jobs;
+          memo = { lock = Mutex.create (); fused = None };
+        }
+      in
+      Ok ({ scale = 1.0; jobs; runs = [ run ] }, stats))
 
 let trace_seq run = Sink.to_seq run.trace
 

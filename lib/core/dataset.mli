@@ -15,7 +15,9 @@ type memo
 type run = {
   preset : Dfs_workload.Presets.preset;
   cluster : Dfs_sim.Cluster.t;  (** finished run *)
-  driver : Dfs_workload.Driver.t;
+  driver : Dfs_workload.Driver.t option;
+      (** [None] for replayed runs ({!of_replay}), which execute a
+          foreign trace instead of a synthetic workload *)
   trace : Dfs_trace.Sink.chunks;  (** merged, scrubbed, time-ordered *)
   jobs : int;  (** domains the sharded fused analysis may use *)
   memo : memo;
@@ -43,6 +45,19 @@ val generate :
     is reported through {!Dfs_obs.Log} (so [DFS_LOG=quiet] silences it),
     and per-preset wall times land in the default metrics registry as
     [phase.sim.<name>.wall_s] gauges. *)
+
+val of_replay :
+  ?jobs:int ->
+  ?on_corruption:Dfs_trace.Corruption.policy ->
+  string ->
+  (t * Dfs_workload.Replay.stats, string) result
+(** [of_replay path] reads a canonical trace (any format, validated),
+    replays it through a live cluster ({!Dfs_workload.Replay}) and
+    packages the finished cluster as a single-run dataset on which all
+    experiments — Tables 1–12, figures, facts — run unchanged.  The
+    replay is single-partition, so [--sim-shards] and [DFS_JOBS] leave
+    its results byte-identical.  Errors are one-line diagnostics
+    (unreadable/invalid trace, id ranges beyond the replay ceilings). *)
 
 val default_scale : unit -> float
 (** 1.0 when the environment variable [DFS_FULL] is set, else 0.05 —

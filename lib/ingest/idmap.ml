@@ -1,0 +1,20 @@
+type 'a t = {
+  of_int : int -> 'a;
+  tbl : (string, int) Hashtbl.t;
+  mutable next : int;
+}
+
+let create of_int = { of_int; tbl = Hashtbl.create 64; next = 0 }
+
+let index t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some i -> i
+  | None ->
+    let i = t.next in
+    t.next <- i + 1;
+    Hashtbl.add t.tbl key i;
+    i
+
+let get t key = t.of_int (index t key)
+
+let size t = t.next

@@ -1,0 +1,23 @@
+(** Remapping of foreign string identities into the repo's dense
+    integer {!Dfs_trace.Ids} spaces.
+
+    Foreign traces name entities by hostname, volume, path hash, etc.;
+    the simulator and every analysis expect small dense ids (clients
+    index arrays, files key tables).  A map assigns ids in first-seen
+    order starting from 0, so the remapping is a pure function of the
+    input row order — imports are byte-reproducible. *)
+
+type 'a t
+
+val create : (int -> 'a) -> 'a t
+(** [create of_int] builds an empty map minting ids with [of_int]
+    (e.g. [Ids.Client.of_int]). *)
+
+val get : 'a t -> string -> 'a
+(** The id for a foreign key, minting the next dense id on first use. *)
+
+val index : 'a t -> string -> int
+(** Like {!get} but returns the raw dense index. *)
+
+val size : 'a t -> int
+(** Number of distinct foreign keys seen. *)

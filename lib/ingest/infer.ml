@@ -1,0 +1,179 @@
+module Record = Dfs_trace.Record
+module Ids = Dfs_trace.Ids
+
+type config = { idle_gap : float; close_lag : float }
+
+let default_config = { idle_gap = 1.0; close_lag = 1e-4 }
+
+(* One in-progress access run — the future Open..Close session. *)
+type run = {
+  client : Ids.Client.t;
+  user : Ids.User.t;
+  pid : Ids.Process.t;
+  file : Ids.File.t;
+  server : Ids.Server.t;
+  opened_at : float;
+  start_pos : int;
+  fresh_file : bool;  (* file never seen before this run *)
+  first_op_write : bool;
+  mutable pos : int;  (* position after the latest access *)
+  mutable extent : int;  (* max offset+size touched in this run *)
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable reads : bool;
+  mutable writes : bool;
+  mutable last_time : float;
+  mutable seeks_rev : (float * int * int) list;  (* time, before, after *)
+}
+
+type t = {
+  config : config;
+  (* active run per (client, pid, file) *)
+  streams : (int * int * int, run) Hashtbl.t;
+  (* last known size of every file ever closed *)
+  sizes : int Ids.File.Tbl.t;
+  mutable out_rev : Record.t list;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    streams = Hashtbl.create 256;
+    sizes = Ids.File.Tbl.create 256;
+    out_rev = [];
+  }
+
+let emit t r = t.out_rev <- r :: t.out_rev
+
+let mk (run : run) time kind =
+  {
+    Record.time;
+    server = run.server;
+    client = run.client;
+    user = run.user;
+    pid = run.pid;
+    migrated = false;
+    file = run.file;
+    kind;
+  }
+
+(* Seal a run: emit its Open, buffered Repositions, and Close, and
+   remember the file's size for later runs. *)
+let close_run t (run : run) =
+  let created = run.fresh_file && run.first_op_write in
+  let size_at_open =
+    if created then 0
+    else if run.fresh_file then
+      (* First seen through reads: assume the file pre-existed with at
+         least the extent this run touched. *)
+      run.extent
+    else Option.value ~default:0 (Ids.File.Tbl.find_opt t.sizes run.file)
+  in
+  let mode =
+    match (run.reads, run.writes) with
+    | true, true -> Record.Read_write
+    | false, true -> Record.Write_only
+    | _, false -> Record.Read_only
+  in
+  emit t
+    (mk run run.opened_at
+       (Record.Open
+          {
+            mode;
+            created;
+            is_dir = false;
+            size = size_at_open;
+            start_pos = run.start_pos;
+          }));
+  List.iter
+    (fun (time, pos_before, pos_after) ->
+      emit t (mk run time (Record.Reposition { pos_before; pos_after })))
+    (List.rev run.seeks_rev);
+  let close_size =
+    if run.writes then max size_at_open run.extent else size_at_open
+  in
+  let close_time = Float.max run.last_time run.opened_at +. t.config.close_lag in
+  (* Byte totals accumulate across the whole run and can outgrow the
+     int32 trace columns on a long re-read session; saturate rather
+     than overflow. *)
+  let cap v = min v Record.max_field in
+  emit t
+    (mk run close_time
+       (Record.Close
+          {
+            size = close_size;
+            final_pos = run.pos;
+            bytes_read = cap run.bytes_read;
+            bytes_written = cap run.bytes_written;
+          }));
+  Ids.File.Tbl.replace t.sizes run.file close_size
+
+let start_run t ~client ~user ~pid ~file ~server ~time ~op ~offset ~size =
+  let is_write = op = `Write in
+  let run =
+    {
+      client;
+      user;
+      pid;
+      file;
+      server;
+      opened_at = time;
+      start_pos = offset;
+      fresh_file = not (Ids.File.Tbl.mem t.sizes file);
+      first_op_write = is_write;
+      pos = offset + size;
+      extent = offset + size;
+      bytes_read = (if is_write then 0 else size);
+      bytes_written = (if is_write then size else 0);
+      reads = not is_write;
+      writes = is_write;
+      last_time = time;
+      seeks_rev = [];
+    }
+  in
+  run
+
+let extend_run t (run : run) ~time ~op ~offset ~size =
+  if offset <> run.pos then
+    run.seeks_rev <- (time, run.pos, offset) :: run.seeks_rev;
+  run.pos <- offset + size;
+  run.extent <- max run.extent (offset + size);
+  (match op with
+  | `Read ->
+    run.bytes_read <- run.bytes_read + size;
+    run.reads <- true
+  | `Write ->
+    run.bytes_written <- run.bytes_written + size;
+    run.writes <- true);
+  run.last_time <- time;
+  ignore t
+
+let feed t ~client ~user ~pid ~file ~server ~time ~op ~offset ~size =
+  let key =
+    (Ids.Client.to_int client, Ids.Process.to_int pid, Ids.File.to_int file)
+  in
+  match Hashtbl.find_opt t.streams key with
+  | Some run when time -. run.last_time <= t.config.idle_gap ->
+    extend_run t run ~time ~op ~offset ~size
+  | prior ->
+    (match prior with
+    | Some run ->
+      close_run t run;
+      Hashtbl.remove t.streams key
+    | None -> ());
+    Hashtbl.replace t.streams key
+      (start_run t ~client ~user ~pid ~file ~server ~time ~op ~offset ~size)
+
+let finish t =
+  (* Flush remaining runs in deterministic (client, pid, file) order —
+     Hashtbl iteration order must not leak into the output. *)
+  let remaining =
+    Hashtbl.fold (fun key run acc -> (key, run) :: acc) t.streams []
+  in
+  Hashtbl.reset t.streams;
+  List.iter
+    (fun (_, run) -> close_run t run)
+    (List.sort (fun (a, _) (b, _) -> compare a b) remaining);
+  (* Stable sort: records emitted at equal (time, server) keep their
+     deterministic emission order. *)
+  List.stable_sort Record.compare_time (List.rev t.out_rev)

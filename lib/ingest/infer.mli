@@ -1,0 +1,62 @@
+(** Open/close inference for sources that log raw accesses only.
+
+    Block and syscall traces rarely carry explicit open/close events,
+    but every analysis in this repo is built on the paper's
+    session-oriented record stream: positions at open/seek/close plus
+    byte totals at close.  This state machine reconstructs that stream
+    from per-[(client, pid, file)] access runs:
+
+    - accesses to the same file by the same process separated by less
+      than [idle_gap] seconds belong to one run;
+    - each run becomes [Open … Reposition* … Close]: the [Open] is
+      stamped at the run's first access with the run's starting offset,
+      a [Reposition] is synthesized wherever an access does not start
+      at the current position, and the [Close] (at the last access plus
+      [close_lag], so it sorts strictly after the [Open]) carries the
+      run's total bytes read/written and the file size;
+    - the open mode is inferred from the run's read/write mix, and
+      [created] is set when the first-ever access to a file is a write;
+    - file sizes persist across runs: a file first seen through reads
+      is assumed to have pre-existed with the extent the run touched.
+
+    Every synthesized record satisfies {!Dfs_trace.Record.validate}
+    (given in-domain inputs, which {!Snia.parse_row} guarantees), every
+    [Open] has a matching [Close], and record times are the access
+    times — so the output replays and analyzes like a native trace. *)
+
+type config = {
+  idle_gap : float;
+      (** seconds of per-(process, file) inactivity that end a run *)
+  close_lag : float;
+      (** offset added to the close timestamp so it sorts after the
+          run's last access (and after a single-access run's open) *)
+}
+
+val default_config : config
+(** [idle_gap = 1.0], [close_lag = 1e-4]. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val feed :
+  t ->
+  client:Dfs_trace.Ids.Client.t ->
+  user:Dfs_trace.Ids.User.t ->
+  pid:Dfs_trace.Ids.Process.t ->
+  file:Dfs_trace.Ids.File.t ->
+  server:Dfs_trace.Ids.Server.t ->
+  time:float ->
+  op:[ `Read | `Write ] ->
+  offset:int ->
+  size:int ->
+  unit
+(** Feed one access.  Calls must be in non-decreasing [time] order
+    (the importer sorts rows first); all values must be in domain
+    (finite non-negative time, non-negative ids/offset/size). *)
+
+val finish : t -> Dfs_trace.Record.t list
+(** Close every active run and return all synthesized records sorted
+    by {!Dfs_trace.Record.compare_time} (stable, so equal keys keep
+    deterministic emission order).  The machine must not be fed
+    afterwards. *)

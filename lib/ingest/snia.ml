@@ -1,0 +1,65 @@
+type op = Read | Write
+
+type row = {
+  time : float;
+  host : string;
+  disk : int;
+  op : op;
+  offset : int;
+  size : int;
+}
+
+let fields_of line = List.map String.trim (String.split_on_char ',' line)
+
+let is_header line =
+  match fields_of line with
+  | first :: _ -> String.lowercase_ascii first = "timestamp"
+  | [] -> false
+
+let time_of s =
+  match float_of_string_opt s with
+  | None -> Error (Printf.sprintf "bad timestamp %S" s)
+  | Some t when not (Float.is_finite t) ->
+    Error (Printf.sprintf "non-finite timestamp %S" s)
+  | Some t when t < 0.0 -> Error (Printf.sprintf "negative timestamp %S" s)
+  | Some t -> Ok t
+
+let non_negative_int_of field s =
+  match int_of_string_opt s with
+  | None -> Error (Printf.sprintf "bad %s %S" field s)
+  | Some v when v < 0 -> Error (Printf.sprintf "negative %s %d" field v)
+  | Some v -> Ok v
+
+let op_of s =
+  match String.lowercase_ascii s with
+  | "read" | "r" -> Ok Read
+  | "write" | "w" -> Ok Write
+  | _ -> Error (Printf.sprintf "bad op type %S (expected Read or Write)" s)
+
+let ( let* ) = Result.bind
+
+(* Single-request sizes past 1 GiB are not block I/O — they are either
+   corruption or an attempt to overflow the importer's position
+   arithmetic. *)
+let max_request = 1 lsl 30
+
+let parse_row line =
+  match fields_of line with
+  | [ time; host; disk; op; offset; size ]
+  | [ time; host; disk; op; offset; size; _ (* ResponseTime *) ] ->
+    let* time = time_of time in
+    let* () = if host = "" then Error "empty hostname" else Ok () in
+    let* disk = non_negative_int_of "disk number" disk in
+    let* op = op_of op in
+    let* offset = non_negative_int_of "offset" offset in
+    let* size = non_negative_int_of "size" size in
+    let* () =
+      if size > max_request then
+        Error (Printf.sprintf "size %d exceeds the 1 GiB request limit" size)
+      else Ok ()
+    in
+    Ok { time; host; disk; op; offset; size }
+  | fields ->
+    Error
+      (Printf.sprintf "expected 6 or 7 comma-separated columns, got %d"
+         (List.length fields))

@@ -358,6 +358,7 @@ let default_thresholds =
     ("total_wall_s", 0.25);
     ("phases.sim_wall_s", 0.25);
     ("phases.analysis_wall_s", 0.25);
+    ("phases.import_wall_s", 0.25);
     ("gc.top_heap_words", 0.25);
   ]
 

@@ -65,13 +65,19 @@ let pick_server t =
   in
   Dfs_util.Rng.pick_weighted t.rng choices
 
-let create_file t ~now ?(dir = false) ?(size = 0) () =
+let create_file t ~now ?server ?(dir = false) ?(size = 0) () =
   let id = File.of_int t.next_id in
   t.next_id <- t.next_id + 1;
+  (* An explicit [server] (trace replay preserving imported placement)
+     bypasses the weighted draw and leaves the RNG stream untouched, so
+     callers that never pass it are byte-identical to before. *)
+  let server =
+    match server with Some s -> s | None -> pick_server t
+  in
   let info =
     {
       id;
-      server = pick_server t;
+      server;
       is_dir = dir;
       size;
       exists = true;

@@ -41,8 +41,17 @@ val file_id_base : t -> int
     [file_id_base, file_id_base + total_files). *)
 
 val create_file :
-  t -> now:float -> ?dir:bool -> ?size:int -> unit -> file_info
-(** Allocate a fresh file id, place it on a server, and return its info. *)
+  t ->
+  now:float ->
+  ?server:Dfs_trace.Ids.Server.t ->
+  ?dir:bool ->
+  ?size:int ->
+  unit ->
+  file_info
+(** Allocate a fresh file id, place it on a server, and return its
+    info.  [server] pins the placement (trace replay preserving an
+    imported file→server mapping) without consuming the placement RNG;
+    by default the server is drawn from [server_weights]. *)
 
 val find : t -> Dfs_trace.Ids.File.t -> file_info option
 

@@ -133,7 +133,9 @@ let decode line =
       | k, _ ->
         Error (Printf.sprintf "bad kind %S or wrong field count" k)
     in
-    Ok
+    (* Text traces are the format foreign/hand-written data arrives in;
+       reject out-of-domain values here so every text path is covered. *)
+    Record.validate
       {
         Record.time;
         server = Ids.Server.of_int server;

@@ -1,23 +1,18 @@
-(* The records of a dummy cursor are never compared; any well-formed
-   record will do. *)
-let dummy_record : Record.t =
-  {
-    time = neg_infinity;
-    server = Ids.Server.of_int 0;
-    client = Ids.Client.of_int 0;
-    user = Ids.User.of_int 0;
-    pid = Ids.Process.of_int 0;
-    migrated = false;
-    file = Ids.File.of_int 0;
-    kind = Record.Truncate { old_size = 0 };
-  }
-
+(* The heap's vacated-slot filler is a distinct constructor rather than
+   a fabricated record, so no data value — however hostile the trace it
+   came from — can collide with it.  [Sentinel] never enters the heap
+   through [push]; comparing one means the heap leaked a dummy slot,
+   which is a program bug, not a data problem. *)
 module Cursor = struct
-  type t = Record.t * Record.t list
+  type t = Sentinel | Live of Record.t * Record.t list
 
-  let compare (a, _) (b, _) = Record.compare_time a b
+  let compare a b =
+    match (a, b) with
+    | Live (a, _), Live (b, _) -> Record.compare_time a b
+    | Sentinel, _ | _, Sentinel ->
+      invalid_arg "Merge.Cursor.compare: sentinel cursor compared"
 
-  let dummy = (dummy_record, [])
+  let dummy = Sentinel
 end
 
 module H = Dfs_util.Heap.Make (Cursor)
@@ -25,13 +20,17 @@ module H = Dfs_util.Heap.Make (Cursor)
 let merge streams =
   let heap = H.create () in
   List.iter
-    (function [] -> () | r :: rest -> H.push heap (r, rest))
+    (function [] -> () | r :: rest -> H.push heap (Cursor.Live (r, rest)))
     streams;
   let rec go acc =
     match H.pop heap with
     | None -> List.rev acc
-    | Some (r, rest) ->
-      (match rest with [] -> () | r' :: rest' -> H.push heap (r', rest'));
+    | Some Cursor.Sentinel ->
+      invalid_arg "Merge.merge: sentinel cursor popped"
+    | Some (Cursor.Live (r, rest)) ->
+      (match rest with
+      | [] -> ()
+      | r' :: rest' -> H.push heap (Cursor.Live (r', rest')));
       go (r :: acc)
   in
   go []

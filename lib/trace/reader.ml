@@ -55,21 +55,60 @@ let fold_batches batches ~init ~f =
       !acc)
     init batches
 
+(* Structural decoding alone does not bound the domain of a binary
+   trace: zigzag varints happily carry negative sizes, and the
+   delta-coded time column can reproduce nan/inf bit patterns.  Scan the
+   decoded batch with [Record.validate]; under [Fail] the first bad
+   record is the error, under [Salvage] the invalid records are dropped
+   and the incident is counted like any other corruption. *)
+let validate_batch ~on_corruption ~source batch =
+  let n = Record_batch.length batch in
+  let first_bad = ref None in
+  (try
+     for i = 0 to n - 1 do
+       match Record.validate (Record_batch.get batch i) with
+       | Ok _ -> ()
+       | Error e ->
+         first_bad := Some (i, e);
+         raise Exit
+     done
+   with Exit -> ());
+  match !first_bad with
+  | None -> Ok batch
+  | Some (i, e) -> (
+    let reason = Printf.sprintf "record %d: %s" i e in
+    match (on_corruption : Corruption.policy) with
+    | Corruption.Fail -> Error reason
+    | Corruption.Salvage ->
+      let builder = Record_batch.Builder.create ~capacity:n () in
+      Record_batch.iter
+        (fun r ->
+          match Record.validate r with
+          | Ok r -> Record_batch.Builder.add builder r
+          | Error _ -> ())
+        batch;
+      let kept = Record_batch.Builder.finish builder in
+      Corruption.note ~source ~salvaged:(Record_batch.length kept) reason;
+      Ok kept)
+
 (* Binary traces have no framing, so salvage keeps the longest decodable
    record prefix. *)
 let decode_binary ?(on_corruption = Corruption.Fail)
     ?(source = default_source) s =
-  match (on_corruption : Corruption.policy) with
-  | Corruption.Fail -> Binary_codec.decode_string s
-  | Corruption.Salvage ->
-    let p = Binary_codec.decode_string_partial s in
-    (match p.Binary_codec.error with
-    | None -> ()
-    | Some (_, reason) ->
-      Corruption.note ~source
-        ~salvaged:(Record_batch.length p.Binary_codec.batch)
-        reason);
-    Ok p.Binary_codec.batch
+  let structural =
+    match (on_corruption : Corruption.policy) with
+    | Corruption.Fail -> Binary_codec.decode_string s
+    | Corruption.Salvage ->
+      let p = Binary_codec.decode_string_partial s in
+      (match p.Binary_codec.error with
+      | None -> ()
+      | Some (_, reason) ->
+        Corruption.note ~source
+          ~salvaged:(Record_batch.length p.Binary_codec.batch)
+          reason);
+      Ok p.Binary_codec.batch
+  in
+  Result.bind structural (validate_batch ~on_corruption ~source)
 
 let fold_string ?on_corruption ?source s ~init ~f =
   if Segment.is_segment s then

@@ -77,6 +77,61 @@ let pp ppf t =
     (if t.migrated then "(m)" else "")
     Ids.File.pp t.file pp_kind t.kind
 
+(* Shared input validation for every reader and importer: foreign or
+   hand-written traces must not be able to smuggle non-finite times
+   (which poison sorting and the zigzag-delta binary encoding),
+   negative sizes/offsets/ids, or values past the columnar format's
+   int32 columns into the pipeline.  One line, no backtrace — callers
+   prepend file/line context. *)
+let max_field = 0x7FFF_FFFF
+
+let validate (t : t) =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let non_negative fields k =
+    let rec go = function
+      | [] -> k ()
+      | (name, v) :: rest ->
+        if v < 0 then err "negative %s %d in %s record" name v (kind_name t.kind)
+        else if v > max_field then
+          err "%s %d in %s record exceeds the 32-bit trace format" name v
+            (kind_name t.kind)
+        else go rest
+    in
+    go fields
+  in
+  if not (Float.is_finite t.time) then err "non-finite time %f" t.time
+  else if t.time < 0.0 then err "negative time %f" t.time
+  else
+    non_negative
+      [
+        ("server id", Ids.Server.to_int t.server);
+        ("client id", Ids.Client.to_int t.client);
+        ("user id", Ids.User.to_int t.user);
+        ("pid", Ids.Process.to_int t.pid);
+        ("file id", Ids.File.to_int t.file);
+      ]
+      (fun () ->
+        let payload =
+          match t.kind with
+          | Open { size; start_pos; _ } ->
+            [ ("size", size); ("start_pos", start_pos) ]
+          | Close { size; final_pos; bytes_read; bytes_written } ->
+            [
+              ("size", size);
+              ("final_pos", final_pos);
+              ("bytes_read", bytes_read);
+              ("bytes_written", bytes_written);
+            ]
+          | Reposition { pos_before; pos_after } ->
+            [ ("pos_before", pos_before); ("pos_after", pos_after) ]
+          | Delete { size; _ } -> [ ("size", size) ]
+          | Truncate { old_size } -> [ ("old_size", old_size) ]
+          | Dir_read { bytes } -> [ ("bytes", bytes) ]
+          | Shared_read { offset; length } | Shared_write { offset; length } ->
+            [ ("offset", offset); ("length", length) ]
+        in
+        non_negative payload (fun () -> Ok t))
+
 let equal a b =
   Float.equal a.time b.time
   && Ids.Server.equal a.server b.server

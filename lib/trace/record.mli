@@ -52,6 +52,18 @@ val kind_name : kind -> string
 val compare_time : t -> t -> int
 (** Order by time, then by logging server (merge tie-break). *)
 
+val max_field : int
+(** Largest id or payload value a record may carry ([0x7FFF_FFFF]):
+    the columnar format stores them in int32 columns. *)
+
+val validate : t -> (t, string) result
+(** [validate r] is [Ok r] when the record is well-formed — finite,
+    non-negative time; ids, sizes, positions, offsets and byte counts
+    within [0 .. max_field] — and [Error reason] (one line, no context
+    prefix) otherwise.  Enforced by the text and binary readers and by
+    every importer, so hostile foreign traces cannot poison sorting,
+    the zigzag-delta binary encoding, or the analyses. *)
+
 val pp : Format.formatter -> t -> unit
 
 val equal : t -> t -> bool

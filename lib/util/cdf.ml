@@ -59,12 +59,17 @@ let fraction_below t x =
     if !lo = 0 then 0.0 else prefix.(!lo - 1) /. t.total_weight
   end
 
+(* Guards raise [Invalid_argument] with context instead of bare
+   [assert]: on degenerate or hostile imported data an assert is a
+   backtrace crash (or silent garbage under [-noassert]). *)
 let quantile t p =
-  assert (p >= 0.0 && p <= 1.0);
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Cdf.quantile: p = %g outside [0, 1]" p);
   let arr = ensure_sorted t in
   let prefix = ensure_prefix t in
   let n = Array.length arr in
-  assert (n > 0);
+  if n = 0 then invalid_arg "Cdf.quantile: empty distribution";
   let target = p *. t.total_weight in
   (* first index whose cumulative weight reaches the target *)
   let lo = ref 0 and hi = ref (n - 1) in
@@ -79,7 +84,12 @@ let median t = quantile t 0.5
 let series t ~xs = Array.map (fun x -> (x, fraction_below t x)) xs
 
 let log_xs ~lo ~hi ~per_decade =
-  assert (lo > 0.0 && hi > lo && per_decade > 0);
+  if not (lo > 0.0 && hi > lo && per_decade > 0) then
+    invalid_arg
+      (Printf.sprintf
+         "Cdf.log_xs: need 0 < lo < hi and per_decade > 0 (lo = %g, hi = %g, \
+          per_decade = %d)"
+         lo hi per_decade);
   let step = 10.0 ** (1.0 /. float_of_int per_decade) in
   let rec go acc x =
     if x > hi *. 1.0001 then List.rev acc else go (x :: acc) (x *. step)

@@ -24,7 +24,10 @@ val fraction_below : t -> float -> float
 
 val quantile : t -> float -> float
 (** [quantile t p] is the smallest sample value [v] with
-    [fraction_below t v >= p]. Requires a non-empty CDF and [0 <= p <= 1]. *)
+    [fraction_below t v >= p].
+    @raise Invalid_argument (with context, never a bare assert) on an
+    empty CDF or [p] outside [[0, 1]] — degenerate imported data must
+    produce a diagnosable error, not a backtrace. *)
 
 val median : t -> float
 
@@ -34,7 +37,8 @@ val series : t -> xs:float array -> (float * float) array
 
 val log_xs : lo:float -> hi:float -> per_decade:int -> float array
 (** Logarithmically spaced evaluation points, for byte- and
-    second-scaled axes. Requires [0 < lo < hi]. *)
+    second-scaled axes.
+    @raise Invalid_argument unless [0 < lo < hi] and [per_decade > 0]. *)
 
 val samples : t -> (float * float) array
 (** Sorted (value, weight) pairs; exposed for tests and custom reports. *)

@@ -99,8 +99,10 @@ let pp_summary ppf s =
 
 let percentile sorted p =
   let n = Array.length sorted in
-  assert (n > 0);
-  assert (p >= 0.0 && p <= 1.0);
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Stats.percentile: p = %g outside [0, 1]" p);
   if n = 1 then sorted.(0)
   else begin
     let idx = p *. float_of_int (n - 1) in

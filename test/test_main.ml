@@ -9,6 +9,7 @@ let () =
       ("obs", Test_obs.suite);
       ("profiler", Test_profiler.suite);
       ("trace", Test_trace.suite);
+      ("ingest", Test_ingest.suite);
       ("crash", Test_crash.suite);
       ("cache", Test_cache.suite);
       ("vm", Test_vm.suite);

@@ -255,6 +255,39 @@ let test_cdf_empty () =
   check_float "empty below" 0.0 (Cdf.fraction_below c 1.0);
   Alcotest.(check int) "count" 0 (Cdf.count c)
 
+(* Degenerate or hostile inputs must raise [Invalid_argument] with
+   context, never a bare assert backtrace. *)
+let test_cdf_invalid_args () =
+  let c = Cdf.create () in
+  Alcotest.check_raises "empty quantile"
+    (Invalid_argument "Cdf.quantile: empty distribution") (fun () ->
+      ignore (Cdf.quantile c 0.5));
+  Cdf.add c 1.0;
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Cdf.quantile: p = 2 outside [0, 1]") (fun () ->
+      ignore (Cdf.quantile c 2.0));
+  Alcotest.check_raises "p nan"
+    (Invalid_argument "Cdf.quantile: p = nan outside [0, 1]") (fun () ->
+      ignore (Cdf.quantile c Float.nan));
+  Alcotest.check_raises "bad log_xs"
+    (Invalid_argument
+       "Cdf.log_xs: need 0 < lo < hi and per_decade > 0 (lo = 0, hi = 10, \
+        per_decade = 1)") (fun () ->
+      ignore (Cdf.log_xs ~lo:0.0 ~hi:10.0 ~per_decade:1))
+
+let test_stats_percentile_invalid_args () =
+  Alcotest.check_raises "empty sample"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile [||] 0.5));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p = -1 outside [0, 1]") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] (-1.0)))
+
+let test_units_invalid_args () =
+  Alcotest.check_raises "negative bytes"
+    (Invalid_argument "Units.blocks_of_bytes: negative byte count -1")
+    (fun () -> ignore (Units.blocks_of_bytes (-1)))
+
 (* -- Heap ------------------------------------------------------------------ *)
 
 module IH = Heap.Make (struct
@@ -690,6 +723,9 @@ let suite =
     ("cdf add after query", `Quick, test_cdf_add_after_query);
     ("cdf series and log_xs", `Quick, test_cdf_series_and_log_xs);
     ("cdf empty", `Quick, test_cdf_empty);
+    ("cdf invalid args", `Quick, test_cdf_invalid_args);
+    ("stats percentile invalid args", `Quick, test_stats_percentile_invalid_args);
+    ("units invalid args", `Quick, test_units_invalid_args);
     ("heap order", `Quick, test_heap_order);
     ("heap peek/pop", `Quick, test_heap_peek_pop);
     ("heap pop_exn", `Quick, test_heap_pop_exn);
